@@ -1,0 +1,277 @@
+// Command roborebound regenerates the tables and figures of the
+// RoboRebound paper (EuroSys 2025) from the Go reproduction.
+//
+// Usage:
+//
+//	roborebound <subcommand> [-quick] [-seed N]
+//
+// Subcommands: fig2 fig5 fig6 fig7 fig8 fig9 table1 table2 all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	rr "roborebound"
+)
+
+var (
+	quick  = flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
+	seed   = flag.Uint64("seed", 1, "simulation seed")
+	svgDir = flag.String("svg", "", "also write figure panels as SVG files into this directory (fig2/fig8/fig9)")
+)
+
+func writeSVG(name, doc string) {
+	if *svgDir == "" {
+		return
+	}
+	if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "svg: %v\n", err)
+		return
+	}
+	path := filepath.Join(*svgDir, name)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "svg: %v\n", err)
+		return
+	}
+	fmt.Printf("  wrote %s\n", path)
+}
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	cmds := map[string]func(){
+		"fig2":   fig2,
+		"fig5":   fig5,
+		"fig6":   fig6,
+		"fig7":   fig7,
+		"fig8":   fig8,
+		"fig9":   fig9,
+		"table1": table1,
+		"table2": table2,
+	}
+	if cmd == "all" {
+		for _, name := range []string{"table1", "table2", "fig5", "fig6", "fig7", "fig2", "fig8", "fig9"} {
+			fmt.Printf("\n================ %s ================\n", strings.ToUpper(name))
+			cmds[name]()
+		}
+		return
+	}
+	f, ok := cmds[cmd]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	f()
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: roborebound [flags] <subcommand>
+
+subcommands:
+  table1   worst-case a-node load model (§5.1 Table 1)
+  table2   worst-case s-node load model (§5.1 Table 2)
+  fig5     hash/MAC latency and I/O overhead (§5.1 Fig. 5)
+  fig6     bandwidth & storage vs f_max and audit period (§5.2 Fig. 6)
+  fig7     scalability vs density and flock size (§5.2 Fig. 7)
+  fig2     masquerade attack on a 125-robot flock (§2.4 Fig. 2)
+  fig8     example attack, baseline + undefended (§5.3 Fig. 8)
+  fig9     example attack with RoboRebound (§5.3 Fig. 9)
+  all      everything above
+
+flags:`)
+	flag.PrintDefaults()
+}
+
+func table1() {
+	costs := rr.MeasuredCostModel()
+	fmt.Printf("Worst-case a-node load (T_audit=4s, T_state=1.5s, T_ctl=0.25s, f_max=3, 10 peers)\n")
+	fmt.Printf("cost model: MAC=%.1fms  hash=%.1fms  io=%.0f/%.0fms (host-measured crypto × PIC scale %g)\n\n",
+		costs.MACMs, costs.HashMs, costs.IOSmallMs, costs.IOLargeMs, rr.PICSlowdown)
+	printLoad(rr.Table1(rr.PaperRateConfig(), costs))
+	fmt.Printf("\npaper reports a total of 17.28%% with its measured PIC costs\n")
+}
+
+func table2() {
+	costs := rr.MeasuredCostModel()
+	fmt.Printf("Worst-case s-node load (same configuration)\n\n")
+	printLoad(rr.Table2(rr.PaperRateConfig(), costs))
+	fmt.Printf("\npaper reports a total of 5.99%%\n")
+}
+
+func printLoad(rows []rr.LoadRow) {
+	fmt.Printf("%-42s %8s %8s %8s\n", "Primitive (computation)", "ms/op", "ops/s", "Load")
+	for _, r := range rows {
+		if r.Primitive == "Total" {
+			fmt.Printf("%-42s %8s %8s %7.2f%%\n", "Total", "", "", r.LoadPct)
+			continue
+		}
+		fmt.Printf("%-42s %8.1f %8.2f %7.2f%%\n", r.Primitive, r.MsPerOp, r.OpsPerSec, r.LoadPct)
+	}
+}
+
+func fig5() {
+	iters := 5000
+	if *quick {
+		iters = 500
+	}
+	fmt.Println("Fig. 5a — SHA-1 and LightMAC latency vs argument size")
+	fmt.Printf("%8s %14s %14s %14s %14s\n", "bytes", "hash host ns", "hash PIC ms", "MAC host ns", "MAC PIC ms")
+	hash := rr.MeasureHashLatency(iters)
+	mac := rr.MeasureMACLatency(iters)
+	for i := range hash {
+		fmt.Printf("%8d %14.0f %14.3f %14.0f %14.3f\n",
+			hash[i].Bytes, hash[i].HostNs, hash[i].PICMs, mac[i].HostNs, mac[i].PICMs)
+	}
+	fmt.Println("\nFig. 5b — I/O (framing + copy) overhead vs message size")
+	fmt.Printf("%8s %14s %14s\n", "bytes", "send host ns", "recv host ns")
+	send, recv := rr.MeasureIOLatency(iters)
+	for i := range send {
+		fmt.Printf("%8d %14.0f %14.0f\n", send[i].Bytes, send[i].HostNs, recv[i].HostNs)
+	}
+	fmt.Println("\npaper anchors: SHA-1(270B) ≈ 1 ms, MAC(≤40B) ≈ 10–12 ms on the PIC;")
+	fmt.Println("32B ≈ 0.3–0.4 ms, 512B ≈ 3–3.5 ms, 2kB ≈ 11–16 ms I/O")
+}
+
+func fig6() {
+	cfg := rr.Fig6Config{Seed: *seed}
+	if *quick {
+		cfg.N = 9
+		cfg.DurationSec = 20
+		cfg.PeriodsSec = []float64{4}
+	}
+	points := rr.RunFig6(cfg)
+	fmt.Println("Fig. 6 — per-robot bandwidth and storage vs f_max and audit period")
+	fmt.Printf("%7s %7s | %10s %10s %10s %10s | %10s\n",
+		"f_max", "T_audit", "txApp B/s", "txAud B/s", "rxApp B/s", "rxAud B/s", "storage B")
+	for _, p := range points {
+		fmt.Printf("%7d %6.0fs | %10.1f %10.1f %10.1f %10.1f | %10.0f\n",
+			p.Fmax, p.AuditPeriodSec, p.TxAppBps, p.TxAuditBps, p.RxAppBps, p.RxAuditBps, p.StorageBytes)
+	}
+	fmt.Println("\nexpected shape: audit bandwidth grows with f_max+1, ≈flat in audit period;")
+	fmt.Println("storage flat in f_max, linear in audit period; log ≈0.8 kB/s")
+}
+
+func fig7() {
+	duration := 50.0
+	sizes := []int{16, 36, 64, 100}
+	spacings := []float64{4, 8, 16, 32, 64}
+	scaleSizes := []int{16, 36, 64, 100, 144, 196, 256, 324}
+	if *quick {
+		duration = 15
+		sizes = []int{16, 36}
+		spacings = []float64{4, 64}
+		scaleSizes = []int{16, 36, 64}
+	}
+	fmt.Println("Fig. 7a/7b — cost vs inter-robot distance (fixed N)")
+	fmt.Printf("%6s %9s %9s | %12s %11s\n", "N", "spacing", "peers", "goodput B/s", "storage B")
+	for _, p := range rr.RunFig7Density(sizes, spacings, duration, *seed) {
+		fmt.Printf("%6d %8.0fm %9.1f | %12.1f %11.0f\n", p.N, p.SpacingM, p.MeanPeers, p.BandwidthBps, p.StorageBytes)
+	}
+	fmt.Println("\nFig. 7c/7d — cost vs number of robots (64 m spacing)")
+	fmt.Printf("%6s %9s %9s | %12s %11s\n", "N", "spacing", "peers", "goodput B/s", "storage B")
+	for _, p := range rr.RunFig7Scale(scaleSizes, duration, *seed) {
+		fmt.Printf("%6d %8.0fm %9.1f | %12.1f %11.0f\n", p.N, p.SpacingM, p.MeanPeers, p.BandwidthBps, p.StorageBytes)
+	}
+	fmt.Println("\nexpected shape: costs fall as density falls, then level off; per-robot")
+	fmt.Println("cost ≈constant in N with a small edge-effect rise")
+}
+
+func fig2() {
+	cfg := rr.DefaultFig2()
+	cfg.Seed = *seed
+	if *quick {
+		cfg.N = 36
+		cfg.NumCompromised = 3
+		cfg.GoalX, cfg.GoalY = 250, 250
+		cfg.DurationSec = 120
+	}
+	fmt.Printf("Fig. 2 — %d-robot flock, %d masqueraders, unprotected\n\n", cfg.N, cfg.NumCompromised)
+	clean := rr.RunFig2(cfg, false)
+	attacked := rr.RunFig2(cfg, true)
+	fmt.Printf("%-24s %14s %14s %10s\n", "", "mean dist (m)", "median (m)", "within z")
+	fmt.Printf("%-24s %14.1f %14.1f %7d/%d\n", "no attack (Fig. 2a)",
+		clean.MeanDistToGoal, clean.MedianDist, clean.WithinZ, clean.CorrectRobots)
+	fmt.Printf("%-24s %14.1f %14.1f %7d/%d\n", "10 compromised (Fig. 2b)",
+		attacked.MeanDistToGoal, attacked.MedianDist, attacked.WithinZ, attacked.CorrectRobots)
+	writeSVG("fig2a_noattack.svg", rr.RenderFig2Final("Fig 2a: no attack", cfg, clean, nil))
+	writeSVG("fig2b_attack.svg", rr.RenderFig2Final("Fig 2b: 10 masqueraders", cfg, attacked, nil))
+	fmt.Println("\nexpected shape: the attacked flock is held far from the destination")
+}
+
+func fig8() {
+	cfg := rr.DefaultAttackRun()
+	cfg.Seed = *seed
+	if *quick {
+		cfg.N = 9
+		cfg.DurationSec = 60
+	}
+	fmt.Println("Fig. 8 — baseline runs (unprotected)")
+	base := cfg
+	base.DisableAttack = true
+	clean := rr.RunAttack(base)
+	fmt.Printf("  (b,c) no attack:      mean final dist %.1f m, crashes %d\n",
+		clean.MeanFinalDist, clean.Crashes)
+	printTrace("        dist-to-goal", clean)
+	writeSVG("fig8b_trace_noattack.svg", rr.RenderAttackTrace("Fig 8b: no attack", clean))
+	writeSVG("fig8c_final_noattack.svg", rr.RenderAttackFinal("Fig 8c: final positions, no attack", base, clean))
+
+	attacked := rr.RunAttack(cfg)
+	fmt.Printf("  (d,e) attack, no defense: mean final dist %.1f m, attack active %.0fs–%.0fs (never stopped)\n",
+		attacked.MeanFinalDist, attacked.AttackActiveSec[0], attacked.AttackActiveSec[1])
+	printTrace("        dist-to-goal", attacked)
+	writeSVG("fig8d_trace_attack.svg", rr.RenderAttackTrace("Fig 8d: attack, defense off", attacked))
+	writeSVG("fig8e_final_attack.svg", rr.RenderAttackFinal("Fig 8e: final positions, attack, defense off", cfg, attacked))
+}
+
+func fig9() {
+	cfg := rr.DefaultAttackRun()
+	cfg.Seed = *seed
+	cfg.Protected = true
+	if *quick {
+		cfg.N = 9
+		cfg.DurationSec = 60
+	}
+	res := rr.RunAttack(cfg)
+	fmt.Println("Fig. 9 — same attack with RoboRebound enabled")
+	fmt.Printf("  attacker active %.0fs–%.1fs (disabled: %v); mean final dist %.1f m; correct disabled: %v\n",
+		res.AttackActiveSec[0], res.AttackActiveSec[1], res.AttackerKilled, res.MeanFinalDist, res.CorrectDisabled)
+	printTrace("  dist-to-goal", res)
+	writeSVG("fig9a_trace_defended.svg", rr.RenderAttackTrace("Fig 9a: attack, RoboRebound enabled", res))
+	writeSVG("fig9b_final_defended.svg", rr.RenderAttackFinal("Fig 9b: final positions, defended", cfg, res))
+	fmt.Println("\nexpected shape: the attack window collapses to ≲T_val and the flock")
+	fmt.Println("reaches roughly the no-attack final state")
+}
+
+func printTrace(label string, res rr.AttackRunResult) {
+	// Print the mean distance trace at ~10 sample points.
+	n := len(res.SampleTimesSec)
+	if n == 0 {
+		return
+	}
+	step := n / 10
+	if step == 0 {
+		step = 1
+	}
+	fmt.Printf("%s:", label)
+	for i := 0; i < n; i += step {
+		sum, cnt := 0.0, 0
+		for _, series := range res.DistSeries {
+			if i < len(series) {
+				sum += series[i]
+				cnt++
+			}
+		}
+		fmt.Printf(" %.0fs:%.0fm", res.SampleTimesSec[i], sum/float64(cnt))
+	}
+	fmt.Println()
+}

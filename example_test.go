@@ -1,0 +1,82 @@
+package roborebound_test
+
+import (
+	"fmt"
+
+	rr "roborebound"
+	"roborebound/internal/geom"
+)
+
+// Testable godoc examples. Simulations are deterministic per seed, so
+// their output is stable enough to pin.
+
+// Example demonstrates the smallest end-to-end use of the public API:
+// build a protected flock, run it, confirm nobody was disabled.
+func Example() {
+	sim := rr.FlockScenario{
+		N:         9,
+		Spacing:   4,
+		Goal:      geom.V(120, 120),
+		Protected: true,
+		Fmax:      2,
+		Seed:      7,
+	}.Build()
+	sim.RunSeconds(30)
+
+	fmt.Println("robots:", len(sim.IDs()))
+	fmt.Println("correct robots disabled:", len(sim.CorrectInSafeMode()))
+	fmt.Println("crashes:", len(sim.World.Crashes()))
+	// Output:
+	// robots: 9
+	// correct robots disabled: 0
+	// crashes: 0
+}
+
+// ExampleFlockScenario_attack shows the paper's §5.3 experiment in
+// miniature: a spoofing attacker is audited into Safe Mode while the
+// correct robots stay alive.
+func ExampleFlockScenario_attack() {
+	sim := rr.FlockScenario{
+		N:         9,
+		Spacing:   20,
+		Goal:      geom.V(220, 220),
+		Protected: true,
+		Fmax:      2,
+		Seed:      11,
+		Compromised: []rr.CompromisedSpec{{
+			Index:        2,
+			AtSeconds:    15,
+			Strategy:     rr.SpoofStrategy(150, 2, 1),
+			KeepProtocol: true,
+		}},
+	}.Build()
+	sim.RunSeconds(45)
+
+	comp := sim.Compromised(3)
+	fmt.Println("attacker disabled:", comp.InSafeMode())
+	fmt.Println("correct robots disabled:", len(sim.CorrectInSafeMode()))
+	// Output:
+	// attacker disabled: true
+	// correct robots disabled: 0
+}
+
+// ExampleGridPositions shows the square-grid placement used throughout
+// the paper's evaluation.
+func ExampleGridPositions() {
+	for _, p := range rr.GridPositions(4, 10, geom.V(0, 0)) {
+		fmt.Printf("(%.0f,%.0f) ", p.X, p.Y)
+	}
+	fmt.Println()
+	// Output:
+	// (0,0) (10,0) (0,10) (10,10)
+}
+
+// ExampleTable1 regenerates the paper's worst-case a-node load model
+// with its own measured per-op costs.
+func ExampleTable1() {
+	rows := rr.Table1(rr.PaperRateConfig(), rr.PaperCostModel())
+	total := rows[len(rows)-1]
+	fmt.Printf("a-node worst-case load: %.1f%% (paper: 17.28%%)\n", total.LoadPct)
+	// Output:
+	// a-node worst-case load: 18.0% (paper: 17.28%)
+}

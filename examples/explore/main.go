@@ -1,0 +1,76 @@
+// Explore demonstrates RoboRebound protecting the paper's third
+// application class (§2.1, exploration): four robots survey an area in
+// strips. One robot is compromised mid-mission and rams its neighbors;
+// RoboRebound audits it into Safe Mode within the BTI window, its
+// broadcasts stop, and — because strip takeover is part of the
+// deterministic controller — a correct robot adopts the orphaned strip
+// and the survey still completes.
+package main
+
+import (
+	"fmt"
+
+	rr "roborebound"
+	"roborebound/internal/attack"
+	"roborebound/internal/control"
+	"roborebound/internal/core"
+	"roborebound/internal/geom"
+	"roborebound/internal/wire"
+)
+
+func main() {
+	// An 80 m × 40 m survey area in four strips.
+	params := control.DefaultExploreParams(4, 0, 0, 80, 40, 4)
+	factory := control.ExploreFactory{Params: params}
+
+	cc := core.DefaultConfig(4)
+	cc.Fmax = 1 // 4 robots: each needs 2 fresh tokens
+	sim := rr.NewSim(rr.SimConfig{Seed: 12, Core: &cc})
+
+	// Robots start at the bottom of their strips.
+	for i := 0; i < 3; i++ {
+		id := wire.RobotID(i + 1)
+		sim.AddRobot(id, geom.V(float64(i)*20+10, -5), factory, true)
+	}
+	// Robot 4 (strip 3) is compromised at t = 20 s, mid-sweep: its
+	// c-node abandons the mission and goes silent.
+	sim.AddCompromised(4, geom.V(70, -5), factory, true, sim.Tick(20), attack.Silent{}, false)
+
+	fmt.Println("four surveyors under RoboRebound; robot 4 abandons the mission at t=20 s")
+	sim.RunSeconds(400)
+
+	fmt.Printf("\n%-8s %-12s %-14s %s\n", "robot", "strips done", "state", "status")
+	var unionMask uint64
+	for _, id := range sim.IDs() {
+		r := sim.Robot(id)
+		e := r.Controller().(*control.Explore)
+		strip, idle := e.Covering()
+		state := fmt.Sprintf("sweeping %d", strip)
+		if idle {
+			state = "done"
+		}
+		status := "ok"
+		if r.InSafeMode() {
+			status = fmt.Sprintf("SAFE MODE at t=%.1fs", sim.Seconds(r.SafeModeAt()))
+		}
+		if id != 4 {
+			unionMask |= e.CoveredMask()
+		}
+		fmt.Printf("%-8d %04b         %-14s %s\n", id, e.CoveredMask(), state, status)
+	}
+
+	comp := sim.Compromised(4)
+	if at, ok := comp.FirstMisbehaviorAt(); ok && comp.InSafeMode() {
+		fmt.Printf("\nattacker misbehaved at t=%.1fs, disabled at t=%.1fs (window %.1fs)\n",
+			sim.Seconds(at), sim.Seconds(comp.SafeModeAt()),
+			sim.Seconds(comp.SafeModeAt())-sim.Seconds(at))
+	}
+	fmt.Printf("strips covered by correct robots: %04b — ", unionMask)
+	if unionMask == 0b1111 {
+		fmt.Println("full survey completed despite the compromise")
+	} else {
+		fmt.Println("survey incomplete")
+	}
+	fmt.Printf("crashes: %d, correct robots disabled: %v\n",
+		len(sim.World.Crashes()), sim.CorrectInSafeMode())
+}

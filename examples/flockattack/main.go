@@ -1,0 +1,86 @@
+// Flockattack reproduces the paper's §5.3 example attack end to end:
+// a flock flies toward a destination while one robot, compromised at
+// t = 15 s, spoofs phantom robots to hold the flock back. Three runs
+// are compared — no attack, attack without RoboRebound, attack with
+// RoboRebound — mirroring Figs. 8 and 9.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	rr "roborebound"
+)
+
+func main() {
+	base := rr.DefaultAttackRun()
+	base.DurationSec = 150
+
+	clean := base
+	clean.DisableAttack = true
+
+	undefended := base // Protected=false, attack on
+
+	defended := base
+	defended.Protected = true
+
+	fmt.Println("=== Fig. 8 (b,c): no attack, no defense ===")
+	report(rr.RunAttack(clean))
+
+	fmt.Println("\n=== Fig. 8 (d,e): attack, RoboRebound disabled ===")
+	report(rr.RunAttack(undefended))
+
+	fmt.Println("\n=== Fig. 9: attack, RoboRebound enabled ===")
+	report(rr.RunAttack(defended))
+}
+
+func report(res rr.AttackRunResult) {
+	if res.AttackActiveSec != [2]float64{} {
+		status := "NEVER DISABLED"
+		if res.AttackerKilled {
+			status = fmt.Sprintf("disabled after %.1f s of misbehavior",
+				res.AttackActiveSec[1]-res.AttackActiveSec[0])
+		}
+		fmt.Printf("attack active %.0f s → %.1f s (%s)\n",
+			res.AttackActiveSec[0], res.AttackActiveSec[1], status)
+	}
+	fmt.Printf("mean final distance to goal: %.1f m; crashes: %d; correct robots disabled: %v\n",
+		res.MeanFinalDist, res.Crashes, res.CorrectDisabled)
+
+	// ASCII sparkline of the mean distance-to-goal trace.
+	n := len(res.SampleTimesSec)
+	if n == 0 {
+		return
+	}
+	means := make([]float64, 0, n)
+	maxV := 0.0
+	for i := 0; i < n; i++ {
+		sum, cnt := 0.0, 0
+		for _, s := range res.DistSeries {
+			if i < len(s) {
+				sum += s[i]
+				cnt++
+			}
+		}
+		v := sum / float64(cnt)
+		means = append(means, v)
+		if v > maxV {
+			maxV = v
+		}
+	}
+	const rows = 8
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", 60))
+	}
+	for i, v := range means {
+		col := i * 60 / n
+		row := rows - 1 - int(v/maxV*float64(rows-1)+0.5)
+		grid[row][col] = '*'
+	}
+	fmt.Printf("distance to goal over time (0…%.0f s, ceiling %.0f m):\n", res.SampleTimesSec[n-1], maxV)
+	for _, line := range grid {
+		fmt.Printf("  |%s\n", line)
+	}
+	fmt.Printf("  +%s\n", strings.Repeat("-", 60))
+}

@@ -1,0 +1,62 @@
+// Patrol demonstrates that RoboRebound is protocol-agnostic (§2.1,
+// §3.9): the same trusted nodes, logging, and replay machinery protect
+// a completely different deterministic controller — a perimeter
+// patrol (the paper's perimeter-defense application class) — with no
+// changes to the defense. One patroller goes silent mid-mission and is
+// audited out within the BTI window.
+package main
+
+import (
+	"fmt"
+
+	rr "roborebound"
+	"roborebound/internal/attack"
+	"roborebound/internal/control"
+	"roborebound/internal/core"
+	"roborebound/internal/geom"
+	"roborebound/internal/wire"
+)
+
+func main() {
+	// An eight-waypoint perimeter (corners + midpoints) patrolled by
+	// six robots. Each robot starts at waypoint id mod 8, so the six
+	// patrollers hold distinct slots and keep their spacing — sharing
+	// a slot would march two robots into the same corner.
+	route := []geom.Vec2{
+		geom.V(0, 0), geom.V(40, 0), geom.V(80, 0), geom.V(80, 40),
+		geom.V(80, 80), geom.V(40, 80), geom.V(0, 80), geom.V(0, 40),
+	}
+	params := control.DefaultPatrolParams(4, route)
+	params.RingGapM = 3 // one ring per robot: a disabled robot never blocks the others
+	factory := control.PatrolFactory{Params: params}
+
+	cc := core.DefaultConfig(4)
+	cc.Fmax = 2 // 6 robots: every patroller needs 3 fresh tokens
+	sim := rr.NewSim(rr.SimConfig{Seed: 5, Core: &cc})
+	for i := 0; i < 5; i++ {
+		id := wire.RobotID(i + 1)
+		sim.AddRobot(id, route[int(id)%len(route)], factory, true)
+	}
+	// Robot 6 abandons the mission at t = 30 s.
+	sim.AddCompromised(6, route[6%len(route)], factory, true, sim.Tick(30), attack.Silent{}, false)
+
+	fmt.Println("six patrollers under RoboRebound; robot 6 goes silent at t=30 s")
+	sim.RunSeconds(70)
+
+	fmt.Printf("\n%-8s %-16s %-10s %-10s\n", "robot", "position", "waypoint", "status")
+	for _, id := range sim.IDs() {
+		r := sim.Robot(id)
+		pos, _ := sim.World.Position(id)
+		p := r.Controller().(*control.Patrol)
+		status := "patrolling"
+		if r.InSafeMode() {
+			status = fmt.Sprintf("SAFE MODE at t=%.1fs", sim.Seconds(r.SafeModeAt()))
+		}
+		fmt.Printf("%-8d (%5.1f,%5.1f)   %-10d %s\n", id, pos.X, pos.Y, p.Waypoint(), status)
+	}
+	if bad := sim.CorrectInSafeMode(); len(bad) > 0 {
+		fmt.Printf("\nBUG: correct patrollers disabled: %v\n", bad)
+	} else {
+		fmt.Println("\nall correct patrollers alive; the silent robot was audited out")
+	}
+}

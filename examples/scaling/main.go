@@ -1,0 +1,45 @@
+// Scaling sweeps the defense's overhead with flock size and density —
+// a runnable miniature of the paper's Fig. 7 experiments — and prints
+// the per-robot cost table a deployment engineer would want before
+// adopting RoboRebound.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	rr "roborebound"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full paper-scale sweep (minutes)")
+	flag.Parse()
+
+	sizes := []int{16, 36, 64}
+	scaleSizes := []int{16, 36, 64, 100}
+	spacings := []float64{4, 16, 64}
+	duration := 30.0
+	if *full {
+		sizes = []int{16, 36, 64, 100}
+		scaleSizes = []int{16, 36, 64, 100, 144, 196, 256, 324}
+		spacings = []float64{4, 8, 16, 32, 64}
+		duration = 50
+	}
+
+	fmt.Println("per-robot defense overhead vs flock density (fixed N):")
+	fmt.Printf("%6s %9s %11s | %13s %11s\n", "N", "spacing", "radio peers", "goodput (B/s)", "storage (B)")
+	for _, p := range rr.RunFig7Density(sizes, spacings, duration, 1) {
+		fmt.Printf("%6d %8.0fm %11.1f | %13.1f %11.0f\n",
+			p.N, p.SpacingM, p.MeanPeers, p.BandwidthBps, p.StorageBytes)
+	}
+
+	fmt.Println("\nper-robot defense overhead vs flock size (64 m spacing):")
+	fmt.Printf("%6s %11s | %13s %11s\n", "N", "radio peers", "goodput (B/s)", "storage (B)")
+	for _, p := range rr.RunFig7Scale(scaleSizes, duration, 1) {
+		fmt.Printf("%6d %11.1f | %13.1f %11.0f\n", p.N, p.MeanPeers, p.BandwidthBps, p.StorageBytes)
+	}
+
+	fmt.Println("\nreading: costs track the local neighbor count, not the flock size —")
+	fmt.Println("the protocol is fully decentralized, so per-robot cost plateaus once")
+	fmt.Println("the flock outgrows one radio range (≈199 m).")
+}

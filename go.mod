@@ -1,0 +1,3 @@
+module roborebound
+
+go 1.22

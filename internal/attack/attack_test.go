@@ -1,0 +1,189 @@
+package attack
+
+import (
+	"testing"
+
+	"roborebound/internal/flocking"
+	"roborebound/internal/geom"
+	"roborebound/internal/wire"
+)
+
+func spoof() *Spoof {
+	return &Spoof{
+		Goal: geom.V(100, 100), Z: 150, Epsilon: 2, C: 1,
+		IDs: []wire.RobotID{1, 2, 3, 4, 5}, Period: 1, PhantomsPerVictim: 1,
+	}
+}
+
+func ctxWith(neighbors []neighborSpec) (*Ctx, *[]wire.Frame) {
+	var sent []wire.Frame
+	ctx := &Ctx{
+		Now: 10, ID: 5, Pos: geom.V(0, 0),
+		SendFrame: func(f wire.Frame) bool { sent = append(sent, f); return true },
+		Actuate:   func(ax, ay float64) bool { return true },
+	}
+	for _, n := range neighbors {
+		ctx.Neighbors = append(ctx.Neighbors, flockingNeighbor(n))
+	}
+	return ctx, &sent
+}
+
+type neighborSpec struct {
+	id   wire.RobotID
+	x, y float32
+}
+
+func TestSpoofInsideZ(t *testing.T) {
+	s := spoof()
+	// Victim 1 at (90, 100): 10 m from the goal, inside Z.
+	ctx, sent := ctxWith([]neighborSpec{{1, 90, 100}})
+	s.Act(ctx)
+	if len(*sent) != 1 {
+		t.Fatalf("sent %d frames, want 1", len(*sent))
+	}
+	m, err := wire.DecodeStateMsg((*sent)[0].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phantom must be 1 m from the victim, toward the goal: (91, 100).
+	if m.PosX != 91 || m.PosY != 100 {
+		t.Errorf("phantom at (%v,%v), want (91,100)", m.PosX, m.PosY)
+	}
+	// Spoofed velocity flees the goal at c = 1: (−1, 0).
+	if m.VelX != -1 || m.VelY != 0 {
+		t.Errorf("phantom velocity (%v,%v), want (−1,0)", m.VelX, m.VelY)
+	}
+	// Claimed ID is neither the victim nor the attacker.
+	if m.Src == 1 || m.Src == 5 {
+		t.Errorf("claimed ID %d collides with victim or attacker", m.Src)
+	}
+}
+
+func TestSpoofOutsideZ(t *testing.T) {
+	s := spoof()
+	s.Z = 50
+	// Victim at (200, 100): 100 m from goal, outside Z = 50.
+	ctx, sent := ctxWith([]neighborSpec{{1, 200, 100}})
+	s.Act(ctx)
+	if len(*sent) != 1 {
+		t.Fatalf("sent %d frames", len(*sent))
+	}
+	m, _ := wire.DecodeStateMsg((*sent)[0].Payload)
+	// Ring phantom at goal + (Z−ε)·u = (100+48, 100).
+	if m.PosX != 148 || m.PosY != 100 {
+		t.Errorf("ring phantom at (%v,%v), want (148,100)", m.PosX, m.PosY)
+	}
+}
+
+func TestSpoofVictimFilter(t *testing.T) {
+	s := spoof()
+	s.MaxVictimDist = 50
+	ctx, sent := ctxWith([]neighborSpec{{1, 300, 100}}) // 200 m out
+	s.Act(ctx)
+	if len(*sent) != 0 {
+		t.Error("filtered victim was spoofed")
+	}
+}
+
+func TestSpoofVictimPartition(t *testing.T) {
+	s := spoof()
+	s.VictimMod, s.VictimResidue = 2, 0
+	ctx, sent := ctxWith([]neighborSpec{{1, 90, 100}, {2, 95, 100}})
+	s.Act(ctx)
+	// Only victim 2 (ID ≡ 0 mod 2) is handled.
+	if len(*sent) != 1 {
+		t.Fatalf("sent %d frames, want 1", len(*sent))
+	}
+}
+
+func TestSpoofPeriod(t *testing.T) {
+	s := spoof()
+	s.Period = 4
+	ctx, sent := ctxWith([]neighborSpec{{1, 90, 100}})
+	ctx.Now = 10 // 10 % 4 ≠ 0
+	s.Act(ctx)
+	if len(*sent) != 0 {
+		t.Error("spoofed off-period")
+	}
+	ctx.Now = 12
+	s.Act(ctx)
+	if len(*sent) != 1 {
+		t.Error("did not spoof on period")
+	}
+}
+
+func TestSpoofStablePhantomIDs(t *testing.T) {
+	s := spoof()
+	s.PhantomsPerVictim = 2
+	ctx, sent := ctxWith([]neighborSpec{{1, 90, 100}})
+	s.Act(ctx)
+	first := [](wire.RobotID){(*sent)[0].Src, (*sent)[1].Src}
+	*sent = nil
+	s.Act(ctx)
+	second := [](wire.RobotID){(*sent)[0].Src, (*sent)[1].Src}
+	if first[0] != second[0] || first[1] != second[1] {
+		t.Errorf("phantom IDs not stable: %v vs %v", first, second)
+	}
+	if first[0] == first[1] {
+		t.Error("duplicate phantom IDs")
+	}
+}
+
+func TestSpoofVictimAtGoal(t *testing.T) {
+	s := spoof()
+	ctx, sent := ctxWith([]neighborSpec{{1, 100, 100}}) // exactly at goal
+	s.Act(ctx)
+	if len(*sent) != 0 {
+		t.Error("undefined direction should skip the victim")
+	}
+}
+
+func TestRamTargetsNearest(t *testing.T) {
+	r := Ram{}
+	var acc geom.Vec2
+	ctx := &Ctx{
+		Now: 1, ID: 5, Pos: geom.V(0, 0),
+		SendFrame: func(wire.Frame) bool { return true },
+		Actuate:   func(ax, ay float64) bool { acc = geom.V(ax, ay); return true },
+	}
+	ctx.Neighbors = append(ctx.Neighbors,
+		flockingNeighbor(neighborSpec{1, 10, 0}),
+		flockingNeighbor(neighborSpec{2, 3, 4}), // nearest (5 m)
+	)
+	r.Act(ctx)
+	if acc.Unit().Dot(geom.V(0.6, 0.8)) < 0.99 {
+		t.Errorf("ram direction %v, want toward (3,4)", acc.Unit())
+	}
+	// No neighbors → no actuation.
+	acc = geom.Zero2
+	r.Act(&Ctx{Actuate: func(ax, ay float64) bool { acc = geom.V(ax, ay); return true }})
+	if acc != geom.Zero2 {
+		t.Error("ram actuated without a target")
+	}
+}
+
+func TestAuditDoSEmitsJunk(t *testing.T) {
+	d := &AuditDoS{PerTick: 3}
+	ctx, sent := ctxWith(nil)
+	d.Act(ctx)
+	if len(*sent) != 3 {
+		t.Fatalf("sent %d frames, want 3", len(*sent))
+	}
+	for _, f := range *sent {
+		if !f.IsAudit() {
+			t.Error("junk frame not audit-flagged")
+		}
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	for _, s := range []Strategy{spoof(), Silent{}, Ram{}, &AuditDoS{}} {
+		if s.Name() == "" {
+			t.Errorf("%T has empty name", s)
+		}
+	}
+}
+
+func flockingNeighbor(n neighborSpec) flocking.Neighbor {
+	return flocking.Neighbor{ID: n.id, PosX: n.x, PosY: n.y}
+}

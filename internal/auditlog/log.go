@@ -1,0 +1,158 @@
+package auditlog
+
+import (
+	"errors"
+
+	"roborebound/internal/cryptolite"
+	"roborebound/internal/wire"
+)
+
+// CoveredCheckpoint is a checkpoint together with the f_max+1 tokens
+// that cover it; an audit request must present both so the auditor can
+// trust the segment's starting state (§3.7).
+type CoveredCheckpoint struct {
+	CP     Checkpoint
+	Tokens []wire.Token
+}
+
+type pendingCheckpoint struct {
+	cp    Checkpoint
+	hash  cryptolite.ChainHash
+	index int // number of log entries recorded before this checkpoint
+}
+
+// Log is the c-node's retained window of its tamper-evident log. It
+// maintains the §3.6 invariant: the retained entries always start
+// either at boot or at a token-covered checkpoint, and everything
+// before the most recent covered checkpoint has been discarded.
+type Log struct {
+	fromBoot bool
+	start    *CoveredCheckpoint // nil ⇔ fromBoot
+	entries  []wire.LogEntry
+	pending  []pendingCheckpoint
+
+	entryBytes int
+	// truncations counts MarkCovered-driven discards, for tests.
+	truncations int
+}
+
+// New returns an empty log starting at boot.
+func New() *Log {
+	return &Log{fromBoot: true}
+}
+
+// Append records one input/output entry.
+func (l *Log) Append(e wire.LogEntry) {
+	l.entries = append(l.entries, e)
+	l.entryBytes += e.EncodedSize()
+}
+
+// AddCheckpoint records a checkpoint at the current log position. The
+// caller (the protocol engine) creates one per audit round, right
+// before requesting audits.
+func (l *Log) AddCheckpoint(cp Checkpoint) {
+	l.pending = append(l.pending, pendingCheckpoint{
+		cp:    cp,
+		hash:  cp.Hash(),
+		index: len(l.entries),
+	})
+}
+
+// ErrUnknownCheckpoint is returned when a hash matches no retained
+// checkpoint.
+var ErrUnknownCheckpoint = errors.New("auditlog: unknown checkpoint")
+
+// MarkCovered installs the tokens covering the checkpoint with the
+// given hash and truncates: entries before that checkpoint and all
+// earlier checkpoints are discarded. This is what keeps c-node storage
+// constant (§3.6, §5.2).
+func (l *Log) MarkCovered(hash cryptolite.ChainHash, tokens []wire.Token) error {
+	for i, p := range l.pending {
+		if p.hash != hash {
+			continue
+		}
+		l.entryBytes = 0
+		l.entries = append([]wire.LogEntry(nil), l.entries[p.index:]...)
+		for _, e := range l.entries {
+			l.entryBytes += e.EncodedSize()
+		}
+		rest := l.pending[i+1:]
+		for j := range rest {
+			rest[j].index -= p.index
+		}
+		l.pending = append([]pendingCheckpoint(nil), rest...)
+		l.start = &CoveredCheckpoint{CP: p.cp, Tokens: append([]wire.Token(nil), tokens...)}
+		l.fromBoot = false
+		l.truncations++
+		return nil
+	}
+	return ErrUnknownCheckpoint
+}
+
+// Segment describes one auditable span: from the covered start (or
+// boot) to a given pending checkpoint.
+type Segment struct {
+	FromBoot bool
+	Start    *CoveredCheckpoint // nil ⇔ FromBoot
+	End      Checkpoint
+	EndHash  cryptolite.ChainHash
+	Entries  []wire.LogEntry
+}
+
+// SegmentTo builds the segment ending at the pending checkpoint with
+// the given hash. The returned entries alias the log's storage; the
+// caller encodes them before the log mutates further.
+func (l *Log) SegmentTo(hash cryptolite.ChainHash) (Segment, error) {
+	for _, p := range l.pending {
+		if p.hash != hash {
+			continue
+		}
+		return Segment{
+			FromBoot: l.fromBoot,
+			Start:    l.start,
+			End:      p.cp,
+			EndHash:  p.hash,
+			Entries:  l.entries[:p.index],
+		}, nil
+	}
+	return Segment{}, ErrUnknownCheckpoint
+}
+
+// LatestCheckpoint returns the most recent pending checkpoint's hash,
+// if any.
+func (l *Log) LatestCheckpoint() (cryptolite.ChainHash, bool) {
+	if len(l.pending) == 0 {
+		return cryptolite.ChainHash{}, false
+	}
+	return l.pending[len(l.pending)-1].hash, true
+}
+
+// FromBoot reports whether the retained window starts at power-up.
+func (l *Log) FromBoot() bool { return l.fromBoot }
+
+// Start returns the covered start checkpoint, or nil if from boot.
+func (l *Log) Start() *CoveredCheckpoint { return l.start }
+
+// EntryCount returns the number of retained entries.
+func (l *Log) EntryCount() int { return len(l.entries) }
+
+// PendingCheckpoints returns the number of uncovered checkpoints.
+func (l *Log) PendingCheckpoints() int { return len(l.pending) }
+
+// Truncations returns how many times the log has been truncated.
+func (l *Log) Truncations() int { return l.truncations }
+
+// StorageBytes returns the current storage footprint: retained
+// entries, the covered start checkpoint with its tokens, and all
+// pending checkpoints. This is the quantity Figs. 6–7 plot as
+// "storage".
+func (l *Log) StorageBytes() int {
+	n := l.entryBytes
+	if l.start != nil {
+		n += l.start.CP.EncodedSize() + len(l.start.Tokens)*wire.TokenSize
+	}
+	for i := range l.pending {
+		n += l.pending[i].cp.EncodedSize()
+	}
+	return n
+}

@@ -1,0 +1,311 @@
+package auditlog
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"roborebound/internal/cryptolite"
+	"roborebound/internal/wire"
+)
+
+func entry(i int) wire.LogEntry {
+	return wire.LogEntry{Kind: wire.EntryRecv, Payload: []byte{byte(i)}}
+}
+
+func ckpt(t wire.Tick, state string) Checkpoint {
+	return Checkpoint{
+		Time:  t,
+		AuthS: wire.Authenticator{NodeKind: wire.NodeS, T: t, ID: 1},
+		AuthA: wire.Authenticator{NodeKind: wire.NodeA, T: t, ID: 1},
+		State: []byte(state),
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	c := ckpt(42, "controller-state")
+	got, err := DecodeCheckpoint(c.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Time != c.Time || got.AuthS != c.AuthS || got.AuthA != c.AuthA ||
+		!bytes.Equal(got.State, c.State) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, c)
+	}
+	if got.Hash() != c.Hash() {
+		t.Error("hash changed across round trip")
+	}
+	if c.EncodedSize() != len(c.Encode()) {
+		t.Error("EncodedSize disagrees with Encode")
+	}
+}
+
+func TestCheckpointHashSensitive(t *testing.T) {
+	a := ckpt(1, "s")
+	b := ckpt(2, "s")
+	c := ckpt(1, "t")
+	if a.Hash() == b.Hash() || a.Hash() == c.Hash() {
+		t.Error("checkpoint hash not sensitive to fields")
+	}
+	d := a
+	d.AuthA.Top[0] ^= 1
+	if a.Hash() == d.Hash() {
+		t.Error("checkpoint hash ignores authenticators")
+	}
+}
+
+func TestCheckpointDecodeRejectsJunk(t *testing.T) {
+	f := func(b []byte) bool {
+		DecodeCheckpoint(b)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	c := ckpt(1, "x")
+	enc := c.Encode()
+	if _, err := DecodeCheckpoint(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+	if _, err := DecodeCheckpoint(append(enc, 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestLogStartsAtBoot(t *testing.T) {
+	l := New()
+	if !l.FromBoot() || l.Start() != nil || l.EntryCount() != 0 {
+		t.Error("fresh log should start at boot, empty")
+	}
+	if _, ok := l.LatestCheckpoint(); ok {
+		t.Error("fresh log has no checkpoints")
+	}
+}
+
+func TestSegmentFromBoot(t *testing.T) {
+	l := New()
+	l.Append(entry(0))
+	l.Append(entry(1))
+	cp := ckpt(10, "s1")
+	l.AddCheckpoint(cp)
+	l.Append(entry(2)) // after the checkpoint: not in the segment
+
+	seg, err := l.SegmentTo(cp.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seg.FromBoot || seg.Start != nil {
+		t.Error("segment should start at boot")
+	}
+	if len(seg.Entries) != 2 {
+		t.Errorf("segment has %d entries, want 2", len(seg.Entries))
+	}
+	if seg.EndHash != cp.Hash() {
+		t.Error("segment end hash mismatch")
+	}
+}
+
+func TestMarkCoveredTruncates(t *testing.T) {
+	l := New()
+	l.Append(entry(0))
+	cp1 := ckpt(10, "s1")
+	l.AddCheckpoint(cp1)
+	l.Append(entry(1))
+	l.Append(entry(2))
+	cp2 := ckpt(20, "s2")
+	l.AddCheckpoint(cp2)
+	l.Append(entry(3))
+
+	tokens := []wire.Token{{Auditor: 2, Auditee: 1, HCkpt: cp1.Hash()}}
+	if err := l.MarkCovered(cp1.Hash(), tokens); err != nil {
+		t.Fatal(err)
+	}
+	if l.FromBoot() {
+		t.Error("log still claims boot start after coverage")
+	}
+	if l.Start() == nil || l.Start().CP.Hash() != cp1.Hash() {
+		t.Error("start checkpoint not installed")
+	}
+	// Entry 0 (before cp1) must be gone; entries 1..3 retained.
+	if l.EntryCount() != 3 {
+		t.Errorf("retained %d entries, want 3", l.EntryCount())
+	}
+	// cp2's segment must now start at cp1 and contain entries 1,2.
+	seg, err := l.SegmentTo(cp2.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.FromBoot || seg.Start == nil {
+		t.Fatal("segment should start at covered checkpoint")
+	}
+	if len(seg.Entries) != 2 ||
+		seg.Entries[0].Payload[0] != 1 || seg.Entries[1].Payload[0] != 2 {
+		t.Errorf("segment entries wrong: %+v", seg.Entries)
+	}
+	if len(seg.Start.Tokens) != 1 {
+		t.Error("start tokens not carried")
+	}
+}
+
+func TestMarkCoveredUnknownHash(t *testing.T) {
+	l := New()
+	var h cryptolite.ChainHash
+	h[0] = 0xFF
+	if err := l.MarkCovered(h, nil); err == nil {
+		t.Error("unknown checkpoint accepted")
+	}
+	if _, err := l.SegmentTo(h); err == nil {
+		t.Error("segment for unknown checkpoint accepted")
+	}
+}
+
+func TestMarkCoveredSkipsIntermediate(t *testing.T) {
+	// If cp1's tokens never arrive but cp2's do (multi-checkpoint
+	// segment), covering cp2 must discard cp1 and everything before.
+	l := New()
+	l.Append(entry(0))
+	cp1 := ckpt(10, "s1")
+	l.AddCheckpoint(cp1)
+	l.Append(entry(1))
+	cp2 := ckpt(20, "s2")
+	l.AddCheckpoint(cp2)
+	l.Append(entry(2))
+
+	if err := l.MarkCovered(cp2.Hash(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if l.PendingCheckpoints() != 0 {
+		t.Errorf("pending checkpoints = %d, want 0", l.PendingCheckpoints())
+	}
+	if l.EntryCount() != 1 {
+		t.Errorf("retained %d entries, want 1", l.EntryCount())
+	}
+	if _, err := l.SegmentTo(cp1.Hash()); err == nil {
+		t.Error("discarded checkpoint still addressable")
+	}
+}
+
+func TestStorageBoundedUnderSteadyState(t *testing.T) {
+	// Steady state: every audit round appends entries, adds a
+	// checkpoint, and covers it next round. Storage must stay bounded.
+	l := New()
+	var lastHash cryptolite.ChainHash
+	var have bool
+	peak := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 20; i++ {
+			l.Append(entry(i))
+		}
+		cp := ckpt(wire.Tick(round), "state")
+		l.AddCheckpoint(cp)
+		if have {
+			if err := l.MarkCovered(lastHash, make([]wire.Token, 4)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		lastHash, have = cp.Hash(), true
+		if s := l.StorageBytes(); s > peak {
+			peak = s
+		}
+	}
+	final := l.StorageBytes()
+	// ~2 rounds of entries + 2 checkpoints; generous bound.
+	if final > 4096 {
+		t.Errorf("steady-state storage %dB, want bounded", final)
+	}
+	if l.Truncations() != 49 {
+		t.Errorf("truncations = %d, want 49", l.Truncations())
+	}
+	_ = peak
+}
+
+func TestStorageGrowsWithoutCoverage(t *testing.T) {
+	// A partitioned robot that can't collect tokens keeps everything —
+	// that's what eventually drives it into Safe Mode, not data loss.
+	l := New()
+	base := l.StorageBytes()
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 20; i++ {
+			l.Append(entry(i))
+		}
+		l.AddCheckpoint(ckpt(wire.Tick(round), "state"))
+	}
+	if l.StorageBytes() <= base {
+		t.Error("storage should grow without token coverage")
+	}
+	if l.PendingCheckpoints() != 10 {
+		t.Errorf("pending = %d", l.PendingCheckpoints())
+	}
+}
+
+func TestSegmentEntriesExcludePostCheckpoint(t *testing.T) {
+	l := New()
+	cp := ckpt(5, "s")
+	l.AddCheckpoint(cp) // checkpoint with zero prior entries
+	l.Append(entry(9))
+	seg, err := l.SegmentTo(cp.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seg.Entries) != 0 {
+		t.Error("post-checkpoint entries leaked into segment")
+	}
+}
+
+// Property: under any interleaving of appends, checkpoints, and
+// coverage events, the log maintains its invariants — retained entries
+// start at the covered checkpoint, segment extraction matches what was
+// appended since, and storage is the sum of its parts.
+func TestLogRandomizedInvariants(t *testing.T) {
+	type op struct {
+		Kind byte // 0..3: append, checkpoint, cover-latest, segment-latest
+	}
+	f := func(ops []op, seedByte byte) bool {
+		l := New()
+		var hashes []cryptolite.ChainHash
+		appendedSince := 0 // entries since last pending checkpoint
+		covered := 0
+		for i, o := range ops {
+			switch o.Kind % 4 {
+			case 0:
+				l.Append(entry(i))
+				appendedSince++
+			case 1:
+				cp := ckpt(wire.Tick(i), string(rune('a'+i%26)))
+				l.AddCheckpoint(cp)
+				hashes = append(hashes, cp.Hash())
+				appendedSince = 0
+			case 2:
+				if len(hashes) > 0 {
+					if err := l.MarkCovered(hashes[len(hashes)-1], nil); err != nil {
+						return false
+					}
+					covered++
+					hashes = hashes[:1:1]
+					hashes = hashes[:0]
+				}
+			case 3:
+				if len(hashes) > 0 {
+					seg, err := l.SegmentTo(hashes[len(hashes)-1])
+					if err != nil {
+						return false
+					}
+					// Entries after the latest checkpoint are excluded.
+					if len(seg.Entries) != l.EntryCount()-appendedSince {
+						return false
+					}
+				}
+			}
+		}
+		if covered > 0 && l.FromBoot() {
+			return false
+		}
+		if l.Truncations() != covered {
+			return false
+		}
+		return l.StorageBytes() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

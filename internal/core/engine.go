@@ -1,0 +1,391 @@
+package core
+
+import (
+	"sort"
+
+	"roborebound/internal/auditlog"
+	"roborebound/internal/control"
+	"roborebound/internal/cryptolite"
+	"roborebound/internal/replay"
+	"roborebound/internal/trusted"
+	"roborebound/internal/wire"
+)
+
+// Engine is one robot's protocol engine. It is single-goroutine by
+// construction: the simulation (or a real c-node's event loop) calls
+// OnSensorReading, OnFrame, and Tick in a fixed order.
+type Engine struct {
+	id      wire.RobotID
+	cfg     Config
+	factory control.Factory
+	ctrl    control.Controller
+
+	snode *trusted.SNode
+	anode *trusted.ANode
+	log   *auditlog.Log
+
+	send func(wire.Frame) bool // a-node's SendWireless
+
+	heard map[wire.RobotID]wire.Tick // last tick each peer was heard
+	now   wire.Tick
+
+	round  *auditRound
+	served []wire.Tick // timestamps of recently served audits (ServeLimit window)
+	stats  Stats
+}
+
+type auditRound struct {
+	hash     cryptolite.ChainHash
+	startAt  wire.Tick
+	covered  bool
+	fromBoot bool
+
+	encStart []byte
+	startTok []wire.Token
+	encEnd   []byte
+	segment  []byte
+
+	tokens  map[wire.RobotID]wire.Token
+	asked   map[wire.RobotID]bool
+	lastAsk wire.Tick
+}
+
+// NewEngine constructs the protocol engine for one robot. The caller
+// provisions the trusted nodes (master + mission keys) separately.
+func NewEngine(id wire.RobotID, cfg Config, factory control.Factory,
+	snode *trusted.SNode, anode *trusted.ANode, send func(wire.Frame) bool) *Engine {
+	return &Engine{
+		id:      id,
+		cfg:     cfg,
+		factory: factory,
+		ctrl:    factory.New(id),
+		snode:   snode,
+		anode:   anode,
+		log:     auditlog.New(),
+		send:    send,
+		heard:   make(map[wire.RobotID]wire.Tick),
+	}
+}
+
+// Controller exposes the live controller (the robot reads it for
+// metrics; the engine owns its lifecycle).
+func (e *Engine) Controller() control.Controller { return e.ctrl }
+
+// Log exposes the audit log for storage accounting.
+func (e *Engine) Log() *auditlog.Log { return e.log }
+
+// Stats returns a copy of the protocol counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// CurrentRoundHash returns the checkpoint hash of the in-progress
+// audit round, if any (tests and metrics only).
+func (e *Engine) CurrentRoundHash() (cryptolite.ChainHash, bool) {
+	if e.round == nil {
+		return cryptolite.ChainHash{}, false
+	}
+	return e.round.hash, true
+}
+
+// OnSensorReading drives one control step: the reading has already
+// passed through (and been chained by) the s-node. The engine logs it,
+// steps the controller, and routes the outputs through the a-node,
+// logging exactly what the a-node forwards.
+func (e *Engine) OnSensorReading(reading wire.SensorReading) {
+	e.log.Append(wire.LogEntry{Kind: wire.EntrySensor, Payload: reading.Encode()})
+	out := e.ctrl.OnSensor(reading)
+	if out.Broadcast != nil {
+		f := wire.Frame{Src: e.id, Dst: wire.Broadcast, Payload: out.Broadcast}
+		if e.send(f) {
+			e.log.Append(wire.LogEntry{Kind: wire.EntrySend, Payload: f.Encode()})
+		}
+	}
+	if out.Cmd != nil {
+		if e.anode.ActuatorCmd(*out.Cmd) {
+			e.log.Append(wire.LogEntry{Kind: wire.EntryActuator, Payload: out.Cmd.Encode()})
+		}
+	}
+}
+
+// OnFrame handles a frame the a-node forwarded up. Application frames
+// are logged and fed to the controller; audit-flagged frames drive the
+// audit protocol and are never logged (§3.4).
+func (e *Engine) OnFrame(f wire.Frame) {
+	e.heard[f.Src] = e.now
+	if !f.IsAudit() {
+		e.log.Append(wire.LogEntry{Kind: wire.EntryRecv, Payload: f.Encode()})
+		e.ctrl.OnMessage(f.Payload)
+		return
+	}
+	switch wire.PayloadKind(f.Payload) {
+	case wire.KindAuditRequest:
+		if req, err := wire.DecodeAuditRequest(f.Payload); err == nil {
+			e.onAuditRequest(req)
+		}
+	case wire.KindAuditResponse:
+		if resp, err := wire.DecodeAuditResponse(f.Payload); err == nil {
+			e.onAuditResponse(resp)
+		}
+	}
+}
+
+// Tick advances protocol time: starts audit rounds on this robot's
+// phase and retries stalled rounds. Note the a-node's CheckTokens is
+// *not* driven from here — it runs on the trusted node's own timer
+// (the robot layer invokes it unconditionally), because a compromised
+// c-node would simply stop calling it.
+func (e *Engine) Tick(now wire.Tick) {
+	e.now = now
+	if e.cfg.TAudit > 0 && now%e.cfg.TAudit == wire.Tick(e.id)%e.cfg.TAudit {
+		e.startRound(now)
+	}
+	if e.round != nil && !e.round.covered &&
+		now >= e.round.lastAsk+e.cfg.RetryDelay &&
+		len(e.round.tokens) <= e.cfg.Fmax {
+		e.solicit(now)
+	}
+}
+
+func (e *Engine) startRound(now wire.Tick) {
+	authS, okS := e.snode.MakeAuthenticator()
+	authA, okA := e.anode.MakeAuthenticator()
+	if !okS || !okA {
+		return // keyless or safe mode: nothing to do
+	}
+	cp := auditlog.Checkpoint{
+		Time:  now,
+		AuthS: authS,
+		AuthA: authA,
+		State: e.ctrl.EncodeState(),
+	}
+	e.log.AddCheckpoint(cp)
+	seg, err := e.log.SegmentTo(cp.Hash())
+	if err != nil {
+		return // unreachable: we just added the checkpoint
+	}
+	round := &auditRound{
+		hash:     seg.EndHash,
+		startAt:  now,
+		fromBoot: seg.FromBoot,
+		encEnd:   cp.Encode(),
+		segment:  wire.EncodeLogEntries(seg.Entries),
+		tokens:   make(map[wire.RobotID]wire.Token),
+		asked:    make(map[wire.RobotID]bool),
+	}
+	if seg.Start != nil {
+		round.encStart = seg.Start.CP.Encode()
+		round.startTok = seg.Start.Tokens
+	}
+	e.round = round
+	e.stats.RoundsStarted++
+	e.solicit(now)
+}
+
+// auditorCandidates returns recently-heard peers in ascending ID
+// order. The list is built from claimed frame sources — unverified,
+// but a wrong candidate merely wastes one request and the retry loop
+// moves on.
+func (e *Engine) auditorCandidates() []wire.RobotID {
+	var ids []wire.RobotID
+	for id, last := range e.heard {
+		if id == e.id || id == wire.Broadcast {
+			continue
+		}
+		if last+e.cfg.HeardWindow > e.now {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// solicit sends audit requests until f_max+1 auditors have been asked
+// (beyond those that already answered). Extra tokens cause no harm
+// (§3.7), so over-asking on retry is safe.
+func (e *Engine) solicit(now wire.Tick) {
+	r := e.round
+	need := e.cfg.Fmax + 1 - len(r.tokens)
+	if need <= 0 {
+		return
+	}
+	candidates := e.auditorCandidates()
+	// Rotate the starting point per round AND per robot so auditing
+	// load spreads evenly across neighbors. The per-robot term is
+	// load-bearing: rotating by round alone makes every auditee in a
+	// dense flock converge on the same few auditors each round, which
+	// saturates their serve budgets and starves the flock.
+	if n := len(candidates); n > 1 {
+		off := (int(e.stats.RoundsStarted)*(1+e.cfg.Fmax) + int(e.id)*7) % n
+		candidates = append(candidates[off:], candidates[:off]...)
+	}
+	sent := 0
+	for _, target := range candidates {
+		if sent >= need {
+			break
+		}
+		if r.asked[target] {
+			continue
+		}
+		if e.askOne(target) {
+			sent++
+		}
+		r.asked[target] = true
+	}
+	// Candidates exhausted: allow re-asking peers that have not
+	// produced a token yet (they may have been briefly out of range).
+	if sent < need {
+		for _, target := range candidates {
+			if sent >= need {
+				break
+			}
+			if _, got := r.tokens[target]; got {
+				continue
+			}
+			if e.askOne(target) {
+				sent++
+			}
+		}
+	}
+	r.lastAsk = now
+}
+
+func (e *Engine) askOne(target wire.RobotID) bool {
+	req, ok := e.anode.MakeTokenRequest(target)
+	if !ok {
+		return false // rate-limited or keyless
+	}
+	r := e.round
+	msg := wire.AuditRequest{
+		Auditee:         e.id,
+		Auditor:         target,
+		Req:             req,
+		FromBoot:        r.fromBoot,
+		StartCheckpoint: r.encStart,
+		StartTokens:     r.startTok,
+		EndCheckpoint:   r.encEnd,
+		Segment:         r.segment,
+	}
+	f := wire.Frame{Src: e.id, Dst: target, Flags: wire.FlagAudit, Payload: msg.Encode()}
+	if !e.send(f) {
+		return false
+	}
+	e.stats.AuditsRequested++
+	return true
+}
+
+// serveBudgetOK enforces the §5.1 serving assumption: at most
+// ServeLimit audits per TVal window. The check is cheap and runs
+// before any expensive replay work, so audit floods cost the victim
+// almost nothing.
+func (e *Engine) serveBudgetOK() bool {
+	if e.cfg.ServeLimit <= 0 {
+		return true
+	}
+	keep := e.served[:0]
+	for _, t := range e.served {
+		if t+e.cfg.TVal > e.now {
+			keep = append(keep, t)
+		}
+	}
+	e.served = keep
+	return len(e.served) < e.cfg.ServeLimit
+}
+
+// onAuditRequest is the auditor role (§3.7). Any failure is a silent
+// ignore, as in the paper: no correct auditor will accept a bad
+// request, so the requestor's tokens simply expire.
+func (e *Engine) onAuditRequest(a wire.AuditRequest) {
+	if a.Auditor != e.id || a.Req.Auditor != e.id || a.Req.Auditee != a.Auditee || a.Auditee == e.id {
+		e.stats.AuditsRefused++
+		return
+	}
+	if !e.serveBudgetOK() {
+		e.stats.AuditsRefused++
+		return
+	}
+	end, err := auditlog.DecodeCheckpoint(a.EndCheckpoint)
+	if err != nil {
+		e.stats.AuditsRefused++
+		return
+	}
+	req := replay.Request{
+		Auditee:  a.Auditee,
+		ReqT:     a.Req.T,
+		FromBoot: a.FromBoot,
+		End:      end,
+	}
+	if !a.FromBoot {
+		start, err := auditlog.DecodeCheckpoint(a.StartCheckpoint)
+		if err != nil {
+			e.stats.AuditsRefused++
+			return
+		}
+		startHash := cryptolite.SHA1(a.StartCheckpoint)
+		if err := replay.TokensCoverStart(a.Auditee, startHash, a.StartTokens,
+			e.cfg.Fmax, e.anode.VerifyToken); err != nil {
+			e.stats.AuditsRefused++
+			return
+		}
+		req.Start = &start
+	}
+	entries, err := wire.DecodeLogEntries(a.Segment)
+	if err != nil {
+		e.stats.AuditsRefused++
+		return
+	}
+	req.Entries = entries
+
+	if err := replay.Verify(req, replay.Config{
+		Factory:            e.factory,
+		BatchSize:          e.cfg.BatchSize,
+		AuthSlack:          e.cfg.AuthSlack,
+		CheckAuthenticator: e.anode.CheckAuthenticator,
+	}); err != nil {
+		e.stats.AuditsRefused++
+		return
+	}
+
+	tok, ok := e.anode.IssueToken(a.Req, cryptolite.SHA1(a.EndCheckpoint))
+	if !ok {
+		e.stats.AuditsRefused++
+		return
+	}
+	resp := wire.AuditResponse{Auditor: e.id, Auditee: a.Auditee, OK: true, Tok: tok}
+	e.send(wire.Frame{Src: e.id, Dst: a.Auditee, Flags: wire.FlagAudit, Payload: resp.Encode()})
+	e.served = append(e.served, e.now)
+	e.stats.AuditsServed++
+}
+
+// onAuditResponse is the auditee receiving a token. A compromised
+// auditor could return garbage, so the token is validated on the
+// a-node before installation (§3.7).
+func (e *Engine) onAuditResponse(resp wire.AuditResponse) {
+	r := e.round
+	if r == nil || !resp.OK || resp.Auditee != e.id || resp.Tok.HCkpt != r.hash {
+		return
+	}
+	if !e.anode.InstallToken(resp.Tok) {
+		e.stats.TokensRejected++
+		return
+	}
+	e.stats.TokensInstalled++
+	r.tokens[resp.Tok.Auditor] = resp.Tok
+	if !r.covered && len(r.tokens) >= e.cfg.Fmax+1 {
+		tokens := make([]wire.Token, 0, len(r.tokens))
+		for _, id := range sortedTokenIDs(r.tokens) {
+			tokens = append(tokens, r.tokens[id])
+		}
+		if e.log.MarkCovered(r.hash, tokens) == nil {
+			r.covered = true
+			e.stats.RoundsCovered++
+		}
+	}
+}
+
+func sortedTokenIDs(m map[wire.RobotID]wire.Token) []wire.RobotID {
+	ids := make([]wire.RobotID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,37 @@
+package cryptolite
+
+import "encoding/binary"
+
+// Hash chains (§3.4). Each trusted node maintains a chain over the
+// inputs/outputs it forwards: the chain starts at h₀ := 0 after
+// power-up, and appending a batch d of entries yields
+// hᵢ := H(hᵢ₋₁ ‖ d). An auditor who knows h at two points and the
+// entries in between can verify existence and ordering by recomputing.
+
+// ChainHash is the top-level value of a hash chain.
+type ChainHash [SHA1Size]byte
+
+// ZeroChain is h₀, the chain value at power-up.
+var ZeroChain ChainHash
+
+// ChainExtend returns H(top ‖ batch…) where batch is the ordered list
+// of entries flushed together (batching per §3.8). Each entry is
+// length-prefixed inside the hash input so that entry boundaries are
+// unambiguous: without the prefix, ["ab","c"] and ["a","bc"] would
+// collide.
+func ChainExtend(top ChainHash, batch [][]byte) ChainHash {
+	var h SHA1Hasher
+	h.Write(top[:])
+	var lenBuf [4]byte
+	for _, d := range batch {
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(d)))
+		h.Write(lenBuf[:])
+		h.Write(d)
+	}
+	return h.Sum()
+}
+
+// ChainExtendOne is ChainExtend with a single entry.
+func ChainExtendOne(top ChainHash, d []byte) ChainHash {
+	return ChainExtend(top, [][]byte{d})
+}

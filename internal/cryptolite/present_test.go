@@ -1,0 +1,126 @@
+package cryptolite
+
+import (
+	"testing"
+)
+
+// Published PRESENT-80 test vectors (Bogdanov et al., CHES 2007,
+// Appendix). These pin the S-box, permutation layer, and key schedule.
+func TestPresentVectors(t *testing.T) {
+	cases := []struct {
+		key   [PresentKeySize]byte
+		plain uint64
+		want  uint64
+	}{
+		{[PresentKeySize]byte{}, 0x0000000000000000, 0x5579C1387B228445},
+		{allFF(), 0x0000000000000000, 0xE72C46C0F5945049},
+		{[PresentKeySize]byte{}, 0xFFFFFFFFFFFFFFFF, 0xA112FFC72F68417B},
+		{allFF(), 0xFFFFFFFFFFFFFFFF, 0x3333DCD3213210D2},
+	}
+	for i, c := range cases {
+		p := NewPresent(c.key)
+		if got := p.Encrypt(c.plain); got != c.want {
+			t.Errorf("vector %d: Encrypt(%016X) = %016X, want %016X", i, c.plain, got, c.want)
+		}
+	}
+}
+
+func allFF() (k [PresentKeySize]byte) {
+	for i := range k {
+		k[i] = 0xFF
+	}
+	return
+}
+
+// The permutation layer must be a bijection with the documented fixed
+// points (0, 21, 42, 63).
+func TestPresentPermutationBijective(t *testing.T) {
+	seen := make(map[uint]bool)
+	for i := uint(0); i < 64; i++ {
+		out := presentPermute(uint64(1) << i)
+		// out must be a single bit
+		if out == 0 || out&(out-1) != 0 {
+			t.Fatalf("permute of bit %d not a single bit: %x", i, out)
+		}
+		pos := uint(0)
+		for out>>pos&1 == 0 {
+			pos++
+		}
+		if seen[pos] {
+			t.Fatalf("permutation collides at output bit %d", pos)
+		}
+		seen[pos] = true
+		wantPos := i * 16 % 63
+		if i == 63 {
+			wantPos = 63
+		}
+		if pos != wantPos {
+			t.Errorf("bit %d → %d, want %d", i, pos, wantPos)
+		}
+	}
+	for _, fixed := range []uint{0, 21, 42, 63} {
+		out := presentPermute(uint64(1) << fixed)
+		if out != uint64(1)<<fixed {
+			t.Errorf("bit %d should be a fixed point", fixed)
+		}
+	}
+}
+
+// The S-box layer applied nibble-by-nibble must match the table.
+func TestPresentSBoxLayer(t *testing.T) {
+	if got := presentSubstitute(0x0123456789ABCDEF); got != 0xC56B90AD3EF84712 {
+		t.Errorf("sBox layer = %016X", got)
+	}
+	if got := presentSubstitute(0); got != 0xCCCCCCCCCCCCCCCC {
+		t.Errorf("sBox(0) = %016X", got)
+	}
+}
+
+// Different keys must (overwhelmingly) produce different ciphertexts.
+func TestPresentKeySensitivity(t *testing.T) {
+	k1 := [PresentKeySize]byte{}
+	k2 := [PresentKeySize]byte{9: 1} // flip lowest key bit
+	c1 := NewPresent(k1).Encrypt(0xDEADBEEFCAFEF00D)
+	c2 := NewPresent(k2).Encrypt(0xDEADBEEFCAFEF00D)
+	if c1 == c2 {
+		t.Error("single key-bit flip produced identical ciphertext")
+	}
+}
+
+// Avalanche sanity: flipping one plaintext bit should change roughly
+// half the ciphertext bits.
+func TestPresentAvalanche(t *testing.T) {
+	p := NewPresent([PresentKeySize]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	base := p.Encrypt(0x0123456789ABCDEF)
+	flipped := p.Encrypt(0x0123456789ABCDEE)
+	diff := base ^ flipped
+	n := 0
+	for diff != 0 {
+		n++
+		diff &= diff - 1
+	}
+	if n < 16 || n > 48 {
+		t.Errorf("avalanche weight %d, want ≈32", n)
+	}
+}
+
+func TestPresentEncryptBlockBytes(t *testing.T) {
+	p := NewPresent([PresentKeySize]byte{})
+	src := make([]byte, 8)
+	dst := make([]byte, 8)
+	p.EncryptBlock(dst, src)
+	want := []byte{0x55, 0x79, 0xC1, 0x38, 0x7B, 0x22, 0x84, 0x45}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("EncryptBlock = %x, want %x", dst, want)
+		}
+	}
+}
+
+func BenchmarkPresentEncrypt(b *testing.B) {
+	p := NewPresent([PresentKeySize]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	b.SetBytes(8)
+	for i := 0; i < b.N; i++ {
+		_ = p.Encrypt(uint64(i))
+	}
+}

@@ -1,0 +1,126 @@
+// Package cryptolite implements the two cryptographic primitives
+// RoboRebound relies on (§4 "Cryptography"): SHA-1 for the trusted
+// nodes' hash chains and LightMAC — instantiated over the PRESENT-80
+// lightweight block cipher with 80-bit keys and 64-bit tags — for
+// authenticators, token requests, and tokens.
+//
+// Both are implemented from scratch, as they would be in the few
+// hundred lines of ROM code the paper burns into the PIC MCUs, and are
+// validated against published test vectors. The package additionally
+// provides the hash-chain construction shared by the s-node and
+// a-node (§3.4).
+package cryptolite
+
+import "encoding/binary"
+
+// SHA1Size is the size of a SHA-1 digest in bytes.
+const SHA1Size = 20
+
+// SHA1 computes the SHA-1 digest of data (FIPS 180-1). The paper
+// argues SHA-1 is sufficient for mission-length integrity windows
+// (hours); swapping the hash only requires replacing this function.
+func SHA1(data []byte) [SHA1Size]byte {
+	var h SHA1Hasher
+	h.Write(data)
+	return h.Sum()
+}
+
+// SHA1Hasher is an incremental SHA-1 state. The zero value is ready to
+// use.
+type SHA1Hasher struct {
+	h      [5]uint32
+	block  [64]byte
+	nBlock int    // bytes buffered in block
+	length uint64 // total message length in bytes
+	init   bool
+}
+
+func (d *SHA1Hasher) reset() {
+	d.h = [5]uint32{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0}
+	d.init = true
+}
+
+// Write absorbs p into the hash state. It never fails.
+func (d *SHA1Hasher) Write(p []byte) (int, error) {
+	if !d.init {
+		d.reset()
+	}
+	n := len(p)
+	d.length += uint64(n)
+	if d.nBlock > 0 {
+		c := copy(d.block[d.nBlock:], p)
+		d.nBlock += c
+		p = p[c:]
+		if d.nBlock == 64 {
+			d.compress(d.block[:])
+			d.nBlock = 0
+		}
+	}
+	for len(p) >= 64 {
+		d.compress(p[:64])
+		p = p[64:]
+	}
+	if len(p) > 0 {
+		d.nBlock = copy(d.block[:], p)
+	}
+	return n, nil
+}
+
+// Sum finalizes and returns the digest. The hasher must not be reused
+// after Sum (matching how the trusted-node ROM code uses it: one shot
+// per chain flush).
+func (d *SHA1Hasher) Sum() [SHA1Size]byte {
+	if !d.init {
+		d.reset()
+	}
+	// Append 0x80, pad with zeros to 56 mod 64, then the bit length.
+	var pad [72]byte
+	pad[0] = 0x80
+	padLen := 64 - (int(d.length)+8)%64
+	if padLen <= 0 {
+		padLen += 64
+	}
+	binary.BigEndian.PutUint64(pad[padLen:], d.length*8)
+	d.Write(pad[:padLen+8])
+	var out [SHA1Size]byte
+	for i, v := range d.h {
+		binary.BigEndian.PutUint32(out[i*4:], v)
+	}
+	return out
+}
+
+func (d *SHA1Hasher) compress(p []byte) {
+	var w [80]uint32
+	for i := 0; i < 16; i++ {
+		w[i] = binary.BigEndian.Uint32(p[i*4:])
+	}
+	for i := 16; i < 80; i++ {
+		t := w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]
+		w[i] = t<<1 | t>>31
+	}
+	a, b, c, dd, e := d.h[0], d.h[1], d.h[2], d.h[3], d.h[4]
+	for i := 0; i < 80; i++ {
+		var f, k uint32
+		switch {
+		case i < 20:
+			f = (b & c) | (^b & dd)
+			k = 0x5A827999
+		case i < 40:
+			f = b ^ c ^ dd
+			k = 0x6ED9EBA1
+		case i < 60:
+			f = (b & c) | (b & dd) | (c & dd)
+			k = 0x8F1BBCDC
+		default:
+			f = b ^ c ^ dd
+			k = 0xCA62C1D6
+		}
+		t := (a<<5 | a>>27) + f + e + k + w[i]
+		e, dd, c, b, a = dd, c, (b<<30 | b>>2), a, t
+	}
+	d.h[0] += a
+	d.h[1] += b
+	d.h[2] += c
+	d.h[3] += dd
+	d.h[4] += e
+}

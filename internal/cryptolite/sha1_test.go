@@ -1,0 +1,91 @@
+package cryptolite
+
+import (
+	"bytes"
+	stdsha1 "crypto/sha1"
+	"encoding/hex"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// FIPS 180-1 / RFC 3174 test vectors.
+func TestSHA1Vectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"},
+		{"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"},
+		{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+			"84983e441c3bd26ebaae4aa1f95129e5e54670f1"},
+		{strings.Repeat("a", 1000000), "34aa973cd4c4daa4f61eeb2bdbad27316534016f"},
+		{"The quick brown fox jumps over the lazy dog",
+			"2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"},
+	}
+	for _, c := range cases {
+		got := SHA1([]byte(c.in))
+		if hex.EncodeToString(got[:]) != c.want {
+			t.Errorf("SHA1(%.20q…) = %x, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+// Cross-check against the standard library on random inputs and on
+// lengths straddling the 55/56/63/64-byte padding boundaries.
+func TestSHA1MatchesStdlib(t *testing.T) {
+	for _, n := range []int{0, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128, 1000} {
+		in := bytes.Repeat([]byte{byte(n)}, n)
+		got := SHA1(in)
+		want := stdsha1.Sum(in)
+		if got != want {
+			t.Errorf("len %d: got %x, want %x", n, got, want)
+		}
+	}
+	f := func(in []byte) bool {
+		return SHA1(in) == stdsha1.Sum(in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Incremental writes must produce the same digest as one-shot hashing
+// regardless of how the input is split.
+func TestSHA1IncrementalSplits(t *testing.T) {
+	msg := []byte(strings.Repeat("roborebound", 37))
+	want := SHA1(msg)
+	for _, split := range []int{1, 7, 63, 64, 65, 200} {
+		var h SHA1Hasher
+		for i := 0; i < len(msg); i += split {
+			end := i + split
+			if end > len(msg) {
+				end = len(msg)
+			}
+			h.Write(msg[i:end])
+		}
+		if got := h.Sum(); got != want {
+			t.Errorf("split %d: got %x, want %x", split, got, want)
+		}
+	}
+}
+
+func TestSHA1ZeroValueHasher(t *testing.T) {
+	var h SHA1Hasher
+	if got, want := h.Sum(), SHA1(nil); got != want {
+		t.Errorf("zero-value Sum = %x, want empty digest %x", got, want)
+	}
+}
+
+func BenchmarkSHA1_64B(b *testing.B)  { benchSHA1(b, 64) }
+func BenchmarkSHA1_270B(b *testing.B) { benchSHA1(b, 270) }
+func BenchmarkSHA1_2KB(b *testing.B)  { benchSHA1(b, 2048) }
+
+func benchSHA1(b *testing.B, n int) {
+	in := make([]byte, n)
+	b.SetBytes(int64(n))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = SHA1(in)
+	}
+}

@@ -1,0 +1,92 @@
+package geom
+
+import "math"
+
+// This file implements the analytic machinery of Olfati-Saber's
+// flocking framework (IEEE TAC 2006, [68] in the paper): the σ-norm
+// and its gradient, the bump functions ρ_h, the uneven sigmoid σ₁, and
+// the pairwise action functions φ_α / φ_β. Equation numbers refer to
+// the original Olfati-Saber paper, matching the references used by the
+// RoboRebound appendix (Table 3).
+
+// SigmaNorm computes the σ-norm ‖z‖_σ = (√(1+ε‖z‖²) − 1)/ε (Eq. 8).
+// Unlike the Euclidean norm it is differentiable everywhere, including
+// at z = 0, which is what makes the gradient-based flocking terms
+// well-defined when robots coincide.
+func SigmaNorm(z Vec2, eps float64) float64 {
+	return (math.Sqrt(1+eps*z.NormSq()) - 1) / eps
+}
+
+// SigmaNormScalar is the σ-norm of a scalar magnitude: (√(1+εz²)−1)/ε.
+// Used to convert the interaction ranges r, d, r′, d′ of Table 3 into
+// their σ-norm equivalents r_α, d_α, r_β, d_β.
+func SigmaNormScalar(z, eps float64) float64 {
+	return (math.Sqrt(1+eps*z*z) - 1) / eps
+}
+
+// SigmaGrad computes σ_ε(z) = z/√(1+ε‖z‖²) (Eq. 9), the gradient of
+// the σ-norm. In the flocking control law this is the unit-like vector
+// n_ij pointing from robot i toward robot j.
+func SigmaGrad(z Vec2, eps float64) Vec2 {
+	return z.Scale(1 / math.Sqrt(1+eps*z.NormSq()))
+}
+
+// Sigma1 is the uneven sigmoid σ₁(z) = z/√(1+z²) applied to a scalar.
+func Sigma1(z float64) float64 { return z / math.Sqrt(1+z*z) }
+
+// Sigma1Vec applies σ₁ to a vector: z/√(1+‖z‖²). This appears in the
+// γ-agent (navigational feedback) term of the control law (Eq. 59).
+func Sigma1Vec(z Vec2) Vec2 {
+	return z.Scale(1 / math.Sqrt(1+z.NormSq()))
+}
+
+// Bump is the scalar bump function ρ_h(z) (Eq. 10): a C¹-smooth cutoff
+// that is 1 on [0, h), falls along a half-cosine on [h, 1], and is 0
+// elsewhere. h ∈ (0, 1) controls where the falloff begins; the paper
+// uses h = 0.2 for φ_α and h = 0.9 for φ_β (Table 3).
+func Bump(z, h float64) float64 {
+	switch {
+	case z < 0:
+		return 0
+	case z < h:
+		return 1
+	case z <= 1:
+		return 0.5 * (1 + math.Cos(math.Pi*(z-h)/(1-h)))
+	default:
+		return 0
+	}
+}
+
+// Phi is the uneven sigmoidal action function φ(z) (Eq. 15):
+//
+//	φ(z) = ½[(a+b)·σ₁(z+c) + (a−b)],  c = |a−b|/√(4ab)
+//
+// with 0 < a ≤ b. It is the attractive/repulsive "spring" profile
+// between neighboring robots: negative (repulsive) for z below the
+// equilibrium, positive (attractive) above, zero at z = 0 shifted by c.
+func Phi(z, a, b float64) float64 {
+	c := math.Abs(a-b) / math.Sqrt(4*a*b)
+	return 0.5 * ((a+b)*Sigma1(z+c) + (a - b))
+}
+
+// PhiAlpha is the finite-range inter-robot action function φ_α(z)
+// (Eq. 16): φ_α(z) = ρ_h(z/r_α)·φ(z − d_α). z, rAlpha, and dAlpha are
+// all in σ-norm units. It vanishes for z ≥ r_α, so robots interact
+// only with neighbors inside the interaction range.
+func PhiAlpha(z, rAlpha, dAlpha, h, a, b float64) float64 {
+	return Bump(z/rAlpha, h) * Phi(z-dAlpha, a, b)
+}
+
+// PhiBeta is the repulsive-only obstacle action function φ_β(z)
+// (Eq. 48): φ_β(z) = ρ_h(z/d_β)·(σ₁(z − d_β) − 1). It is ≤ 0
+// everywhere (obstacles never attract) and vanishes for z ≥ d_β.
+func PhiBeta(z, dBeta, h float64) float64 {
+	return Bump(z/dBeta, h) * (Sigma1(z-dBeta) - 1)
+}
+
+// Adjacency computes the element a_ij(x) ∈ [0, 1] of the spatial
+// adjacency matrix (Eq. 11): ρ_h(‖x_j − x_i‖_σ / r_α). It doubles as
+// the velocity-consensus weight in the damping term of the control law.
+func Adjacency(xi, xj Vec2, rAlpha, h, eps float64) float64 {
+	return Bump(SigmaNorm(xj.Sub(xi), eps)/rAlpha, h)
+}

@@ -1,0 +1,212 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 0.1 // Table 3: ε = 0.1
+
+func TestSigmaNormZero(t *testing.T) {
+	if got := SigmaNorm(Zero2, eps); got != 0 {
+		t.Errorf("SigmaNorm(0) = %v", got)
+	}
+	if got := SigmaNormScalar(0, eps); got != 0 {
+		t.Errorf("SigmaNormScalar(0) = %v", got)
+	}
+}
+
+// The σ-norm must satisfy the defining identity
+// ε‖z‖_σ² + 2‖z‖_σ − ‖z‖² = 0 (rearranged from Eq. 8).
+func TestSigmaNormIdentity(t *testing.T) {
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.Abs(x) > 1e6 || math.Abs(y) > 1e6 {
+			return true
+		}
+		z := V(x, y)
+		s := SigmaNorm(z, eps)
+		lhs := eps*s*s + 2*s
+		return math.Abs(lhs-z.NormSq()) <= 1e-6*math.Max(1, z.NormSq())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// σ-norm of a vector must agree with the scalar σ-norm of its magnitude.
+func TestSigmaNormScalarConsistency(t *testing.T) {
+	for _, v := range []Vec2{V(1, 0), V(0, 2), V(3, 4), V(-5, 12)} {
+		a := SigmaNorm(v, eps)
+		b := SigmaNormScalar(v.Norm(), eps)
+		if math.Abs(a-b) > 1e-9 {
+			t.Errorf("SigmaNorm(%v)=%v != SigmaNormScalar(|v|)=%v", v, a, b)
+		}
+	}
+}
+
+// σ_ε is the gradient of the σ-norm: check against a central finite
+// difference along both axes.
+func TestSigmaGradIsGradient(t *testing.T) {
+	z := V(1.7, -0.9)
+	const h = 1e-6
+	gx := (SigmaNorm(z.Add(V(h, 0)), eps) - SigmaNorm(z.Sub(V(h, 0)), eps)) / (2 * h)
+	gy := (SigmaNorm(z.Add(V(0, h)), eps) - SigmaNorm(z.Sub(V(0, h)), eps)) / (2 * h)
+	g := SigmaGrad(z, eps)
+	if math.Abs(g.X-gx) > 1e-5 || math.Abs(g.Y-gy) > 1e-5 {
+		t.Errorf("SigmaGrad(%v) = %v, finite difference = (%v, %v)", z, g, gx, gy)
+	}
+}
+
+// ‖σ_ε(z)‖ < 1/√ε always (the gradient is bounded; Olfati-Saber §III).
+func TestSigmaGradBounded(t *testing.T) {
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		return SigmaGrad(V(x, y), eps).Norm() < 1/math.Sqrt(eps)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSigma1(t *testing.T) {
+	if Sigma1(0) != 0 {
+		t.Error("σ₁(0) != 0")
+	}
+	// Odd function, bounded by 1, monotone.
+	for _, z := range []float64{0.1, 1, 5, 100} {
+		if Sigma1(z) != -Sigma1(-z) {
+			t.Errorf("σ₁ not odd at %v", z)
+		}
+		if s := Sigma1(z); s <= 0 || s >= 1 {
+			t.Errorf("σ₁(%v) = %v out of (0,1)", z, s)
+		}
+	}
+	if Sigma1(3) <= Sigma1(2) {
+		t.Error("σ₁ not monotone")
+	}
+	v := Sigma1Vec(V(3, 4))
+	if math.Abs(v.Norm()-Sigma1(5)) > 1e-12 {
+		t.Errorf("Sigma1Vec norm mismatch: %v vs %v", v.Norm(), Sigma1(5))
+	}
+}
+
+func TestBumpShape(t *testing.T) {
+	const h = 0.2
+	if Bump(-0.5, h) != 0 {
+		t.Error("ρ_h < 0 should be 0")
+	}
+	if Bump(0, h) != 1 || Bump(0.1, h) != 1 {
+		t.Error("ρ_h on [0,h) should be 1")
+	}
+	if got := Bump(h, h); got != 1 {
+		t.Errorf("ρ_h(h) = %v, want 1 (cos(0) branch)", got)
+	}
+	if got := Bump(1, h); math.Abs(got) > 1e-12 {
+		t.Errorf("ρ_h(1) = %v, want 0", got)
+	}
+	if Bump(1.5, h) != 0 {
+		t.Error("ρ_h > 1 should be 0")
+	}
+	// Midpoint of the falloff: ½(1+cos(π/2)) = ½.
+	mid := h + (1-h)/2
+	if got := Bump(mid, h); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ρ_h(midpoint) = %v, want 0.5", got)
+	}
+}
+
+// Property: ρ_h is in [0,1] and non-increasing.
+func TestBumpProperties(t *testing.T) {
+	f := func(z1, z2 float64) bool {
+		const h = 0.9
+		if math.IsNaN(z1) || math.IsNaN(z2) {
+			return true
+		}
+		lo, hi := math.Min(z1, z2), math.Max(z1, z2)
+		b1, b2 := Bump(lo, h), Bump(hi, h)
+		return b1 >= 0 && b1 <= 1 && b2 >= 0 && b2 <= 1 && b1 >= b2-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhiZeroCrossing(t *testing.T) {
+	// φ has a zero at z = -c where c = |a-b|/√(4ab); with a == b, c = 0
+	// so φ(0) = 0. Table 3 sets a = b = 5.
+	const a, b = 5.0, 5.0
+	if got := Phi(0, a, b); math.Abs(got) > 1e-12 {
+		t.Errorf("φ(0) = %v, want 0 for a=b", got)
+	}
+	if Phi(1, a, b) <= 0 {
+		t.Error("φ should be attractive (positive) past equilibrium")
+	}
+	if Phi(-1, a, b) >= 0 {
+		t.Error("φ should be repulsive (negative) before equilibrium")
+	}
+	// Bounds: φ ∈ (−b, a) … actually (−(a+b)/2·1+(a−b)/2, …); for a=b=5
+	// the range is (−5, 5).
+	for _, z := range []float64{-100, -1, 0, 1, 100} {
+		if p := Phi(z, a, b); p <= -5 || p >= 5 {
+			t.Errorf("φ(%v) = %v out of (−5,5)", z, p)
+		}
+	}
+}
+
+func TestPhiAlphaFiniteRange(t *testing.T) {
+	const (
+		a, b, h = 5.0, 5.0, 0.2
+	)
+	d := 4.0 // desired spacing in meters
+	r := 1.2 * d
+	dA := SigmaNormScalar(d, eps)
+	rA := SigmaNormScalar(r, eps)
+
+	// At the desired spacing the action is zero (equilibrium).
+	if got := PhiAlpha(dA, rA, dA, h, a, b); math.Abs(got) > 1e-12 {
+		t.Errorf("φ_α at equilibrium = %v, want 0", got)
+	}
+	// Inside: repulsive; outside (but in range): attractive.
+	if PhiAlpha(SigmaNormScalar(2, eps), rA, dA, h, a, b) >= 0 {
+		t.Error("φ_α should repel when too close")
+	}
+	if PhiAlpha(SigmaNormScalar(4.5, eps), rA, dA, h, a, b) <= 0 {
+		t.Error("φ_α should attract when too far (within range)")
+	}
+	// Beyond the interaction range: exactly zero.
+	if got := PhiAlpha(rA*1.01, rA, dA, h, a, b); got != 0 {
+		t.Errorf("φ_α beyond range = %v, want 0", got)
+	}
+}
+
+func TestPhiBetaRepulsiveOnly(t *testing.T) {
+	const h = 0.9
+	dB := SigmaNormScalar(2.4, eps)
+	for _, z := range []float64{0, dB / 2, dB * 0.99} {
+		if got := PhiBeta(z, dB, h); got > 0 {
+			t.Errorf("φ_β(%v) = %v > 0; obstacles must never attract", z, got)
+		}
+	}
+	if got := PhiBeta(dB*1.5, dB, h); got != 0 {
+		t.Errorf("φ_β beyond range = %v, want 0", got)
+	}
+}
+
+func TestAdjacencySymmetricAndRange(t *testing.T) {
+	const h = 0.2
+	rA := SigmaNormScalar(4.8, eps)
+	xi, xj := V(0, 0), V(3, 1)
+	aij := Adjacency(xi, xj, rA, h, eps)
+	aji := Adjacency(xj, xi, rA, h, eps)
+	if aij != aji {
+		t.Errorf("adjacency not symmetric: %v vs %v", aij, aji)
+	}
+	if aij <= 0 || aij > 1 {
+		t.Errorf("adjacency out of (0,1]: %v", aij)
+	}
+	if got := Adjacency(V(0, 0), V(100, 0), rA, h, eps); got != 0 {
+		t.Errorf("adjacency beyond range = %v, want 0", got)
+	}
+}

@@ -1,0 +1,160 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecBasicOps(t *testing.T) {
+	v, w := V(3, 4), V(-1, 2)
+	if got := v.Add(w); got != V(2, 6) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != V(4, 2) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != V(6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Neg(); got != V(-3, -4) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := v.Dot(w); got != -3+8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Cross(w); got != 3*2-4*(-1) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := v.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := v.NormSq(); got != 25 {
+		t.Errorf("NormSq = %v", got)
+	}
+	if got := v.Dist(w); math.Abs(got-math.Sqrt(16+4)) > 1e-12 {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestUnit(t *testing.T) {
+	if got := V(3, 4).Unit(); !got.ApproxEqual(V(0.6, 0.8), 1e-12) {
+		t.Errorf("Unit = %v", got)
+	}
+	if got := Zero2.Unit(); got != Zero2 {
+		t.Errorf("Unit(0) = %v, want zero vector", got)
+	}
+}
+
+func TestClampAxes(t *testing.T) {
+	cases := []struct {
+		in    Vec2
+		limit float64
+		want  Vec2
+	}{
+		{V(10, -10), 5, V(5, -5)},
+		{V(3, -2), 5, V(3, -2)},
+		{V(-7, 1), 5, V(-5, 1)},
+		{V(0, 0), 0, V(0, 0)},
+	}
+	for _, c := range cases {
+		if got := c.in.ClampAxes(c.limit); got != c.want {
+			t.Errorf("ClampAxes(%v, %v) = %v, want %v", c.in, c.limit, got, c.want)
+		}
+	}
+}
+
+func TestClampNorm(t *testing.T) {
+	got := V(3, 4).ClampNorm(1)
+	if math.Abs(got.Norm()-1) > 1e-12 {
+		t.Errorf("ClampNorm norm = %v, want 1", got.Norm())
+	}
+	if !got.Unit().ApproxEqual(V(0.6, 0.8), 1e-12) {
+		t.Errorf("ClampNorm changed direction: %v", got)
+	}
+	if got := V(1, 0).ClampNorm(5); got != V(1, 0) {
+		t.Errorf("ClampNorm should not grow vectors: %v", got)
+	}
+	if got := Zero2.ClampNorm(5); got != Zero2 {
+		t.Errorf("ClampNorm(0) = %v", got)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := V(0, 0), V(10, -10)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp t=0: %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp t=1: %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != V(5, -5) {
+		t.Errorf("Lerp t=0.5: %v", got)
+	}
+}
+
+func TestPerp(t *testing.T) {
+	v := V(2, 1)
+	p := v.Perp()
+	if p.Dot(v) != 0 {
+		t.Errorf("Perp not orthogonal: %v", p)
+	}
+	if v.Cross(p) <= 0 {
+		t.Errorf("Perp should rotate CCW: cross = %v", v.Cross(p))
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !V(1, 2).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	for _, v := range []Vec2{
+		{math.NaN(), 0}, {0, math.NaN()},
+		{math.Inf(1), 0}, {0, math.Inf(-1)},
+	} {
+		if v.IsFinite() {
+			t.Errorf("%v reported finite", v)
+		}
+	}
+}
+
+// Property: vector addition is commutative and associative, and Sub is
+// the inverse of Add.
+func TestVecAlgebraProperties(t *testing.T) {
+	commutes := func(ax, ay, bx, by float64) bool {
+		a, b := V(ax, ay), V(bx, by)
+		return a.Add(b) == b.Add(a)
+	}
+	if err := quick.Check(commutes, nil); err != nil {
+		t.Error(err)
+	}
+	inverse := func(ax, ay, bx, by float64) bool {
+		a, b := V(ax, ay), V(bx, by)
+		got := a.Add(b).Sub(b)
+		// Floating point: exact for finite values of similar scale is
+		// not guaranteed, but a+b-b == a holds when no rounding occurs;
+		// compare with a relative tolerance instead.
+		scale := math.Max(1, math.Max(math.Abs(ax)+math.Abs(bx), math.Abs(ay)+math.Abs(by)))
+		return got.ApproxEqual(a, 1e-9*scale) || !a.IsFinite() || !b.IsFinite()
+	}
+	if err := quick.Check(inverse, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ClampNorm never increases the norm and never exceeds limit.
+func TestClampNormProperty(t *testing.T) {
+	f := func(x, y, rawLimit float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(rawLimit) ||
+			math.IsInf(x, 0) || math.IsInf(y, 0) || math.IsInf(rawLimit, 0) {
+			return true
+		}
+		limit := math.Abs(rawLimit)
+		v := V(x, y)
+		got := v.ClampNorm(limit)
+		return got.Norm() <= math.Max(limit, v.Norm())*(1+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package metrics provides the time-series and summary machinery the
+// experiment harness uses to regenerate the paper's tables and
+// figures: per-robot traces (distance to goal, storage), aggregate
+// bandwidth accounting, and basic statistics.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"roborebound/internal/wire"
+)
+
+// Series is a sampled time series.
+type Series struct {
+	Times  []wire.Tick
+	Values []float64
+}
+
+// Add appends one sample.
+func (s *Series) Add(t wire.Tick, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Final returns the last value (0 if empty).
+func (s *Series) Final() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return s.Values[len(s.Values)-1]
+}
+
+// Max returns the largest value (0 if empty).
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range s.Values {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean (0 if empty).
+func (s *Series) Mean() float64 { return Mean(s.Values) }
+
+// At returns the value at the latest sample with time ≤ t (0, false if
+// none).
+func (s *Series) At(t wire.Tick) (float64, bool) {
+	i := sort.Search(len(s.Times), func(i int) bool { return s.Times[i] > t })
+	if i == 0 {
+		return 0, false
+	}
+	return s.Values[i-1], true
+}
+
+// Mean returns the arithmetic mean of vs (0 if empty).
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using
+// nearest-rank on a sorted copy.
+func Percentile(vs []float64, p float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// MinMax returns the extremes of vs (0,0 if empty).
+func MinMax(vs []float64) (lo, hi float64) {
+	if len(vs) == 0 {
+		return 0, 0
+	}
+	lo, hi = vs[0], vs[0]
+	for _, v := range vs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// FmtBytes renders a byte rate or size human-readably for the CLI
+// tables.
+func FmtBytes(b float64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f kB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"roborebound/internal/wire"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	if s.Len() != 0 || s.Final() != 0 || s.Max() != 0 || s.Mean() != 0 {
+		t.Error("empty series should report zeros")
+	}
+	s.Add(0, 3)
+	s.Add(4, 1)
+	s.Add(8, 5)
+	if s.Len() != 3 || s.Final() != 5 || s.Max() != 5 {
+		t.Errorf("series stats wrong: %+v", s)
+	}
+	if s.Mean() != 3 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	var s Series
+	s.Add(10, 1)
+	s.Add(20, 2)
+	if _, ok := s.At(5); ok {
+		t.Error("At before first sample should fail")
+	}
+	if v, ok := s.At(10); !ok || v != 1 {
+		t.Errorf("At(10) = %v, %v", v, ok)
+	}
+	if v, ok := s.At(15); !ok || v != 1 {
+		t.Errorf("At(15) = %v, %v", v, ok)
+	}
+	if v, ok := s.At(25); !ok || v != 2 {
+		t.Errorf("At(25) = %v, %v", v, ok)
+	}
+	_ = wire.Tick(0)
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean wrong")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vs := []float64{5, 1, 3, 2, 4}
+	if Percentile(vs, 50) != 3 {
+		t.Errorf("median = %v", Percentile(vs, 50))
+	}
+	if Percentile(vs, 100) != 5 {
+		t.Errorf("p100 = %v", Percentile(vs, 100))
+	}
+	if Percentile(vs, 0) != 1 {
+		t.Errorf("p0 = %v", Percentile(vs, 0))
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile != 0")
+	}
+	// Input must not be mutated (sorted copy).
+	if vs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(vs []float64, a, b uint8) bool {
+		for _, v := range vs {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(vs, pa) <= Percentile(vs, pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 4})
+	if lo != -1 || hi != 4 {
+		t.Errorf("MinMax = %v, %v", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Error("empty MinMax != 0,0")
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := map[float64]string{
+		100:     "100 B",
+		2048:    "2.00 kB",
+		2 << 20: "2.00 MB",
+	}
+	for in, want := range cases {
+		if got := FmtBytes(in); got != want {
+			t.Errorf("FmtBytes(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package radio
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"roborebound/internal/geom"
+	"roborebound/internal/wire"
+)
+
+func bigFrame(n int) wire.Frame {
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	return wire.Frame{Src: 1, Dst: 5, Flags: wire.FlagAudit, Payload: payload}
+}
+
+func TestFragmentSmallFrameUntouched(t *testing.T) {
+	f := bigFrame(30)
+	frags := FragmentFrame(f, 66, 1)
+	if len(frags) != 1 || frags[0].Flags&wire.FlagFragment != 0 {
+		t.Fatalf("small frame should pass through: %d fragments", len(frags))
+	}
+}
+
+func TestFragmentAndReassemble(t *testing.T) {
+	f := bigFrame(500)
+	frags := FragmentFrame(f, 66, 7)
+	if len(frags) < 8 {
+		t.Fatalf("expected many fragments, got %d", len(frags))
+	}
+	for i, fr := range frags {
+		if len(fr.Encode()) > 66 {
+			t.Fatalf("fragment %d exceeds MTU: %d bytes", i, len(fr.Encode()))
+		}
+		if fr.Flags&wire.FlagFragment == 0 {
+			t.Fatalf("fragment %d not flagged", i)
+		}
+		if fr.Flags&wire.FlagAudit == 0 {
+			t.Fatalf("fragment %d lost the audit flag", i)
+		}
+		if fr.Src != f.Src || fr.Dst != f.Dst {
+			t.Fatalf("fragment %d lost addressing", i)
+		}
+	}
+	r := NewReassembler(0)
+	var got wire.Frame
+	done := false
+	for i, fr := range frags {
+		g, ok := r.Add(1, fr, 0)
+		if ok {
+			if i != len(frags)-1 {
+				t.Fatalf("completed early at fragment %d", i)
+			}
+			got, done = g, true
+		}
+	}
+	if !done {
+		t.Fatal("never completed")
+	}
+	if got.Src != f.Src || got.Dst != f.Dst || got.Flags != f.Flags ||
+		!bytes.Equal(got.Payload, f.Payload) {
+		t.Error("reassembled frame differs from original")
+	}
+	if r.Pending() != 0 {
+		t.Error("buffer leaked after completion")
+	}
+}
+
+func TestReassembleOutOfOrder(t *testing.T) {
+	f := bigFrame(300)
+	frags := FragmentFrame(f, 66, 3)
+	r := NewReassembler(0)
+	// Deliver in reverse.
+	var got wire.Frame
+	done := false
+	for i := len(frags) - 1; i >= 0; i-- {
+		if g, ok := r.Add(1, frags[i], 0); ok {
+			got, done = g, true
+		}
+	}
+	if !done || !bytes.Equal(got.Payload, f.Payload) {
+		t.Error("out-of-order reassembly failed")
+	}
+}
+
+func TestReassembleInterleavedSenders(t *testing.T) {
+	fa, fb := bigFrame(200), bigFrame(200)
+	fb.Payload[0] = 0xEE
+	fragsA := FragmentFrame(fa, 66, 9)
+	fragsB := FragmentFrame(fb, 66, 9) // same msgID, different transmitter
+	r := NewReassembler(0)
+	completed := 0
+	for i := range fragsA {
+		if _, ok := r.Add(1, fragsA[i], 0); ok {
+			completed++
+		}
+		if g, ok := r.Add(2, fragsB[i], 0); ok {
+			completed++
+			if g.Payload[0] != 0xEE {
+				t.Error("cross-sender chunk mixing")
+			}
+		}
+	}
+	if completed != 2 {
+		t.Errorf("completed %d frames, want 2", completed)
+	}
+}
+
+func TestReassembleDuplicateFragments(t *testing.T) {
+	f := bigFrame(150)
+	frags := FragmentFrame(f, 66, 4)
+	r := NewReassembler(0)
+	r.Add(1, frags[0], 0)
+	r.Add(1, frags[0], 0) // duplicate must not complete or corrupt
+	done := false
+	for _, fr := range frags[1:] {
+		if _, ok := r.Add(1, fr, 0); ok {
+			done = true
+		}
+	}
+	if !done {
+		t.Error("duplicates broke reassembly")
+	}
+}
+
+func TestReassembleExpiry(t *testing.T) {
+	f := bigFrame(300)
+	frags := FragmentFrame(f, 66, 5)
+	r := NewReassembler(10)
+	r.Add(1, frags[0], 0)
+	if r.Pending() != 1 {
+		t.Fatal("no pending buffer")
+	}
+	r.Expire(10)
+	if r.Pending() != 0 {
+		t.Error("stale buffer not expired")
+	}
+	// Remaining fragments now never complete.
+	for _, fr := range frags[1:] {
+		if _, ok := r.Add(1, fr, 11); ok {
+			t.Error("completed from a partial set")
+		}
+	}
+}
+
+func TestReassemblerRejectsJunk(t *testing.T) {
+	r := NewReassembler(0)
+	junk := wire.Frame{Src: 1, Flags: wire.FlagFragment, Payload: []byte{1, 2}}
+	if _, ok := r.Add(1, junk, 0); ok {
+		t.Error("short fragment accepted")
+	}
+	// total = 0 and idx ≥ total are invalid.
+	w := wire.NewWriter(8)
+	w.U16(1)
+	w.U8(3)
+	w.U8(2)
+	bad := wire.Frame{Src: 1, Flags: wire.FlagFragment, Payload: w.Bytes()}
+	if _, ok := r.Add(1, bad, 0); ok {
+		t.Error("idx ≥ total accepted")
+	}
+}
+
+// Property: any frame round-trips through fragmentation at any viable
+// MTU.
+func TestFragmentRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, mtuRaw uint8, flags uint8) bool {
+		if len(payload) > 4096 {
+			payload = payload[:4096]
+		}
+		mtu := 20 + int(mtuRaw)%200 // 20..219
+		orig := wire.Frame{Src: 3, Dst: 9, Flags: flags &^ wire.FlagFragment, Payload: payload}
+		frags := FragmentFrame(orig, mtu, 42)
+		r := NewReassembler(0)
+		for i, fr := range frags {
+			got, ok := r.Add(3, fr, 0)
+			if ok {
+				return i == len(frags)-1 &&
+					got.Src == orig.Src && got.Dst == orig.Dst &&
+					got.Flags == orig.Flags && bytes.Equal(got.Payload, orig.Payload)
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMediumWithMTUDeliversWholeFrames(t *testing.T) {
+	pos := posMap{1: geom.V(0, 0), 2: geom.V(10, 0)}
+	p := DefaultParams()
+	p.MTUBytes = 66
+	m := NewMedium(p, pos.fn, 1)
+	f := bigFrame(500)
+	f.Dst = 2
+	m.Send(1, f)
+	got := m.Deliver([]wire.RobotID{1, 2})
+	if len(got) != 1 {
+		t.Fatalf("deliveries: %d, want 1 reassembled frame", len(got))
+	}
+	if !bytes.Equal(got[0].Frame.Payload, f.Payload) {
+		t.Error("payload corrupted in flight")
+	}
+	// Accounting sees the fragments (more bytes than the bare frame,
+	// many frames).
+	c := m.Counters(1)
+	if c.TxFrames < 8 {
+		t.Errorf("TxFrames = %d, expected one per fragment", c.TxFrames)
+	}
+	if c.TxAudit <= uint64(len(f.Encode())) {
+		t.Error("fragment header overhead missing from accounting")
+	}
+}
+
+func TestMediumMTULossDropsWholeFrame(t *testing.T) {
+	pos := posMap{1: geom.V(0, 0), 2: geom.V(10, 0)}
+	p := DefaultParams()
+	p.MTUBytes = 66
+	p.LossRate = 0.3
+	m := NewMedium(p, pos.fn, 7)
+	delivered := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		f := bigFrame(500) // ~9 fragments ⇒ P(all survive) ≈ 0.7⁹ ≈ 4%
+		f.Dst = 2
+		m.Send(1, f)
+		delivered += len(m.Deliver([]wire.RobotID{1, 2}))
+	}
+	if delivered > trials/4 {
+		t.Errorf("delivered %d/%d large frames at 30%% fragment loss; compounding missing", delivered, trials)
+	}
+}

@@ -1,0 +1,271 @@
+// Package radio simulates the ad-hoc wireless medium an MRS
+// communicates over. It replaces the paper's ns-3 setup (§4) with the
+// same physical model — log-distance path loss with the ESP32+2 dBi
+// reference point (36.05 dB at 1 m, exponent 3) — plus a link budget
+// that turns received power into deliverability, deterministic
+// delivery ordering, optional packet loss, and the per-robot byte
+// accounting behind Figs. 6–7.
+package radio
+
+import (
+	"math"
+	"sort"
+
+	"roborebound/internal/geom"
+	"roborebound/internal/prng"
+	"roborebound/internal/wire"
+)
+
+// Params models the link. Defaults reproduce the paper's setup.
+type Params struct {
+	// RefLossDB is the path loss at the reference distance (36.05 dB
+	// at 1 m for the ESP32 + 2 dBi antenna, §4).
+	RefLossDB float64
+	// RefDistM is the reference distance in meters (1 m).
+	RefDistM float64
+	// PathLossExp is the propagation exponent (3, the ns-3 default the
+	// paper uses).
+	PathLossExp float64
+	// TxPowerDBm is the transmit power (20 dBm, typical ESP32).
+	TxPowerDBm float64
+	// RxSensitivityDBm is the weakest decodable signal.
+	RxSensitivityDBm float64
+	// LossRate is an optional uniform packet-loss probability applied
+	// per (frame, receiver) pair; 0 disables.
+	LossRate float64
+	// MTUBytes caps the encoded size of one on-air frame; larger
+	// frames are fragmented and reassembled (Appendix B: the RFM69's
+	// 66-byte FIFO). 0 disables fragmentation. Loss applies per
+	// fragment, so large transfers suffer compounded loss — as they
+	// would in reality.
+	MTUBytes int
+}
+
+// DefaultParams returns the paper's link model. The resulting
+// communication radius is ≈199 m: a 25-robot, 4 m-spaced flock is
+// fully connected, while an 18×18 grid at 64 m spacing is far wider
+// than one transmission range — both properties the Fig. 7 narrative
+// depends on.
+func DefaultParams() Params {
+	return Params{
+		RefLossDB:        36.05,
+		RefDistM:         1,
+		PathLossExp:      3,
+		TxPowerDBm:       20,
+		RxSensitivityDBm: -85,
+	}
+}
+
+// PathLossDB returns the path loss at distance d meters.
+func (p Params) PathLossDB(d float64) float64 {
+	if d < p.RefDistM {
+		d = p.RefDistM
+	}
+	return p.RefLossDB + 10*p.PathLossExp*math.Log10(d/p.RefDistM)
+}
+
+// RxPowerDBm returns the received power at distance d.
+func (p Params) RxPowerDBm(d float64) float64 {
+	return p.TxPowerDBm - p.PathLossDB(d)
+}
+
+// RangeM returns the maximum distance at which frames are decodable.
+func (p Params) RangeM() float64 {
+	budget := p.TxPowerDBm - p.RxSensitivityDBm - p.RefLossDB
+	return p.RefDistM * math.Pow(10, budget/(10*p.PathLossExp))
+}
+
+// Position reports a robot's true position; the simulation engine
+// provides it from the physics world.
+type Position func(id wire.RobotID) (geom.Vec2, bool)
+
+// ByteCounters accumulates the traffic accounting for one robot,
+// split into application vs audit traffic (the paper's Fig. 6 plots
+// exactly this breakdown).
+type ByteCounters struct {
+	TxApp, TxAudit uint64
+	RxApp, RxAudit uint64
+	TxFrames       uint64
+	RxFrames       uint64
+	Dropped        uint64 // frames lost to the loss model
+}
+
+// Total returns all bytes sent plus received.
+func (b *ByteCounters) Total() uint64 { return b.TxApp + b.TxAudit + b.RxApp + b.RxAudit }
+
+type queuedFrame struct {
+	frame wire.Frame
+	from  wire.RobotID // physical transmitter (≠ claimed frame.Src for spoofers)
+	seq   uint64
+}
+
+// Medium is the shared wireless channel. Frames transmitted during
+// tick N are delivered at the start of tick N+1, in deterministic
+// (receiver, transmitter, sequence) order.
+type Medium struct {
+	params Params
+	pos    Position
+	rng    *prng.Source
+
+	queue    []queuedFrame
+	seq      uint64
+	counters map[wire.RobotID]*ByteCounters
+
+	// Fragmentation state (only used when params.MTUBytes > 0).
+	nextMsgID    map[wire.RobotID]uint16
+	reassemblers map[wire.RobotID]*Reassembler
+	deliverTick  wire.Tick // logical clock for reassembly expiry
+}
+
+// NewMedium creates a medium. seed drives only the optional loss
+// model; with LossRate 0 the medium is loss-free and the seed inert.
+func NewMedium(params Params, pos Position, seed uint64) *Medium {
+	return &Medium{
+		params:       params,
+		pos:          pos,
+		rng:          prng.New(seed),
+		counters:     make(map[wire.RobotID]*ByteCounters),
+		nextMsgID:    make(map[wire.RobotID]uint16),
+		reassemblers: make(map[wire.RobotID]*Reassembler),
+	}
+}
+
+// Params returns the link parameters.
+func (m *Medium) Params() Params { return m.params }
+
+// Counters returns the byte counters for a robot, creating them on
+// first use.
+func (m *Medium) Counters(id wire.RobotID) *ByteCounters {
+	c := m.counters[id]
+	if c == nil {
+		c = &ByteCounters{}
+		m.counters[id] = c
+	}
+	return c
+}
+
+// Send enqueues a frame transmitted by `from` for delivery next tick,
+// fragmenting it first when it exceeds the radio MTU. The physical
+// transmitter is recorded separately from the frame's claimed source:
+// radios can spoof header fields but not their own antenna position.
+func (m *Medium) Send(from wire.RobotID, f wire.Frame) {
+	frames := []wire.Frame{f}
+	if m.params.MTUBytes > 0 {
+		msgID := m.nextMsgID[from]
+		m.nextMsgID[from]++
+		frames = FragmentFrame(f, m.params.MTUBytes, msgID)
+	}
+	c := m.Counters(from)
+	for _, fr := range frames {
+		size := uint64(len(fr.Encode()))
+		c.TxFrames++
+		if fr.IsAudit() {
+			c.TxAudit += size
+		} else {
+			c.TxApp += size
+		}
+		m.queue = append(m.queue, queuedFrame{frame: fr, from: from, seq: m.seq})
+		m.seq++
+	}
+}
+
+// Delivery is one frame arriving at one robot.
+type Delivery struct {
+	To    wire.RobotID
+	Frame wire.Frame
+}
+
+// Deliver computes which robots receive each queued frame and clears
+// the queue. Receivers are all robots within decode range of the
+// transmitter's position, except the transmitter itself; unicast
+// frames are radio broadcasts too (anyone in range hears them), but
+// only the addressee is returned — the a-node's address filter drops
+// the rest, and the paper's byte accounting likewise counts only
+// decoded-and-kept traffic.
+func (m *Medium) Deliver(ids []wire.RobotID) []Delivery {
+	if len(m.queue) == 0 {
+		return nil
+	}
+	sorted := append([]wire.RobotID(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var out []Delivery
+	for _, q := range m.queue {
+		src, ok := m.pos(q.from)
+		if !ok {
+			continue
+		}
+		for _, id := range sorted {
+			if id == q.from {
+				continue
+			}
+			if q.frame.Dst != wire.Broadcast && q.frame.Dst != id {
+				continue
+			}
+			dst, ok := m.pos(id)
+			if !ok {
+				continue
+			}
+			if m.params.RxPowerDBm(src.Dist(dst)) < m.params.RxSensitivityDBm {
+				continue
+			}
+			if m.params.LossRate > 0 && m.rng.Float64() < m.params.LossRate {
+				m.Counters(id).Dropped++
+				continue
+			}
+			size := uint64(len(q.frame.Encode()))
+			c := m.Counters(id)
+			c.RxFrames++
+			if q.frame.IsAudit() {
+				c.RxAudit += size
+			} else {
+				c.RxApp += size
+			}
+			frame := q.frame
+			if m.params.MTUBytes > 0 {
+				reasm := m.reassemblers[id]
+				if reasm == nil {
+					// Generous expiry: fragments of one frame all
+					// arrive in the same delivery round, so a handful
+					// of rounds is plenty.
+					reasm = NewReassembler(16)
+					m.reassemblers[id] = reasm
+				}
+				complete, ok := reasm.Add(q.from, frame, m.deliverTick)
+				if !ok {
+					continue // waiting for more fragments (or junk)
+				}
+				frame = complete
+			}
+			out = append(out, Delivery{To: id, Frame: frame})
+		}
+	}
+	m.queue = m.queue[:0]
+	m.deliverTick++
+	if m.params.MTUBytes > 0 && m.deliverTick%32 == 0 {
+		for _, r := range m.reassemblers {
+			r.Expire(m.deliverTick)
+		}
+	}
+	return out
+}
+
+// InRange reports whether two robots can currently hear each other.
+func (m *Medium) InRange(a, b wire.RobotID) bool {
+	pa, oka := m.pos(a)
+	pb, okb := m.pos(b)
+	return oka && okb && m.params.RxPowerDBm(pa.Dist(pb)) >= m.params.RxSensitivityDBm
+}
+
+// NeighborsOf returns the ids (from the given set) within range of id,
+// sorted ascending.
+func (m *Medium) NeighborsOf(id wire.RobotID, ids []wire.RobotID) []wire.RobotID {
+	var out []wire.RobotID
+	for _, other := range ids {
+		if other != id && m.InRange(id, other) {
+			out = append(out, other)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,218 @@
+// Package replay implements the auditor's core check (§3.7):
+// deterministic replay of an auditee's log segment. The auditor
+// initializes a replica of the auditee's controller from the start
+// checkpoint, replays the logged inputs, verifies that the replica's
+// outputs match the logged outputs byte-for-byte, and reconstructs
+// both trusted-node hash chains so that the end-of-segment
+// authenticators certify the *entire* segment at once.
+package replay
+
+import (
+	"bytes"
+	"fmt"
+
+	"roborebound/internal/auditlog"
+	"roborebound/internal/control"
+	"roborebound/internal/cryptolite"
+	"roborebound/internal/trusted"
+	"roborebound/internal/wire"
+)
+
+// Request is a fully decoded audit request, ready for verification.
+// The core package decodes wire.AuditRequest into this.
+type Request struct {
+	Auditee  wire.RobotID
+	ReqT     wire.Tick // the a-node timestamp from the token request
+	FromBoot bool
+	Start    *auditlog.Checkpoint // nil ⇔ FromBoot
+	End      auditlog.Checkpoint
+	Entries  []wire.LogEntry
+}
+
+// Config parameterizes verification.
+type Config struct {
+	// Factory reconstructs the auditee's controller (every robot runs
+	// the mission-installed protocol, so the auditor has it).
+	Factory control.Factory
+	// BatchSize is the trusted nodes' chain batch size.
+	BatchSize int
+	// AuthSlack is how much older than the token request the
+	// end-of-segment authenticators may be, in ticks. It covers the
+	// auditee's retry window (asking additional auditors for the same
+	// checkpoint at slightly later times); anything older is treated
+	// as a stale-prefix replay attack.
+	AuthSlack wire.Tick
+	// CheckAuthenticator verifies an authenticator MAC on the
+	// auditor's own trusted hardware.
+	CheckAuthenticator func(wire.Authenticator) bool
+}
+
+// Failure describes why a replay was rejected. It implements error;
+// auditors don't act on the detail (the paper's auditor silently
+// ignores bad requests) but tests and operators do.
+type Failure struct {
+	Stage string // which check failed
+	Entry int    // entry index, or -1
+	Msg   string
+}
+
+func (f *Failure) Error() string {
+	if f.Entry >= 0 {
+		return fmt.Sprintf("replay: %s at entry %d: %s", f.Stage, f.Entry, f.Msg)
+	}
+	return fmt.Sprintf("replay: %s: %s", f.Stage, f.Msg)
+}
+
+func fail(stage string, entry int, format string, args ...any) error {
+	return &Failure{Stage: stage, Entry: entry, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Verify replays the request. It returns nil when the segment is a
+// correct execution of the auditee's controller, and a *Failure
+// explaining the first divergence otherwise.
+func Verify(req Request, cfg Config) error {
+	// --- end-of-segment authenticator checks -------------------------
+	for _, check := range []struct {
+		auth wire.Authenticator
+		kind uint8
+		name string
+	}{
+		{req.End.AuthS, wire.NodeS, "s-node"},
+		{req.End.AuthA, wire.NodeA, "a-node"},
+	} {
+		a := check.auth
+		if a.ID != req.Auditee {
+			return fail("authenticator", -1, "%s authenticator for robot %d, want %d", check.name, a.ID, req.Auditee)
+		}
+		if a.NodeKind != check.kind {
+			return fail("authenticator", -1, "%s authenticator has kind %d", check.name, a.NodeKind)
+		}
+		if a.T > req.ReqT {
+			return fail("authenticator", -1, "%s authenticator from the future (t=%d > req %d)", check.name, a.T, req.ReqT)
+		}
+		if a.T+cfg.AuthSlack < req.ReqT {
+			return fail("authenticator", -1, "%s authenticator stale (t=%d, req %d, slack %d)", check.name, a.T, req.ReqT, cfg.AuthSlack)
+		}
+		if cfg.CheckAuthenticator == nil || !cfg.CheckAuthenticator(a) {
+			return fail("authenticator", -1, "%s authenticator MAC invalid", check.name)
+		}
+	}
+	if req.End.Time > req.ReqT || req.End.Time+cfg.AuthSlack < req.ReqT {
+		return fail("checkpoint", -1, "end checkpoint time %d inconsistent with request time %d", req.End.Time, req.ReqT)
+	}
+
+	// --- controller replica and chain replicas -----------------------
+	var ctrl control.Controller
+	var sChain, aChain *trusted.Chain
+	if req.FromBoot {
+		ctrl = cfg.Factory.New(req.Auditee)
+		sChain = trusted.NewChain(cfg.BatchSize)
+		aChain = trusted.NewChain(cfg.BatchSize)
+	} else {
+		if req.Start == nil {
+			return fail("checkpoint", -1, "no start checkpoint and not from boot")
+		}
+		var err error
+		ctrl, err = cfg.Factory.Restore(req.Auditee, req.Start.State)
+		if err != nil {
+			return fail("checkpoint", -1, "start state rejected: %v", err)
+		}
+		sChain = trusted.NewChainAt(req.Start.AuthS.Top, cfg.BatchSize)
+		aChain = trusted.NewChainAt(req.Start.AuthA.Top, cfg.BatchSize)
+	}
+
+	// --- replay -------------------------------------------------------
+	// expected holds outputs the controller has produced that the log
+	// must record next, in order.
+	var expected []wire.LogEntry
+	for i, e := range req.Entries {
+		switch e.Kind {
+		case wire.EntrySensor:
+			if len(expected) > 0 {
+				return fail("order", i, "input before prior outputs were logged")
+			}
+			sChain.Append(e.Encode())
+			reading, err := wire.DecodeSensorReading(e.Payload)
+			if err != nil {
+				return fail("decode", i, "bad sensor payload: %v", err)
+			}
+			out := ctrl.OnSensor(reading)
+			if out.Broadcast != nil {
+				frame := wire.Frame{Src: req.Auditee, Dst: wire.Broadcast, Payload: out.Broadcast}
+				expected = append(expected, wire.LogEntry{Kind: wire.EntrySend, Payload: frame.Encode()})
+			}
+			if out.Cmd != nil {
+				expected = append(expected, wire.LogEntry{Kind: wire.EntryActuator, Payload: out.Cmd.Encode()})
+			}
+
+		case wire.EntryRecv:
+			if len(expected) > 0 {
+				return fail("order", i, "input before prior outputs were logged")
+			}
+			aChain.Append(e.Encode())
+			frame, err := wire.DecodeFrame(e.Payload)
+			if err != nil {
+				return fail("decode", i, "bad recv frame: %v", err)
+			}
+			ctrl.OnMessage(frame.Payload)
+
+		case wire.EntrySend, wire.EntryActuator:
+			if len(expected) == 0 {
+				return fail("output", i, "logged output the controller did not produce")
+			}
+			want := expected[0]
+			expected = expected[1:]
+			if e.Kind != want.Kind || !bytes.Equal(e.Payload, want.Payload) {
+				return fail("output", i, "output diverges from controller (kind %d vs %d)", e.Kind, want.Kind)
+			}
+			aChain.Append(e.Encode())
+
+		default:
+			return fail("decode", i, "unknown entry kind 0x%02x", e.Kind)
+		}
+	}
+	if len(expected) > 0 {
+		return fail("output", len(req.Entries), "controller produced %d outputs missing from the log", len(expected))
+	}
+
+	// --- final state and chain tops -----------------------------------
+	if sTop := sChain.Flush(); sTop != req.End.AuthS.Top {
+		return fail("chain", -1, "s-node chain mismatch: replayed %x, attested %x", sTop[:4], req.End.AuthS.Top[:4])
+	}
+	if aTop := aChain.Flush(); aTop != req.End.AuthA.Top {
+		return fail("chain", -1, "a-node chain mismatch: replayed %x, attested %x", aTop[:4], req.End.AuthA.Top[:4])
+	}
+	if got := ctrl.EncodeState(); !bytes.Equal(got, req.End.State) {
+		return fail("state", -1, "end checkpoint state diverges from replayed state")
+	}
+	return nil
+}
+
+// TokensCoverStart validates the tokens presented for the start
+// checkpoint (§3.7): there must be at least fmax+1 of them, from
+// distinct auditors, each a valid token issued *to the auditee* and
+// binding exactly the start checkpoint's hash. verify runs the MAC
+// check on the auditor's own trusted hardware.
+func TokensCoverStart(auditee wire.RobotID, startHash cryptolite.ChainHash,
+	tokens []wire.Token, fmax int, verify func(wire.Token) bool) error {
+	seen := make(map[wire.RobotID]bool)
+	for _, tok := range tokens {
+		if tok.Auditee != auditee {
+			return fail("tokens", -1, "token for robot %d presented by %d", tok.Auditee, auditee)
+		}
+		if tok.Auditor == auditee {
+			return fail("tokens", -1, "self-issued token")
+		}
+		if tok.HCkpt != startHash {
+			return fail("tokens", -1, "token does not cover the start checkpoint")
+		}
+		if verify == nil || !verify(tok) {
+			return fail("tokens", -1, "token MAC invalid")
+		}
+		seen[tok.Auditor] = true
+	}
+	if len(seen) < fmax+1 {
+		return fail("tokens", -1, "%d distinct auditors, need %d", len(seen), fmax+1)
+	}
+	return nil
+}

@@ -1,0 +1,393 @@
+package replay
+
+import (
+	"testing"
+
+	"roborebound/internal/auditlog"
+	"roborebound/internal/control"
+	"roborebound/internal/flocking"
+	"roborebound/internal/geom"
+	"roborebound/internal/trusted"
+	"roborebound/internal/wire"
+)
+
+// liveRobot simulates an honest c-node with real trusted nodes: it
+// produces exactly the artifacts an auditee would ship in an audit
+// request.
+type liveRobot struct {
+	id      wire.RobotID
+	factory control.Factory
+	ctrl    control.Controller
+	snode   *trusted.SNode
+	anode   *trusted.ANode
+	entries []wire.LogEntry
+	now     wire.Tick
+}
+
+var master = []byte("replay-test-master")
+
+func sealed() trusted.SealedMissionKey {
+	var mission [trusted.MissionKeySize]byte
+	copy(mission[:], "replay-mission")
+	return trusted.SealMissionKey(master, mission, 42, 1)
+}
+
+func newLiveRobot(t *testing.T, id wire.RobotID) *liveRobot {
+	t.Helper()
+	r := &liveRobot{id: id}
+	r.factory = flocking.Factory{Params: flocking.DefaultParams(4, 4, geom.V(100, 100))}
+	r.ctrl = r.factory.New(id)
+	clock := func() wire.Tick { return r.now }
+	r.snode = trusted.NewSNode(trusted.DefaultBatchSize, clock)
+	cfg := trusted.DefaultANodeConfig(4)
+	r.anode = trusted.NewANode(cfg, clock, nil, nil, nil, nil)
+	for _, n := range []interface {
+		LoadMasterKey([]byte, wire.RobotID)
+		LoadMissionKey(trusted.SealedMissionKey) bool
+	}{r.snode, r.anode} {
+		n.LoadMasterKey(master, id)
+		if !n.LoadMissionKey(sealed()) {
+			t.Fatal("mission key rejected")
+		}
+	}
+	return r
+}
+
+// step advances one control period: sensor poll through the s-node,
+// controller step, outputs through the a-node, all logged.
+func (r *liveRobot) step(pos, vel geom.Vec2) {
+	reading := wire.SensorReading{Time: r.now,
+		PosX: pos.X, PosY: pos.Y, VelX: float32(vel.X), VelY: float32(vel.Y)}
+	fwd, ok := r.snode.PollSensors(reading)
+	if !ok {
+		panic("keyless s-node")
+	}
+	r.entries = append(r.entries, wire.LogEntry{Kind: wire.EntrySensor, Payload: fwd.Encode()})
+	out := r.ctrl.OnSensor(fwd)
+	if out.Broadcast != nil {
+		f := wire.Frame{Src: r.id, Dst: wire.Broadcast, Payload: out.Broadcast}
+		if r.anode.SendWireless(f) {
+			r.entries = append(r.entries, wire.LogEntry{Kind: wire.EntrySend, Payload: f.Encode()})
+		}
+	}
+	if out.Cmd != nil {
+		if r.anode.ActuatorCmd(*out.Cmd) {
+			r.entries = append(r.entries, wire.LogEntry{Kind: wire.EntryActuator, Payload: out.Cmd.Encode()})
+		}
+	}
+	r.now++
+}
+
+// recv delivers a peer state message through the a-node.
+func (r *liveRobot) recv(f wire.Frame) {
+	r.anode.RecvWireless(f)
+	if !f.IsAudit() {
+		r.entries = append(r.entries, wire.LogEntry{Kind: wire.EntryRecv, Payload: f.Encode()})
+		r.ctrl.OnMessage(f.Payload)
+	}
+}
+
+// checkpoint flushes both chains and snapshots the controller.
+func (r *liveRobot) checkpoint() auditlog.Checkpoint {
+	authS, _ := r.snode.MakeAuthenticator()
+	authA, _ := r.anode.MakeAuthenticator()
+	return auditlog.Checkpoint{Time: r.now, AuthS: authS, AuthA: authA, State: r.ctrl.EncodeState()}
+}
+
+func peerState(src wire.RobotID, t wire.Tick, pos geom.Vec2) wire.Frame {
+	m := wire.StateMsg{Src: src, Time: t, PosX: float32(pos.X), PosY: float32(pos.Y)}
+	return wire.Frame{Src: src, Dst: wire.Broadcast, Payload: m.Encode()}
+}
+
+// buildSegment runs a scripted honest execution from boot and returns
+// a valid Request plus the verifier config.
+func buildSegment(t *testing.T) (Request, Config, *liveRobot) {
+	t.Helper()
+	r := newLiveRobot(t, 1)
+	for i := 0; i < 12; i++ {
+		if i%3 == 1 {
+			r.recv(peerState(2, r.now, geom.V(5, float64(i))))
+		}
+		r.step(geom.V(float64(i)*0.1, 0), geom.V(0.1, 0))
+	}
+	end := r.checkpoint()
+	req := Request{
+		Auditee:  1,
+		ReqT:     r.now,
+		FromBoot: true,
+		End:      end,
+		Entries:  append([]wire.LogEntry(nil), r.entries...),
+	}
+	verifier := newLiveRobot(t, 9) // the auditor's own trusted hardware
+	cfg := Config{
+		Factory:            r.factory,
+		BatchSize:          trusted.DefaultBatchSize,
+		AuthSlack:          16,
+		CheckAuthenticator: verifier.anode.CheckAuthenticator,
+	}
+	return req, cfg, r
+}
+
+func TestVerifyHonestSegment(t *testing.T) {
+	req, cfg, _ := buildSegment(t)
+	if err := Verify(req, cfg); err != nil {
+		t.Fatalf("honest segment rejected: %v", err)
+	}
+}
+
+func TestVerifyIncrementalSegment(t *testing.T) {
+	// Second segment starting from a covered checkpoint.
+	r := newLiveRobot(t, 1)
+	for i := 0; i < 6; i++ {
+		r.step(geom.V(float64(i), 0), geom.Zero2)
+	}
+	start := r.checkpoint()
+	r.entries = nil // segment 2 begins
+	for i := 6; i < 12; i++ {
+		if i == 8 {
+			r.recv(peerState(3, r.now, geom.V(2, 2)))
+		}
+		r.step(geom.V(float64(i), 0), geom.Zero2)
+	}
+	end := r.checkpoint()
+	verifier := newLiveRobot(t, 9)
+	req := Request{
+		Auditee: 1, ReqT: r.now, Start: &start, End: end,
+		Entries: r.entries,
+	}
+	cfg := Config{Factory: r.factory, BatchSize: trusted.DefaultBatchSize,
+		AuthSlack: 16, CheckAuthenticator: verifier.anode.CheckAuthenticator}
+	if err := Verify(req, cfg); err != nil {
+		t.Fatalf("incremental segment rejected: %v", err)
+	}
+}
+
+// Every tampering below must be detected.
+
+func TestVerifyDetectsSensorTampering(t *testing.T) {
+	req, cfg, _ := buildSegment(t)
+	for i, e := range req.Entries {
+		if e.Kind == wire.EntrySensor {
+			// Claim the robot saw something else (the "strong wind from
+			// the right" evasion of §2.5).
+			mut := append([]byte(nil), e.Payload...)
+			mut[9] ^= 0x40
+			req.Entries[i] = wire.LogEntry{Kind: e.Kind, Payload: mut}
+			break
+		}
+	}
+	if Verify(req, cfg) == nil {
+		t.Fatal("tampered sensor reading accepted")
+	}
+}
+
+func TestVerifyDetectsOmittedEntry(t *testing.T) {
+	req, cfg, _ := buildSegment(t)
+	// Drop a recv entry: the a-node chained it, so the chain check fails.
+	for i, e := range req.Entries {
+		if e.Kind == wire.EntryRecv {
+			req.Entries = append(req.Entries[:i], req.Entries[i+1:]...)
+			break
+		}
+	}
+	if Verify(req, cfg) == nil {
+		t.Fatal("omitted recv accepted")
+	}
+}
+
+func TestVerifyDetectsForgedOutput(t *testing.T) {
+	req, cfg, _ := buildSegment(t)
+	for i, e := range req.Entries {
+		if e.Kind == wire.EntryActuator {
+			mut := append([]byte(nil), e.Payload...)
+			mut[len(mut)-1] ^= 1 // nudge the commanded acceleration
+			req.Entries[i] = wire.LogEntry{Kind: e.Kind, Payload: mut}
+			break
+		}
+	}
+	if Verify(req, cfg) == nil {
+		t.Fatal("forged actuator output accepted")
+	}
+}
+
+func TestVerifyDetectsInjectedOutput(t *testing.T) {
+	req, cfg, _ := buildSegment(t)
+	// Insert an actuator command the controller never produced.
+	fake := wire.LogEntry{Kind: wire.EntryActuator, Payload: (&wire.ActuatorCmd{Time: 3, AccX: 9}).Encode()}
+	req.Entries = append(req.Entries[:4], append([]wire.LogEntry{fake}, req.Entries[4:]...)...)
+	if Verify(req, cfg) == nil {
+		t.Fatal("injected output accepted")
+	}
+}
+
+func TestVerifyDetectsReordering(t *testing.T) {
+	req, cfg, _ := buildSegment(t)
+	// Swap two adjacent entries of different kinds.
+	for i := 0; i+1 < len(req.Entries); i++ {
+		if req.Entries[i].Kind != req.Entries[i+1].Kind {
+			req.Entries[i], req.Entries[i+1] = req.Entries[i+1], req.Entries[i]
+			break
+		}
+	}
+	if Verify(req, cfg) == nil {
+		t.Fatal("reordered log accepted")
+	}
+}
+
+func TestVerifyDetectsTruncatedTail(t *testing.T) {
+	req, cfg, _ := buildSegment(t)
+	// Hide the most recent activity but keep the fresh authenticator.
+	req.Entries = req.Entries[:len(req.Entries)-3]
+	if Verify(req, cfg) == nil {
+		t.Fatal("truncated log accepted")
+	}
+}
+
+func TestVerifyDetectsStaleAuthenticator(t *testing.T) {
+	req, cfg, r := buildSegment(t)
+	// The attacker presents a genuinely-signed but old authenticator
+	// pair and a matching truncated log — the stale-prefix attack. The
+	// freshness check must reject it.
+	_ = r
+	req.ReqT = req.End.AuthS.T + cfg.AuthSlack + 1
+	if err := Verify(req, cfg); err == nil {
+		t.Fatal("stale authenticator accepted")
+	}
+}
+
+func TestVerifyDetectsFutureAuthenticator(t *testing.T) {
+	req, cfg, _ := buildSegment(t)
+	req.ReqT = req.End.AuthS.T - 1
+	if Verify(req, cfg) == nil {
+		t.Fatal("future authenticator accepted")
+	}
+}
+
+func TestVerifyDetectsWrongAuditee(t *testing.T) {
+	req, cfg, _ := buildSegment(t)
+	req.Auditee = 2 // present robot 1's artifacts as robot 2's
+	if Verify(req, cfg) == nil {
+		t.Fatal("re-attributed segment accepted")
+	}
+}
+
+func TestVerifyDetectsForgedAuthMAC(t *testing.T) {
+	req, cfg, _ := buildSegment(t)
+	req.End.AuthA.Mac[0] ^= 1
+	if Verify(req, cfg) == nil {
+		t.Fatal("forged a-node authenticator accepted")
+	}
+}
+
+func TestVerifyDetectsSwappedChainAuths(t *testing.T) {
+	req, cfg, _ := buildSegment(t)
+	req.End.AuthS, req.End.AuthA = req.End.AuthA, req.End.AuthS
+	if Verify(req, cfg) == nil {
+		t.Fatal("swapped s/a authenticators accepted")
+	}
+}
+
+func TestVerifyDetectsForgedEndState(t *testing.T) {
+	req, cfg, _ := buildSegment(t)
+	mut := append([]byte(nil), req.End.State...)
+	mut[10] ^= 1
+	req.End.State = mut
+	if Verify(req, cfg) == nil {
+		t.Fatal("forged end state accepted")
+	}
+}
+
+func TestVerifyRejectsMissingStart(t *testing.T) {
+	req, cfg, _ := buildSegment(t)
+	req.FromBoot = false // claims a start checkpoint but provides none
+	if Verify(req, cfg) == nil {
+		t.Fatal("missing start checkpoint accepted")
+	}
+}
+
+func TestTokensCoverStart(t *testing.T) {
+	var h, other [20]byte
+	h[0], other[0] = 1, 2
+	mk := func(auditor, auditee wire.RobotID, hash [20]byte) wire.Token {
+		return wire.Token{Auditor: auditor, Auditee: auditee, HCkpt: hash}
+	}
+	accept := func(wire.Token) bool { return true }
+	reject := func(wire.Token) bool { return false }
+
+	good := []wire.Token{mk(2, 1, h), mk(3, 1, h), mk(4, 1, h)}
+	if err := TokensCoverStart(1, h, good, 2, accept); err != nil {
+		t.Errorf("valid cover rejected: %v", err)
+	}
+	if TokensCoverStart(1, h, good[:2], 2, accept) == nil {
+		t.Error("too few auditors accepted")
+	}
+	dup := []wire.Token{mk(2, 1, h), mk(2, 1, h), mk(2, 1, h)}
+	if TokensCoverStart(1, h, dup, 2, accept) == nil {
+		t.Error("duplicate auditors accepted")
+	}
+	wrongHash := []wire.Token{mk(2, 1, h), mk(3, 1, other), mk(4, 1, h)}
+	if TokensCoverStart(1, h, wrongHash, 2, accept) == nil {
+		t.Error("token for different checkpoint accepted")
+	}
+	wrongTee := []wire.Token{mk(2, 1, h), mk(3, 9, h), mk(4, 1, h)}
+	if TokensCoverStart(1, h, wrongTee, 2, accept) == nil {
+		t.Error("token issued to another robot accepted")
+	}
+	selfTok := []wire.Token{mk(1, 1, h), mk(3, 1, h), mk(4, 1, h)}
+	if TokensCoverStart(1, h, selfTok, 2, accept) == nil {
+		t.Error("self-issued token accepted")
+	}
+	if TokensCoverStart(1, h, good, 2, reject) == nil {
+		t.Error("MAC-rejected tokens accepted")
+	}
+}
+
+func TestFailureError(t *testing.T) {
+	f := &Failure{Stage: "chain", Entry: 3, Msg: "boom"}
+	if f.Error() == "" {
+		t.Error("empty error string")
+	}
+	f2 := &Failure{Stage: "state", Entry: -1, Msg: "x"}
+	if f2.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+// TestStalePrefixAttackWithoutFreshness demonstrates *why* the
+// timestamped-authenticator deviation exists (DESIGN.md): with the
+// freshness check neutralized (huge AuthSlack), a compromised robot
+// can pass every audit forever using a stale-but-genuine authenticator
+// pair and a truncated log, hiding all later misbehavior. The attack
+// must succeed here — and TestVerifyDetectsStaleAuthenticator shows
+// the bounded-slack configuration kills it.
+func TestStalePrefixAttackWithoutFreshness(t *testing.T) {
+	r := newLiveRobot(t, 1)
+	for i := 0; i < 6; i++ {
+		r.step(geom.V(float64(i), 0), geom.Zero2)
+	}
+	// The attacker snapshots its honest prefix...
+	staleEnd := r.checkpoint()
+	staleEntries := append([]wire.LogEntry(nil), r.entries...)
+	// ...then misbehaves: unlogged traffic the a-node chains.
+	r.anode.SendWireless(wire.Frame{Src: 1, Dst: wire.Broadcast, Payload: []byte("spoof!")})
+	r.now += 40 // time passes; the robot keeps misbehaving
+
+	verifier := newLiveRobot(t, 9)
+	req := Request{
+		Auditee:  1,
+		ReqT:     r.now, // fresh token request from the a-node
+		FromBoot: true,
+		End:      staleEnd,
+		Entries:  staleEntries,
+	}
+	lax := Config{Factory: r.factory, BatchSize: trusted.DefaultBatchSize,
+		AuthSlack: 1 << 30, CheckAuthenticator: verifier.anode.CheckAuthenticator}
+	if err := Verify(req, lax); err != nil {
+		t.Fatalf("stale-prefix attack should succeed without freshness checks, got: %v", err)
+	}
+	strict := lax
+	strict.AuthSlack = 16
+	if Verify(req, strict) == nil {
+		t.Fatal("bounded AuthSlack failed to stop the stale-prefix attack")
+	}
+}

@@ -1,0 +1,192 @@
+// Package robot assembles one complete robot: the physics body, the
+// trusted s-node and a-node wired per Fig. 3, and the c-node — either
+// the RoboRebound protocol engine (protected) or a bare controller
+// (the unprotected baseline the paper compares against, §4).
+package robot
+
+import (
+	"roborebound/internal/control"
+	"roborebound/internal/core"
+	"roborebound/internal/geom"
+	"roborebound/internal/radio"
+	"roborebound/internal/sim"
+	"roborebound/internal/trusted"
+	"roborebound/internal/wire"
+)
+
+// Config describes one robot.
+type Config struct {
+	ID wire.RobotID
+	// Protected selects RoboRebound; false gives the unprotected
+	// baseline (controller wired straight to sensors/actuators/radio).
+	Protected bool
+	// Core holds the protocol parameters (used when Protected).
+	Core core.Config
+	// Factory builds the mission controller.
+	Factory control.Factory
+	// Master is the MRS master key; Sealed the mission key bundle.
+	Master []byte
+	Sealed trusted.SealedMissionKey
+}
+
+// Robot is a sim.Actor. All robots — protected, unprotected, and the
+// attack package's compromised variants — are built on this type.
+type Robot struct {
+	id     wire.RobotID
+	cfg    Config
+	body   *sim.Body
+	medium *radio.Medium
+	clock  func() wire.Tick
+
+	// Protected path.
+	snode  *trusted.SNode
+	anode  *trusted.ANode
+	engine *core.Engine
+
+	// Unprotected path.
+	ctrl control.Controller
+
+	safeModeAt wire.Tick
+	inSafeMode bool
+}
+
+// New wires up a robot. body must already be placed in the world;
+// clock must report the engine's current tick.
+func New(cfg Config, body *sim.Body, medium *radio.Medium, clock func() wire.Tick) *Robot {
+	r := &Robot{id: cfg.ID, cfg: cfg, body: body, medium: medium, clock: clock}
+	if !cfg.Protected {
+		r.ctrl = cfg.Factory.New(cfg.ID)
+		return r
+	}
+
+	tclock := trusted.Clock(clock)
+	r.snode = trusted.NewSNode(cfg.Core.BatchSize, tclock)
+	r.anode = trusted.NewANode(cfg.Core.ANodeConfig(), tclock,
+		func(f wire.Frame) { medium.Send(cfg.ID, f) },
+		func(f wire.Frame) { r.engine.OnFrame(f) },
+		func(cmd wire.ActuatorCmd) { r.body.Acc = geom.V(cmd.AccX, cmd.AccY) },
+		func() {
+			r.body.Disabled = true
+			r.inSafeMode = true
+			r.safeModeAt = clock()
+		},
+	)
+	r.snode.LoadMasterKey(cfg.Master, cfg.ID)
+	r.anode.LoadMasterKey(cfg.Master, cfg.ID)
+	r.snode.LoadMissionKey(cfg.Sealed)
+	r.anode.LoadMissionKey(cfg.Sealed)
+	r.engine = core.NewEngine(cfg.ID, cfg.Core, cfg.Factory, r.snode, r.anode, r.anode.SendWireless)
+	return r
+}
+
+// ActorID implements sim.Actor.
+func (r *Robot) ActorID() wire.RobotID { return r.id }
+
+// Body returns the physics body.
+func (r *Robot) Body() *sim.Body { return r.body }
+
+// ANode returns the trusted a-node (nil when unprotected).
+func (r *Robot) ANode() *trusted.ANode { return r.anode }
+
+// SNode returns the trusted s-node (nil when unprotected).
+func (r *Robot) SNode() *trusted.SNode { return r.snode }
+
+// Engine returns the protocol engine (nil when unprotected).
+func (r *Robot) Engine() *core.Engine { return r.engine }
+
+// InSafeMode reports whether the a-node has fired the kill switch.
+func (r *Robot) InSafeMode() bool { return r.inSafeMode }
+
+// SafeModeAt returns the tick at which Safe Mode triggered (valid only
+// when InSafeMode).
+func (r *Robot) SafeModeAt() wire.Tick { return r.safeModeAt }
+
+// Controller returns the live controller (either path).
+func (r *Robot) Controller() control.Controller {
+	if r.engine != nil {
+		return r.engine.Controller()
+	}
+	return r.ctrl
+}
+
+// Deliver implements sim.Actor: frames enter through the a-node on
+// protected robots, straight into the controller otherwise.
+func (r *Robot) Deliver(f wire.Frame) {
+	if r.cfg.Protected {
+		r.anode.RecvWireless(f)
+		return
+	}
+	if !f.IsAudit() {
+		r.ctrl.OnMessage(f.Payload)
+	}
+}
+
+// RawSend transmits a frame on behalf of this robot's c-node. On a
+// protected robot it necessarily goes through the a-node (and is
+// chained unless audit-flagged); on an unprotected robot it goes
+// straight to the radio. The attack package uses this as the
+// compromised c-node's transmit path.
+func (r *Robot) RawSend(f wire.Frame) bool {
+	if r.cfg.Protected {
+		return r.anode.SendWireless(f)
+	}
+	r.medium.Send(r.id, f)
+	return true
+}
+
+// RawActuate commands an acceleration on behalf of this robot's
+// c-node, through the a-node when protected.
+func (r *Robot) RawActuate(cmd wire.ActuatorCmd) bool {
+	if r.cfg.Protected {
+		return r.anode.ActuatorCmd(cmd)
+	}
+	if r.body.Crashed {
+		return false
+	}
+	r.body.Acc = geom.V(cmd.AccX, cmd.AccY)
+	return true
+}
+
+// reading samples the robot's true pose, as the GNSS/IMU suite would.
+func (r *Robot) reading(now wire.Tick) wire.SensorReading {
+	return wire.SensorReading{
+		Time: now,
+		PosX: r.body.Pos.X, PosY: r.body.Pos.Y,
+		VelX: float32(r.body.Vel.X), VelY: float32(r.body.Vel.Y),
+	}
+}
+
+// HardwareTick runs the trusted hardware's autonomous periodic work —
+// the a-node's token-freshness check (Algorithm 4, "runs
+// periodically"). It is driven by the a-node's own timer, so it fires
+// regardless of what the (possibly compromised) c-node does; the
+// attack package calls it even when the attacker has abandoned the
+// protocol.
+func (r *Robot) HardwareTick() {
+	if r.anode != nil {
+		r.anode.CheckTokens()
+	}
+}
+
+// Tick implements sim.Actor: poll sensors, step the control loop, run
+// the audit protocol (protected only).
+func (r *Robot) Tick(now wire.Tick) {
+	r.HardwareTick()
+	if r.body.Crashed {
+		return
+	}
+	if r.cfg.Protected {
+		if fwd, ok := r.snode.PollSensors(r.reading(now)); ok {
+			r.engine.OnSensorReading(fwd)
+		}
+		r.engine.Tick(now)
+		return
+	}
+	out := r.ctrl.OnSensor(r.reading(now))
+	if out.Broadcast != nil {
+		r.medium.Send(r.id, wire.Frame{Src: r.id, Dst: wire.Broadcast, Payload: out.Broadcast})
+	}
+	if out.Cmd != nil {
+		r.body.Acc = geom.V(out.Cmd.AccX, out.Cmd.AccY)
+	}
+}

@@ -1,0 +1,157 @@
+package robot
+
+import (
+	"testing"
+
+	"roborebound/internal/core"
+	"roborebound/internal/flocking"
+	"roborebound/internal/geom"
+	"roborebound/internal/radio"
+	"roborebound/internal/sim"
+	"roborebound/internal/trusted"
+	"roborebound/internal/wire"
+)
+
+var master = []byte("robot-test-master")
+
+func sealedKey() trusted.SealedMissionKey {
+	var mission [trusted.MissionKeySize]byte
+	copy(mission[:], "robot-mission")
+	return trusted.SealMissionKey(master, mission, 3, 1)
+}
+
+func testRig(t *testing.T, protected bool) (*sim.Engine, *Robot, *sim.World, *radio.Medium) {
+	t.Helper()
+	world := sim.NewWorld(sim.DefaultWorldConfig())
+	medium := radio.NewMedium(radio.DefaultParams(), world.Position, 1)
+	engine := sim.NewEngine(world, medium)
+	factory := flocking.Factory{Params: flocking.DefaultParams(4, 4, geom.V(100, 100))}
+	body := world.AddBody(1, geom.V(0, 0))
+	r := New(Config{
+		ID:        1,
+		Protected: protected,
+		Core:      core.DefaultConfig(4),
+		Factory:   factory,
+		Master:    master,
+		Sealed:    sealedKey(),
+	}, body, medium, engine.Now)
+	engine.AddActor(r)
+	return engine, r, world, medium
+}
+
+func TestProtectedRobotWiring(t *testing.T) {
+	engine, r, _, _ := testRig(t, true)
+	if r.ANode() == nil || r.SNode() == nil || r.Engine() == nil {
+		t.Fatal("protected robot missing trusted nodes or engine")
+	}
+	if !r.ANode().HasKey() {
+		t.Fatal("mission key not installed")
+	}
+	engine.Run(8)
+	// The control loop must be driving the actuators through the
+	// a-node: acceleration toward the goal (100,100).
+	if r.Body().Acc.X <= 0 || r.Body().Acc.Y <= 0 {
+		t.Errorf("no goal-directed acceleration: %+v", r.Body().Acc)
+	}
+	// And the log must be accumulating entries.
+	if r.Engine().Log().EntryCount() == 0 {
+		t.Error("no log entries after 8 ticks")
+	}
+}
+
+func TestUnprotectedRobotWiring(t *testing.T) {
+	engine, r, _, medium := testRig(t, false)
+	if r.ANode() != nil || r.Engine() != nil {
+		t.Fatal("unprotected robot should have no trusted nodes")
+	}
+	engine.Run(8)
+	if r.Body().Acc.X <= 0 {
+		t.Errorf("no goal-directed acceleration: %+v", r.Body().Acc)
+	}
+	// Broadcasts go straight to the radio.
+	if medium.Counters(1).TxApp == 0 {
+		t.Error("no state broadcasts")
+	}
+}
+
+func TestDeliverRoutesThroughANode(t *testing.T) {
+	_, r, _, _ := testRig(t, true)
+	before := r.Engine().Log().EntryCount()
+	state := wire.StateMsg{Src: 2, Time: 1, PosX: 3}
+	r.Deliver(wire.Frame{Src: 2, Dst: wire.Broadcast, Payload: state.Encode()})
+	if r.Engine().Log().EntryCount() != before+1 {
+		t.Error("delivered frame not logged")
+	}
+	fc := r.Controller().(*flocking.Controller)
+	if len(fc.Neighbors()) != 1 {
+		t.Error("delivered frame not fed to controller")
+	}
+	// Audit frames are not logged.
+	r.Deliver(wire.Frame{Src: 2, Dst: 1, Flags: wire.FlagAudit, Payload: []byte{0xFF}})
+	if r.Engine().Log().EntryCount() != before+1 {
+		t.Error("audit frame logged")
+	}
+}
+
+func TestUnprotectedDeliverIgnoresAudit(t *testing.T) {
+	_, r, _, _ := testRig(t, false)
+	state := wire.StateMsg{Src: 2, Time: 1}
+	// Audit-flagged frames never reach the controller, even with a
+	// well-formed application payload inside.
+	r.Deliver(wire.Frame{Src: 2, Dst: 1, Flags: wire.FlagAudit, Payload: state.Encode()})
+	fc := r.Controller().(*flocking.Controller)
+	if len(fc.Neighbors()) != 0 {
+		t.Error("audit frame reached the controller")
+	}
+	r.Deliver(wire.Frame{Src: 2, Dst: wire.Broadcast, Payload: state.Encode()})
+	if len(fc.Neighbors()) != 1 {
+		t.Error("application frame did not reach the controller")
+	}
+}
+
+func TestSafeModeDisablesBody(t *testing.T) {
+	engine, r, _, _ := testRig(t, true)
+	// Alone, the robot can never collect tokens; after the grace
+	// window (TVal = 40 ticks) it must disable itself.
+	engine.Run(60)
+	if !r.InSafeMode() {
+		t.Fatal("isolated robot never entered safe mode")
+	}
+	if !r.Body().Disabled {
+		t.Error("safe mode did not disable the body")
+	}
+	if got := r.SafeModeAt(); got == 0 {
+		t.Error("safe mode time not recorded")
+	}
+	// Actuation and radio are dead.
+	if r.RawActuate(wire.ActuatorCmd{AccX: 1}) {
+		t.Error("actuation alive in safe mode")
+	}
+	if r.RawSend(wire.Frame{Payload: []byte("x")}) {
+		t.Error("radio alive in safe mode")
+	}
+}
+
+func TestCrashedRobotStopsTicking(t *testing.T) {
+	engine, r, _, _ := testRig(t, true)
+	engine.Run(4)
+	entries := r.Engine().Log().EntryCount()
+	r.Body().Crashed = true
+	engine.Run(4)
+	if r.Engine().Log().EntryCount() != entries {
+		t.Error("crashed robot kept logging")
+	}
+}
+
+func TestRawSendUnprotectedGoesToMedium(t *testing.T) {
+	_, r, _, medium := testRig(t, false)
+	if !r.RawSend(wire.Frame{Src: 1, Dst: wire.Broadcast, Payload: []byte("x")}) {
+		t.Fatal("raw send failed")
+	}
+	if medium.Counters(1).TxFrames != 1 {
+		t.Error("frame did not reach the medium")
+	}
+	if !r.RawActuate(wire.ActuatorCmd{AccX: 2}) || r.Body().Acc.X != 2 {
+		t.Error("raw actuate failed")
+	}
+}

@@ -1,0 +1,186 @@
+// Package sim provides the discrete-time simulation substrate: a
+// physics world of double-integrator robots (the paper's wheeled
+// robots with per-axis acceleration caps, §4), and a deterministic
+// engine that advances actors, the radio medium, and physics in a
+// fixed order so that every run is a pure function of (scenario, seed).
+package sim
+
+import (
+	"sort"
+
+	"roborebound/internal/geom"
+	"roborebound/internal/wire"
+)
+
+// WorldConfig parameterizes the physics.
+type WorldConfig struct {
+	// TicksPerSecond sets the integration step dt = 1/TicksPerSecond.
+	// The paper's control period of 0.25 s corresponds to 4 ticks/s.
+	TicksPerSecond float64
+	// AccelCap is the per-axis acceleration saturation applied by the
+	// motors themselves (5 m/s², §4) — a defense-independent physical
+	// limit, so even a compromised controller cannot exceed it.
+	AccelCap float64
+	// MaxSpeed optionally caps speed (Ocado's robots do 8 m/s; 0
+	// disables the cap).
+	MaxSpeed float64
+	// BrakeDecel is the deceleration applied when a robot is disabled
+	// (Safe Mode disconnects the motors; friction/brakes stop it).
+	BrakeDecel float64
+	// CrashRadius is the robot-robot collision distance; 0 disables
+	// robot-robot crash detection.
+	CrashRadius float64
+	// Obstacles are solid regions; entering one is a crash.
+	Obstacles []geom.Obstacle
+}
+
+// DefaultWorldConfig returns the paper-matched physics at 4 ticks/s.
+func DefaultWorldConfig() WorldConfig {
+	return WorldConfig{
+		TicksPerSecond: 4,
+		AccelCap:       5,
+		MaxSpeed:       8,
+		BrakeDecel:     2.5,
+		CrashRadius:    0.5,
+	}
+}
+
+// Body is one robot's physical state.
+type Body struct {
+	ID  wire.RobotID
+	Pos geom.Vec2
+	Vel geom.Vec2
+	Acc geom.Vec2 // commanded acceleration, held until re-commanded
+
+	// Disabled marks Safe Mode: the actuator path is cut, so the
+	// commanded acceleration is ignored and brakes engage.
+	Disabled bool
+	// Crashed marks a collision; the robot stops permanently.
+	Crashed bool
+}
+
+// CrashEvent records a collision for the metrics layer.
+type CrashEvent struct {
+	Time wire.Tick
+	A, B wire.RobotID // B == A for an obstacle crash
+}
+
+// World simulates all robot bodies.
+type World struct {
+	cfg    WorldConfig
+	bodies []*Body // sorted by ID
+	index  map[wire.RobotID]*Body
+
+	crashes []CrashEvent
+}
+
+// NewWorld creates an empty world.
+func NewWorld(cfg WorldConfig) *World {
+	return &World{cfg: cfg, index: make(map[wire.RobotID]*Body)}
+}
+
+// AddBody places a robot. Panics on duplicate IDs (a scenario bug).
+func (w *World) AddBody(id wire.RobotID, pos geom.Vec2) *Body {
+	if _, dup := w.index[id]; dup {
+		panic("sim: duplicate body ID")
+	}
+	b := &Body{ID: id, Pos: pos}
+	w.index[id] = b
+	i := sort.Search(len(w.bodies), func(i int) bool { return w.bodies[i].ID >= id })
+	w.bodies = append(w.bodies, nil)
+	copy(w.bodies[i+1:], w.bodies[i:])
+	w.bodies[i] = b
+	return b
+}
+
+// Body returns the body for id, or nil.
+func (w *World) Body(id wire.RobotID) *Body { return w.index[id] }
+
+// Bodies returns the bodies in ID order (do not mutate the slice).
+func (w *World) Bodies() []*Body { return w.bodies }
+
+// Position implements radio.Position.
+func (w *World) Position(id wire.RobotID) (geom.Vec2, bool) {
+	b := w.index[id]
+	if b == nil {
+		return geom.Vec2{}, false
+	}
+	return b.Pos, true
+}
+
+// Crashes returns all collision events so far.
+func (w *World) Crashes() []CrashEvent { return w.crashes }
+
+// Step integrates one tick of physics (semi-implicit Euler) and then
+// runs crash detection.
+func (w *World) Step(now wire.Tick) {
+	dt := 1 / w.cfg.TicksPerSecond
+	for _, b := range w.bodies {
+		if b.Crashed {
+			b.Vel = geom.Zero2
+			continue
+		}
+		if b.Disabled {
+			// Motors cut: decelerate at BrakeDecel until stopped.
+			speed := b.Vel.Norm()
+			drop := w.cfg.BrakeDecel * dt
+			if speed <= drop {
+				b.Vel = geom.Zero2
+			} else {
+				b.Vel = b.Vel.Scale((speed - drop) / speed)
+			}
+		} else {
+			acc := b.Acc
+			if !acc.IsFinite() {
+				acc = geom.Zero2 // reject garbage commands physically
+			}
+			acc = acc.ClampAxes(w.cfg.AccelCap)
+			b.Vel = b.Vel.Add(acc.Scale(dt))
+			if w.cfg.MaxSpeed > 0 {
+				b.Vel = b.Vel.ClampNorm(w.cfg.MaxSpeed)
+			}
+		}
+		b.Pos = b.Pos.Add(b.Vel.Scale(dt))
+	}
+	w.detectCrashes(now)
+}
+
+func (w *World) crash(now wire.Tick, a, b *Body) {
+	if !a.Crashed {
+		a.Crashed = true
+		a.Vel = geom.Zero2
+	}
+	if !b.Crashed {
+		b.Crashed = true
+		b.Vel = geom.Zero2
+	}
+	w.crashes = append(w.crashes, CrashEvent{Time: now, A: a.ID, B: b.ID})
+}
+
+func (w *World) detectCrashes(now wire.Tick) {
+	for _, b := range w.bodies {
+		if b.Crashed {
+			continue
+		}
+		for _, o := range w.cfg.Obstacles {
+			if o.Contains(b.Pos) {
+				w.crash(now, b, b)
+				break
+			}
+		}
+	}
+	if w.cfg.CrashRadius <= 0 {
+		return
+	}
+	r2 := w.cfg.CrashRadius * w.cfg.CrashRadius
+	for i, a := range w.bodies {
+		for _, b := range w.bodies[i+1:] {
+			if a.Crashed && b.Crashed {
+				continue
+			}
+			if a.Pos.DistSq(b.Pos) < r2 {
+				w.crash(now, a, b)
+			}
+		}
+	}
+}

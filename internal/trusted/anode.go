@@ -1,0 +1,325 @@
+package trusted
+
+import (
+	"roborebound/internal/cryptolite"
+	"roborebound/internal/wire"
+)
+
+// ANodeConfig carries the protocol parameters the a-node enforces.
+type ANodeConfig struct {
+	// Fmax is the maximum number of compromised robots tolerated; the
+	// a-node demands fresh tokens from Fmax+1 distinct auditors.
+	Fmax int
+	// TVal is the token validity window (§3.5): if fewer than Fmax+1
+	// installed tokens are younger than TVal on the local clock, Safe
+	// Mode triggers. This is the "bounded time" of BTI.
+	TVal wire.Tick
+	// BatchSize is the hash-chain batch size (§3.8).
+	BatchSize int
+	// Leaky-bucket rate limiter for token requests (Algorithm 4,
+	// MAKETOKENREQUEST): the bucket holds at most BucketCapacity units,
+	// refills at Rho units per tick, and each token request costs
+	// MinPerToken units.
+	BucketCapacity float64
+	Rho            float64
+	MinPerToken    float64
+}
+
+// DefaultANodeConfig mirrors the paper's evaluation setup: f_max = 3,
+// T_val a little over two audit periods (audits every 4 s must land
+// before the previous round's tokens expire), and a bucket generous
+// enough for 2·(f_max+1) requests per audit period in bursts.
+func DefaultANodeConfig(ticksPerSecond float64) ANodeConfig {
+	return ANodeConfig{
+		Fmax:           3,
+		TVal:           wire.Tick(10 * ticksPerSecond), // 10 s
+		BatchSize:      DefaultBatchSize,
+		BucketCapacity: 16,
+		Rho:            4 / ticksPerSecond, // refills 4 requests/s
+		MinPerToken:    1,
+	}
+}
+
+// ANode is the actuator node (Algorithm 4). It interposes on the
+// radio and the actuators: every frame the c-node sends or receives
+// and every actuator command passes through it and is committed to its
+// hash chain (unless audit-flagged), and it holds the token map whose
+// staleness triggers Safe Mode.
+type ANode struct {
+	nodeBase
+	cfg ANodeConfig
+
+	tkMap map[wire.RobotID]wire.Tick
+
+	bktLvl        float64
+	lastBktUpdate wire.Tick
+
+	safeMode   bool
+	graceUntil wire.Tick // token checks start TVal after mission start
+	onSafeMode func()
+
+	toNIC      func(wire.Frame)
+	toCNode    func(wire.Frame)
+	toActuator func(wire.ActuatorCmd)
+}
+
+// NewANode constructs an a-node. The three forwarding hooks model the
+// wiring of Fig. 3 (c-node ↔ radio, c-node ↔ motors); nil hooks drop.
+// onSafeMode is the kill-switch callback; it fires at most once.
+func NewANode(cfg ANodeConfig, clock Clock,
+	toNIC, toCNode func(wire.Frame), toActuator func(wire.ActuatorCmd),
+	onSafeMode func()) *ANode {
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	return &ANode{
+		nodeBase:   newNodeBase(wire.NodeA, cfg.BatchSize, clock),
+		cfg:        cfg,
+		tkMap:      make(map[wire.RobotID]wire.Tick),
+		bktLvl:     cfg.BucketCapacity,
+		toNIC:      toNIC,
+		toCNode:    toCNode,
+		toActuator: toActuator,
+		onSafeMode: onSafeMode,
+	}
+}
+
+// Config returns the node's configuration.
+func (a *ANode) Config() ANodeConfig { return a.cfg }
+
+// LoadMissionKey installs the mission key and arms the token deadline:
+// the robot has TVal from now to collect its first Fmax+1 tokens.
+// Before the key is installed the a-node forwards nothing (§3.3), so a
+// robot whose c-node withholds the key stays visibly disabled.
+func (a *ANode) LoadMissionKey(sealed SealedMissionKey) bool {
+	if !a.nodeBase.LoadMissionKey(sealed) {
+		return false
+	}
+	a.graceUntil = a.clock() + a.cfg.TVal
+	return true
+}
+
+// InSafeMode reports whether the kill switch has fired.
+func (a *ANode) InSafeMode() bool { return a.safeMode }
+
+// PowerCycle models a power cycle: all RAM state — mission key, hash
+// chain, token map, rate-limiter bucket, and the Safe Mode latch — is
+// reset; flash state persists. A physically recovered robot can thus
+// be re-keyed for the next mission, but an adversary replaying last
+// mission's sealed key gets nothing (the flash sequence number already
+// covers it).
+func (a *ANode) PowerCycle() {
+	a.powerCycle()
+	a.tkMap = make(map[wire.RobotID]wire.Tick)
+	a.bktLvl = a.cfg.BucketCapacity
+	a.lastBktUpdate = 0
+	a.safeMode = false
+	a.graceUntil = 0
+}
+
+func (a *ANode) invokeSafeMode() {
+	if a.safeMode {
+		return
+	}
+	a.safeMode = true
+	a.zeroKey()
+	if a.onSafeMode != nil {
+		a.onSafeMode()
+	}
+}
+
+// CheckTokens runs periodically (Algorithm 4): count installed tokens
+// younger than TVal on the local clock; if fewer than Fmax+1, zero the
+// key and trigger Safe Mode. The check is suppressed during the
+// initial grace window — at power-up no tokens can exist yet, and the
+// paper's robots likewise have until their first tokens age out.
+func (a *ANode) CheckTokens() {
+	if !a.HasKey() {
+		return
+	}
+	now := a.clock()
+	if now < a.graceUntil {
+		return
+	}
+	nVal := 0
+	for _, t := range a.tkMap {
+		if t+a.cfg.TVal > now {
+			nVal++
+		}
+	}
+	if nVal < a.cfg.Fmax+1 {
+		a.invokeSafeMode()
+	}
+}
+
+// RecvWireless is triggered on packet reception (Algorithm 4): forward
+// to the c-node, and commit the frame to the chain unless it carries
+// the audit type bit.
+func (a *ANode) RecvWireless(f wire.Frame) {
+	if !a.HasKey() {
+		return
+	}
+	if !f.IsAudit() && len(f.Payload) > wire.MaxLoggedPayload {
+		return // unloggable frame: refuse to deliver rather than skip the chain
+	}
+	if a.toCNode != nil {
+		a.toCNode(f)
+	}
+	if !f.IsAudit() {
+		a.appendToChain(wire.EntryRecv, f.Encode())
+	}
+}
+
+// SendWireless forwards a frame from the c-node to the radio,
+// committing it to the chain unless audit-flagged. Returns whether the
+// frame was forwarded.
+func (a *ANode) SendWireless(f wire.Frame) bool {
+	if !a.HasKey() {
+		return false
+	}
+	if !f.IsAudit() && len(f.Payload) > wire.MaxLoggedPayload {
+		return false
+	}
+	if a.toNIC != nil {
+		a.toNIC(f)
+	}
+	if !f.IsAudit() {
+		a.appendToChain(wire.EntrySend, f.Encode())
+	}
+	return true
+}
+
+// ActuatorCmd forwards an actuator command and commits it to the
+// chain. Returns whether the command reached the motors — false once
+// in Safe Mode or before the mission key is installed.
+func (a *ANode) ActuatorCmd(cmd wire.ActuatorCmd) bool {
+	if !a.HasKey() {
+		return false
+	}
+	if a.toActuator != nil {
+		a.toActuator(cmd)
+	}
+	a.appendToChain(wire.EntryActuator, cmd.Encode())
+	return true
+}
+
+func treqMACInput(t wire.Tick, auditee, auditor wire.RobotID) []byte {
+	w := wire.NewWriter(13)
+	w.U8(tagTREQ)
+	w.U64(uint64(t))
+	w.U16(uint16(auditee))
+	w.U16(uint16(auditor))
+	return w.Bytes()
+}
+
+func tokenMACInput(auditor, auditee wire.RobotID, t wire.Tick, h cryptolite.ChainHash) []byte {
+	w := wire.NewWriter(13 + cryptolite.SHA1Size)
+	w.U8(tagTOKEN)
+	w.U16(uint16(auditor))
+	w.U16(uint16(auditee))
+	w.U64(uint64(t))
+	w.Raw(h[:])
+	return w.Bytes()
+}
+
+// MakeTokenRequest issues an a-node-signed audit solicitation
+// addressed to dest (Algorithm 4). The leaky bucket caps the rate at ρ
+// while allowing bursts up to the bucket capacity — without it,
+// compromised robots could mount an audit-DoS (§3.8). ok is false when
+// rate-limited or keyless.
+func (a *ANode) MakeTokenRequest(dest wire.RobotID) (wire.TokenRequest, bool) {
+	if !a.HasKey() {
+		return wire.TokenRequest{}, false
+	}
+	t := a.clock()
+	lvl := a.bktLvl + a.cfg.Rho*float64(t-a.lastBktUpdate)
+	if lvl > a.cfg.BucketCapacity {
+		lvl = a.cfg.BucketCapacity
+	}
+	a.lastBktUpdate = t
+	if lvl < a.cfg.MinPerToken {
+		a.bktLvl = lvl
+		return wire.TokenRequest{}, false
+	}
+	a.bktLvl = lvl - a.cfg.MinPerToken
+	a.macOps++
+	return wire.TokenRequest{
+		Auditee: a.robID,
+		Auditor: dest,
+		T:       t,
+		Mac:     a.mac.MAC(treqMACInput(t, a.robID, dest)),
+	}, true
+}
+
+// IssueToken runs on the *auditor's* a-node after a successful audit
+// (Algorithm 4): it verifies the auditee's token request (which must
+// be addressed to this robot and must not be a self-request) and mints
+// a token binding (auditor, auditee, auditee-local time, checkpoint
+// hash).
+func (a *ANode) IssueToken(req wire.TokenRequest, hCkpt cryptolite.ChainHash) (wire.Token, bool) {
+	if !a.HasKey() {
+		return wire.Token{}, false
+	}
+	if req.Auditee == a.robID || req.Auditor != a.robID {
+		return wire.Token{}, false
+	}
+	a.macOps++
+	if !a.mac.Verify(treqMACInput(req.T, req.Auditee, a.robID), req.Mac) {
+		return wire.Token{}, false
+	}
+	a.macOps++
+	return wire.Token{
+		Auditor: a.robID,
+		Auditee: req.Auditee,
+		T:       req.T,
+		HCkpt:   hCkpt,
+		Mac:     a.mac.MAC(tokenMACInput(a.robID, req.Auditee, req.T, hCkpt)),
+	}, true
+}
+
+// IsTokenValid runs on the *auditee's* a-node: it checks that tok is a
+// genuine token for this robot (Algorithm 4).
+func (a *ANode) IsTokenValid(tok wire.Token) bool {
+	if !a.HasKey() || tok.Auditee != a.robID {
+		return false
+	}
+	a.macOps++
+	return a.mac.Verify(tokenMACInput(tok.Auditor, tok.Auditee, tok.T, tok.HCkpt), tok.Mac)
+}
+
+// VerifyToken checks a token issued to *any* robot of the MRS. The
+// auditor needs this to validate the tokens covering an auditee's
+// start checkpoint (§3.7); the paper's ISTOKENVALID pseudocode is
+// written from the token owner's perspective only, so this is the
+// natural generalization (the MAC covers the auditee ID, making the
+// explicit-auditee check equally sound).
+func (a *ANode) VerifyToken(tok wire.Token) bool {
+	if !a.HasKey() {
+		return false
+	}
+	a.macOps++
+	return a.mac.Verify(tokenMACInput(tok.Auditor, tok.Auditee, tok.T, tok.HCkpt), tok.Mac)
+}
+
+// InstallToken validates and records a token (Algorithm 4):
+// tkMap[auditor] ← t. Returns whether the token was installed.
+func (a *ANode) InstallToken(tok wire.Token) bool {
+	if !a.IsTokenValid(tok) {
+		return false
+	}
+	a.tkMap[tok.Auditor] = tok.T
+	return true
+}
+
+// ValidTokenCount returns how many installed tokens are currently
+// fresh; exposed for metrics and tests only.
+func (a *ANode) ValidTokenCount() int {
+	now := a.clock()
+	n := 0
+	for _, t := range a.tkMap {
+		if t+a.cfg.TVal > now {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,72 @@
+package trusted
+
+import "roborebound/internal/cryptolite"
+
+// DefaultBatchSize is the number of chain entries hashed per link
+// (§3.8: batching amortizes hashing cost on small MCUs; §5.1
+// benchmarks ten-message batches).
+const DefaultBatchSize = 10
+
+// Chain is the batched hash chain maintained by each trusted node
+// (Algorithm 2: appendToChain/flushBuffer). It is exported because the
+// auditor must run a bit-identical replica while replaying a log
+// segment (§3.7: "it can update the hash chains whenever the s-node or
+// a-node would have done so") — exporting the same code is how we
+// guarantee the replica never diverges from the node.
+type Chain struct {
+	top       cryptolite.ChainHash
+	buf       [][]byte
+	batchSize int
+}
+
+// NewChain returns a chain starting at h₀ = 0 with the given batch
+// size. A batchSize of 1 disables batching (the ablation benches sweep
+// this).
+func NewChain(batchSize int) *Chain {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	return &Chain{batchSize: batchSize}
+}
+
+// NewChainAt returns a chain replica positioned at an arbitrary top
+// value with an empty buffer — the auditor's starting point, since
+// authenticators are only ever produced at flush boundaries.
+func NewChainAt(top cryptolite.ChainHash, batchSize int) *Chain {
+	c := NewChain(batchSize)
+	c.top = top
+	return c
+}
+
+// Append adds one entry; when the buffer reaches the batch size it is
+// flushed into the chain.
+func (c *Chain) Append(entry []byte) {
+	// The entry is retained until the flush; copy so that callers may
+	// reuse their buffers.
+	c.buf = append(c.buf, append([]byte(nil), entry...))
+	if len(c.buf) >= c.batchSize {
+		c.flush()
+	}
+}
+
+// Flush forces any buffered entries into the chain and returns the
+// top. Called by MAKEAUTHENTICATOR so the authenticator always covers
+// everything appended so far.
+func (c *Chain) Flush() cryptolite.ChainHash {
+	if len(c.buf) > 0 {
+		c.flush()
+	}
+	return c.top
+}
+
+// Top returns the current top hash without flushing. Buffered entries
+// are not yet covered.
+func (c *Chain) Top() cryptolite.ChainHash { return c.top }
+
+// Pending returns the number of buffered (unflushed) entries.
+func (c *Chain) Pending() int { return len(c.buf) }
+
+func (c *Chain) flush() {
+	c.top = cryptolite.ChainExtend(c.top, c.buf)
+	c.buf = c.buf[:0]
+}

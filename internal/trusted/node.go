@@ -1,0 +1,142 @@
+package trusted
+
+import (
+	"roborebound/internal/cryptolite"
+	"roborebound/internal/wire"
+)
+
+// nodeBase is the state and functions shared by s-nodes and a-nodes
+// (Algorithm 2): the one-time master key, the per-mission key, and the
+// batched hash chain.
+type nodeBase struct {
+	kind   uint8 // wire.NodeS or wire.NodeA
+	robID  wire.RobotID
+	master []byte // nil until LOADMASTERKEY; write-once ("flash")
+	keySeq uint64
+
+	clock Clock
+	mac   *cryptolite.LightMAC // nil ⇔ key = 0 in the paper
+	chain *Chain
+
+	// macOps counts MAC computations and hashedBytes counts bytes fed
+	// through the hash, for the Table 1/2 load accounting. Counters are
+	// observability-only; the protocol never reads them.
+	macOps      uint64
+	hashedBytes uint64
+}
+
+func newNodeBase(kind uint8, batchSize int, clock Clock) nodeBase {
+	return nodeBase{kind: kind, chain: NewChain(batchSize), clock: clock}
+}
+
+// LoadMasterKey sets the master key and robot ID; it is one-time
+// programmable — subsequent calls are silently ignored, exactly as in
+// Algorithm 2 (the "flash var" can only be burned once).
+func (n *nodeBase) LoadMasterKey(master []byte, id wire.RobotID) {
+	if n.master != nil {
+		return
+	}
+	n.master = append([]byte(nil), master...)
+	n.robID = id
+}
+
+// LoadMissionKey installs a fresh mission key (Algorithm 2,
+// LOADMISSIONKEY). It verifies the MAC under the master key, requires
+// a strictly increasing sequence number (anti-replay across
+// power-ups), and unblinds the key with H(r ‖ masterKey). Returns
+// whether the key was accepted.
+func (n *nodeBase) LoadMissionKey(sealed SealedMissionKey) bool {
+	if n.master == nil {
+		return false
+	}
+	if sealed.Seq <= n.keySeq {
+		return false
+	}
+	if !masterMAC(n.master).Verify(mkeyMACInput(sealed.Blinded, sealed.R, sealed.Seq), sealed.Mac) {
+		return false
+	}
+	pad := blindPad(n.master, sealed.R)
+	secret := make([]byte, MissionKeySize)
+	for i := range secret {
+		secret[i] = sealed.Blinded[i] ^ pad[i]
+	}
+	n.keySeq = sealed.Seq
+	n.mac = cryptolite.NewLightMACFromSecret(secret)
+	return true
+}
+
+// HasKey reports whether a mission key is installed (key ≠ 0).
+func (n *nodeBase) HasKey() bool { return n.mac != nil }
+
+// powerCycle models removing and restoring power: RAM state (mission
+// key, chain buffer and top) is lost; flash state (master key, robot
+// ID, key sequence) persists — which is exactly what makes replaying a
+// previous mission's sealed key useless (§3.3).
+func (n *nodeBase) powerCycle() {
+	n.mac = nil
+	n.chain = NewChain(n.chain.batchSize)
+}
+
+// ID returns the robot ID burned at provisioning time.
+func (n *nodeBase) ID() wire.RobotID { return n.robID }
+
+// zeroKey drops the mission key; every guarded function then returns
+// early ("key ← 0" in CHECKTOKENS).
+func (n *nodeBase) zeroKey() { n.mac = nil }
+
+func (n *nodeBase) appendToChain(kind uint8, payload []byte) {
+	e := wire.LogEntry{Kind: kind, Payload: payload}
+	enc := e.Encode()
+	n.hashedBytes += uint64(len(enc))
+	n.chain.Append(enc)
+}
+
+func authMACInput(kind uint8, t wire.Tick, top cryptolite.ChainHash, id wire.RobotID) []byte {
+	w := wire.NewWriter(10 + cryptolite.SHA1Size + 2)
+	w.U8(tagAUTH)
+	w.U8(kind)
+	w.U64(uint64(t))
+	w.Raw(top[:])
+	w.U16(uint16(id))
+	return w.Bytes()
+}
+
+// MakeAuthenticator flushes the chain and returns an authenticator for
+// its top (Algorithm 2), stamped with the node's local time so that an
+// auditor can require end-of-segment authenticators to be fresh (see
+// wire.Authenticator). Returns ok=false when no mission key is
+// installed.
+func (n *nodeBase) MakeAuthenticator() (wire.Authenticator, bool) {
+	if n.mac == nil {
+		return wire.Authenticator{}, false
+	}
+	top := n.chain.Flush()
+	t := n.clock()
+	n.macOps++
+	return wire.Authenticator{
+		NodeKind: n.kind,
+		T:        t,
+		Top:      top,
+		ID:       n.robID,
+		Mac:      n.mac.MAC(authMACInput(n.kind, t, top, n.robID)),
+	}, true
+}
+
+// CheckAuthenticator verifies an authenticator from any robot in the
+// MRS (they all share the mission key). Used by the auditor after
+// replay (§3.7) — the check runs on the auditor's own trusted node, so
+// the key never leaves trusted hardware.
+func (n *nodeBase) CheckAuthenticator(a wire.Authenticator) bool {
+	if n.mac == nil {
+		return false
+	}
+	n.macOps++
+	return n.mac.Verify(authMACInput(a.NodeKind, a.T, a.Top, a.ID), a.Mac)
+}
+
+// MACOps returns the number of MAC computations performed, for the
+// Table 1/2 load model.
+func (n *nodeBase) MACOps() uint64 { return n.macOps }
+
+// HashedBytes returns the total bytes appended to the hash chain.
+func (n *nodeBase) HashedBytes() uint64 { return n.hashedBytes }

@@ -1,0 +1,33 @@
+package trusted
+
+import "roborebound/internal/wire"
+
+// SNode is the sensor node (Algorithm 3): it sits between the robot's
+// sensors and the c-node, forwarding readings while committing each
+// one to its hash chain. A compromised c-node therefore cannot later
+// claim its sensors showed something else (§2.5's "strong wind from
+// the right" evasion).
+type SNode struct {
+	nodeBase
+}
+
+// NewSNode constructs an s-node with the given chain batch size. The
+// clock is the s-node's own local timer (§3.2: every trusted MCU has
+// one); it shares the robot's power-up instant with the a-node's.
+func NewSNode(batchSize int, clock Clock) *SNode {
+	return &SNode{nodeBase: newNodeBase(wire.NodeS, batchSize, clock)}
+}
+
+// PollSensors commits a sensor reading to the chain and returns it for
+// forwarding to the c-node. ok is false when no mission key is
+// installed yet (the reading is then withheld, as in Algorithm 3).
+func (s *SNode) PollSensors(reading wire.SensorReading) (wire.SensorReading, bool) {
+	if !s.HasKey() {
+		return wire.SensorReading{}, false
+	}
+	s.appendToChain(wire.EntrySensor, reading.Encode())
+	return reading, true
+}
+
+// PowerCycle models a power cycle (see nodeBase.powerCycle).
+func (s *SNode) PowerCycle() { s.powerCycle() }

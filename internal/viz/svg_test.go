@@ -1,0 +1,102 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"roborebound/internal/geom"
+	"roborebound/internal/wire"
+)
+
+func TestRenderSnapshotBasics(t *testing.T) {
+	goal := geom.V(100, 100)
+	svg := RenderSnapshot(Snapshot{
+		Title: "t = 150 s",
+		Robots: map[wire.RobotID]geom.Vec2{
+			1: geom.V(0, 0),
+			2: geom.V(10, 5),
+			3: geom.V(20, -5),
+		},
+		Markers:       map[wire.RobotID]Marker{3: MarkerCompromised},
+		Goal:          &goal,
+		Obstacles:     []geom.SphereObstacle{{C: geom.V(50, 50), R: 8}},
+		KeepOutRadius: 30,
+	})
+	for _, want := range []string{
+		"<svg", "</svg>", "viewBox",
+		markerStyle[MarkerCorrect], markerStyle[MarkerCompromised],
+		"stroke-dasharray",   // the keep-out ring
+		"robot 1", "robot 3", // tooltips
+		"t = 150 s",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<circle") != 3+1+1 { // robots + obstacle + ring
+		t.Errorf("unexpected circle count in:\n%s", svg)
+	}
+}
+
+func TestRenderSnapshotEmpty(t *testing.T) {
+	svg := RenderSnapshot(Snapshot{})
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Error("empty snapshot should still be a valid document")
+	}
+}
+
+func TestRenderSnapshotDeterministic(t *testing.T) {
+	s := Snapshot{Robots: map[wire.RobotID]geom.Vec2{
+		5: geom.V(1, 1), 2: geom.V(2, 2), 9: geom.V(3, 3),
+	}}
+	if RenderSnapshot(s) != RenderSnapshot(s) {
+		t.Error("snapshot rendering not deterministic (map order leak)")
+	}
+}
+
+func TestRenderSnapshotEscapesTitle(t *testing.T) {
+	svg := RenderSnapshot(Snapshot{Title: `attack <&> defense`})
+	if strings.Contains(svg, "<&>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "&lt;&amp;&gt;") {
+		t.Error("escaped entities missing")
+	}
+}
+
+func TestRenderLinePlot(t *testing.T) {
+	svg := RenderLinePlot(LinePlot{
+		Title:  "distance to goal",
+		XLabel: "time (s)",
+		YLabel: "distance (m)",
+		X:      []float64{0, 10, 20, 30},
+		Series: map[string][]float64{
+			"r1": {300, 200, 100, 50},
+			"r2": {310, 210, 110, 60},
+		},
+		ShadeX0: 10,
+		ShadeX1: 25,
+	})
+	for _, want := range []string{"<svg", "</svg>", "distance to goal", "time (s)", "#fed7d7", "<path"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("plot missing %q", want)
+		}
+	}
+	if strings.Count(svg, `<path d="M`) != 2 {
+		t.Error("expected two series paths")
+	}
+}
+
+func TestRenderLinePlotEmpty(t *testing.T) {
+	svg := RenderLinePlot(LinePlot{})
+	if !strings.Contains(svg, "<svg") {
+		t.Error("empty plot should still render a document")
+	}
+}
+
+func TestRenderLinePlotNoShadeWhenDegenerate(t *testing.T) {
+	svg := RenderLinePlot(LinePlot{X: []float64{0, 1}, Series: map[string][]float64{"a": {1, 2}}})
+	if strings.Contains(svg, "#fed7d7") {
+		t.Error("shade drawn without a window")
+	}
+}

@@ -1,0 +1,163 @@
+package wire
+
+import "fmt"
+
+// Log entries. The c-node logs every nondeterministic input and output
+// (§3.4): sensor readings, received and sent wireless messages, and
+// actuator commands. The *same* byte encoding is what the trusted
+// nodes append to their hash chains (Algorithms 3–4 append
+// "label ‖ len ‖ payload"), so an auditor can recompute both chains
+// directly from the log it receives.
+//
+// Encoded entry layout: kind (1 B) ‖ len (1 B) ‖ payload (len B).
+// The one-byte length caps logged payloads at 255 B; the a-node
+// refuses to forward larger non-audit messages (audit traffic, which
+// can reach ~2 kB, is never logged). Sizes line up with §5.2: sensor
+// entries are 34 B and actuator entries 26 B.
+const (
+	EntrySensor   uint8 = 0x10 // "input" in Algorithm 3
+	EntryRecv     uint8 = 0x11
+	EntrySend     uint8 = 0x12
+	EntryActuator uint8 = 0x13 // "acmd" in Algorithm 4
+)
+
+// MaxLoggedPayload is the largest payload a log entry can carry.
+const MaxLoggedPayload = 255
+
+// LogEntry is one record of the c-node's log / one trusted-node hash
+// chain entry.
+type LogEntry struct {
+	Kind    uint8
+	Payload []byte
+}
+
+// EncodedSize returns the size of the encoded entry.
+func (e *LogEntry) EncodedSize() int { return 2 + len(e.Payload) }
+
+// Encode serializes the entry. Panics if the payload exceeds
+// MaxLoggedPayload — the a-node guards that invariant before any entry
+// is constructed.
+func (e *LogEntry) Encode() []byte {
+	if len(e.Payload) > MaxLoggedPayload {
+		panic("wire: log entry payload exceeds 255 bytes")
+	}
+	w := NewWriter(e.EncodedSize())
+	w.U8(e.Kind)
+	w.U8(uint8(len(e.Payload)))
+	w.Raw(e.Payload)
+	return w.Bytes()
+}
+
+// IsSensor reports whether the entry belongs to the s-node's chain;
+// all other kinds belong to the a-node's chain.
+func (e *LogEntry) IsSensor() bool { return e.Kind == EntrySensor }
+
+func validEntryKind(k uint8) bool {
+	return k == EntrySensor || k == EntryRecv || k == EntrySend || k == EntryActuator
+}
+
+// DecodeLogEntries parses a concatenation of encoded entries, as
+// carried in an audit request's segment.
+func DecodeLogEntries(b []byte) ([]LogEntry, error) {
+	var out []LogEntry
+	r := NewReader(b)
+	for r.Remaining() > 0 {
+		kind := r.U8()
+		n := int(r.U8())
+		payload := r.Raw(n)
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("log entry %d: %w", len(out), err)
+		}
+		if !validEntryKind(kind) {
+			return nil, fmt.Errorf("log entry %d: unknown kind 0x%02x", len(out), kind)
+		}
+		out = append(out, LogEntry{Kind: kind, Payload: payload})
+	}
+	return out, nil
+}
+
+// EncodeLogEntries concatenates the encodings of entries.
+func EncodeLogEntries(entries []LogEntry) []byte {
+	n := 0
+	for i := range entries {
+		n += entries[i].EncodedSize()
+	}
+	w := NewWriter(n)
+	for i := range entries {
+		w.U8(entries[i].Kind)
+		w.U8(uint8(len(entries[i].Payload)))
+		w.Raw(entries[i].Payload)
+	}
+	return w.Bytes()
+}
+
+// SensorReading is the payload of an EntrySensor entry: the robot's
+// own pose as sampled by the s-node. Position is float64 (replay needs
+// the exact values the controller saw); velocity is float32. With the
+// 2-byte entry header the encoded entry is 34 bytes, matching §5.2.
+type SensorReading struct {
+	Time       Tick
+	PosX, PosY float64
+	VelX, VelY float32
+}
+
+// SensorReadingSize is the payload size of a sensor reading.
+const SensorReadingSize = 8 + 16 + 8
+
+// Encode serializes the reading (payload only).
+func (s *SensorReading) Encode() []byte {
+	w := NewWriter(SensorReadingSize)
+	w.U64(uint64(s.Time))
+	w.F64(s.PosX)
+	w.F64(s.PosY)
+	w.F32(s.VelX)
+	w.F32(s.VelY)
+	return w.Bytes()
+}
+
+// DecodeSensorReading parses a sensor reading payload.
+func DecodeSensorReading(b []byte) (SensorReading, error) {
+	r := NewReader(b)
+	var s SensorReading
+	s.Time = Tick(r.U64())
+	s.PosX = r.F64()
+	s.PosY = r.F64()
+	s.VelX = r.F32()
+	s.VelY = r.F32()
+	if err := r.Done(); err != nil {
+		return SensorReading{}, fmt.Errorf("sensor reading: %w", err)
+	}
+	return s, nil
+}
+
+// ActuatorCmd is the payload of an EntryActuator entry: the commanded
+// acceleration vector. Encoded entry size is 26 bytes, matching §5.2.
+type ActuatorCmd struct {
+	Time       Tick
+	AccX, AccY float64
+}
+
+// ActuatorCmdSize is the payload size of an actuator command.
+const ActuatorCmdSize = 8 + 16
+
+// Encode serializes the command (payload only).
+func (a *ActuatorCmd) Encode() []byte {
+	w := NewWriter(ActuatorCmdSize)
+	w.U64(uint64(a.Time))
+	w.F64(a.AccX)
+	w.F64(a.AccY)
+	return w.Bytes()
+}
+
+// DecodeActuatorCmd parses an actuator command payload.
+func DecodeActuatorCmd(b []byte) (ActuatorCmd, error) {
+	r := NewReader(b)
+	var a ActuatorCmd
+	a.Time = Tick(r.U64())
+	a.AccX = r.F64()
+	a.AccY = r.F64()
+	if err := r.Done(); err != nil {
+		return ActuatorCmd{}, fmt.Errorf("actuator cmd: %w", err)
+	}
+	return a, nil
+}

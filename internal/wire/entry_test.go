@@ -1,0 +1,96 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogEntrySizesPinned(t *testing.T) {
+	// §5.2: "Sensor log entries take 34B and actuator log entries take
+	// 26B."
+	s := LogEntry{Kind: EntrySensor, Payload: (&SensorReading{}).Encode()}
+	if got := len(s.Encode()); got != 34 {
+		t.Errorf("sensor entry = %d bytes, want 34", got)
+	}
+	a := LogEntry{Kind: EntryActuator, Payload: (&ActuatorCmd{}).Encode()}
+	if got := len(a.Encode()); got != 26 {
+		t.Errorf("actuator entry = %d bytes, want 26", got)
+	}
+}
+
+func TestSensorReadingRoundTrip(t *testing.T) {
+	f := func(tm uint64, px, py float64, vx, vy float32) bool {
+		s := SensorReading{Time: Tick(tm), PosX: px, PosY: py, VelX: vx, VelY: vy}
+		got, err := DecodeSensorReading(s.Encode())
+		return err == nil && bytes.Equal(got.Encode(), s.Encode())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestActuatorCmdRoundTrip(t *testing.T) {
+	f := func(tm uint64, ax, ay float64) bool {
+		a := ActuatorCmd{Time: Tick(tm), AccX: ax, AccY: ay}
+		got, err := DecodeActuatorCmd(a.Encode())
+		return err == nil && bytes.Equal(got.Encode(), a.Encode())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogEntriesRoundTrip(t *testing.T) {
+	entries := []LogEntry{
+		{Kind: EntrySensor, Payload: (&SensorReading{Time: 1, PosX: 2}).Encode()},
+		{Kind: EntryRecv, Payload: []byte("frame bytes")},
+		{Kind: EntrySend, Payload: []byte{}},
+		{Kind: EntryActuator, Payload: (&ActuatorCmd{Time: 3}).Encode()},
+	}
+	enc := EncodeLogEntries(entries)
+	got, err := DecodeLogEntries(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("got %d entries, want %d", len(got), len(entries))
+	}
+	for i := range entries {
+		if got[i].Kind != entries[i].Kind || !bytes.Equal(got[i].Payload, entries[i].Payload) {
+			t.Errorf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeLogEntriesRejectsJunk(t *testing.T) {
+	if _, err := DecodeLogEntries([]byte{0xFF, 0x01, 0x00}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := DecodeLogEntries([]byte{EntryRecv, 10, 1, 2}); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	if got, err := DecodeLogEntries(nil); err != nil || len(got) != 0 {
+		t.Error("empty segment should decode to no entries")
+	}
+}
+
+func TestLogEntryOversizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized payload should panic")
+		}
+	}()
+	e := LogEntry{Kind: EntryRecv, Payload: make([]byte, 256)}
+	e.Encode()
+}
+
+func TestDecodeLogEntriesNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		DecodeLogEntries(b)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

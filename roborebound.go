@@ -1,0 +1,187 @@
+// Package roborebound is a from-scratch reproduction of "RoboRebound:
+// Multi-Robot System Defense with Bounded-Time Interaction" (Gandhi,
+// Cai, Haeberlen, Phan; EuroSys 2025).
+//
+// RoboRebound extends Byzantine fault tolerance to multi-robot systems
+// whose nodes interact through the physical world. Each robot carries
+// two tiny trusted components — an s-node interposing on sensors and
+// an a-node interposing on actuators and the radio — that commit every
+// nondeterministic input and output to hash chains. Robots must
+// periodically convince f_max+1 peers, via PeerReview-style
+// deterministic replay of their logs, that they executed their
+// installed controller faithfully; success earns time-limited tokens,
+// and a robot whose a-node sees fewer than f_max+1 fresh tokens is
+// forced into Safe Mode. The resulting guarantee is *bounded-time
+// interaction* (BTI): a compromised robot can misbehave for at most
+// T_val before it is physically disabled.
+//
+// This package is the public facade: simulation construction, the
+// flocking scenario builders used throughout the paper's evaluation,
+// and the measurement helpers that regenerate its tables and figures.
+// The building blocks live under internal/: trusted nodes, audit log,
+// replay, protocol engine, Olfati-Saber controller, radio model,
+// physics, and the attack library.
+package roborebound
+
+import (
+	"sort"
+
+	"roborebound/internal/attack"
+	"roborebound/internal/control"
+	"roborebound/internal/core"
+	"roborebound/internal/geom"
+	"roborebound/internal/radio"
+	"roborebound/internal/robot"
+	"roborebound/internal/sim"
+	"roborebound/internal/trusted"
+	"roborebound/internal/wire"
+)
+
+// SimConfig configures a simulation. Zero-valued fields default to the
+// paper's evaluation setup.
+type SimConfig struct {
+	// Seed drives every randomized choice (placement jitter, packet
+	// loss). Two runs with equal configs and seeds are bit-identical.
+	Seed uint64
+	// TicksPerSecond is the simulation rate (default 4, i.e. the
+	// paper's 0.25 s control period).
+	TicksPerSecond float64
+	// World overrides the physics (default sim.DefaultWorldConfig).
+	World *sim.WorldConfig
+	// Radio overrides the link model (default radio.DefaultParams).
+	Radio *radio.Params
+	// Core overrides the protocol parameters (default
+	// core.DefaultConfig, i.e. f_max=3, T_audit=4 s, T_val=10 s).
+	Core *core.Config
+	// Master is the MRS master key (a default test key if empty).
+	Master []byte
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.TicksPerSecond == 0 {
+		c.TicksPerSecond = 4
+	}
+	if c.World == nil {
+		w := sim.DefaultWorldConfig()
+		c.World = &w
+	}
+	c.World.TicksPerSecond = c.TicksPerSecond
+	if c.Radio == nil {
+		r := radio.DefaultParams()
+		c.Radio = &r
+	}
+	if c.Core == nil {
+		cc := core.DefaultConfig(c.TicksPerSecond)
+		c.Core = &cc
+	}
+	if c.Master == nil {
+		c.Master = []byte("roborebound-default-master-key")
+	}
+	return c
+}
+
+// Sim is a runnable simulation of one MRS.
+type Sim struct {
+	Cfg    SimConfig
+	Engine *sim.Engine
+	World  *sim.World
+	Medium *radio.Medium
+
+	robots      map[wire.RobotID]*robot.Robot
+	compromised map[wire.RobotID]*attack.Compromised
+	sealed      trusted.SealedMissionKey
+}
+
+// NewSim builds an empty simulation; add robots, then Run.
+func NewSim(cfg SimConfig) *Sim {
+	cfg = cfg.withDefaults()
+	world := sim.NewWorld(*cfg.World)
+	medium := radio.NewMedium(*cfg.Radio, world.Position, cfg.Seed^0x5eed)
+	var mission [trusted.MissionKeySize]byte
+	copy(mission[:], "mission-key-material")
+	return &Sim{
+		Cfg:         cfg,
+		Engine:      sim.NewEngine(world, medium),
+		World:       world,
+		Medium:      medium,
+		robots:      make(map[wire.RobotID]*robot.Robot),
+		compromised: make(map[wire.RobotID]*attack.Compromised),
+		sealed:      trusted.SealMissionKey(cfg.Master, mission, cfg.Seed|1, 1),
+	}
+}
+
+// Tick converts seconds to ticks.
+func (s *Sim) Tick(seconds float64) wire.Tick {
+	return wire.Tick(seconds * s.Cfg.TicksPerSecond)
+}
+
+// Seconds converts a tick to seconds.
+func (s *Sim) Seconds(t wire.Tick) float64 {
+	return float64(t) / s.Cfg.TicksPerSecond
+}
+
+func (s *Sim) newRobot(id wire.RobotID, pos geom.Vec2, factory control.Factory, protected bool) *robot.Robot {
+	body := s.World.AddBody(id, pos)
+	r := robot.New(robot.Config{
+		ID:        id,
+		Protected: protected,
+		Core:      *s.Cfg.Core,
+		Factory:   factory,
+		Master:    s.Cfg.Master,
+		Sealed:    s.sealed,
+	}, body, s.Medium, s.Engine.Now)
+	s.robots[id] = r
+	return r
+}
+
+// AddRobot places a correct robot.
+func (s *Sim) AddRobot(id wire.RobotID, pos geom.Vec2, factory control.Factory, protected bool) *robot.Robot {
+	r := s.newRobot(id, pos, factory, protected)
+	s.Engine.AddActor(r)
+	return r
+}
+
+// AddCompromised places a robot whose c-node turns malicious at the
+// given tick. It behaves correctly (and, when protected, earns tokens)
+// until then.
+func (s *Sim) AddCompromised(id wire.RobotID, pos geom.Vec2, factory control.Factory,
+	protected bool, at wire.Tick, strat attack.Strategy, keepProtocol bool) *attack.Compromised {
+	r := s.newRobot(id, pos, factory, protected)
+	c := attack.NewCompromised(r, at, strat, keepProtocol)
+	s.compromised[id] = c
+	s.Engine.AddActor(c)
+	return c
+}
+
+// Robot returns the robot with the given ID (compromised ones
+// included), or nil.
+func (s *Sim) Robot(id wire.RobotID) *robot.Robot { return s.robots[id] }
+
+// Compromised returns the attack wrapper for id, or nil.
+func (s *Sim) Compromised(id wire.RobotID) *attack.Compromised { return s.compromised[id] }
+
+// IDs returns all robot IDs in ascending order.
+func (s *Sim) IDs() []wire.RobotID {
+	ids := make([]wire.RobotID, 0, len(s.robots))
+	for id := range s.robots {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// CorrectIDs returns the IDs of robots that are not compromised.
+func (s *Sim) CorrectIDs() []wire.RobotID {
+	var ids []wire.RobotID
+	for _, id := range s.IDs() {
+		if _, bad := s.compromised[id]; !bad {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// RunSeconds advances the simulation.
+func (s *Sim) RunSeconds(seconds float64) {
+	s.Engine.Run(s.Tick(seconds))
+}

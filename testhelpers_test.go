@@ -1,0 +1,28 @@
+package roborebound
+
+import (
+	"roborebound/internal/control"
+	"roborebound/internal/core"
+	"roborebound/internal/flocking"
+	"roborebound/internal/geom"
+	"roborebound/internal/wire"
+)
+
+// Shared helpers for the root-package test files.
+
+// coreCfgWith returns the default protocol config at the given tick
+// rate with an explicit f_max.
+func coreCfgWith(ticksPerSecond float64, fmax int) core.Config {
+	cc := core.DefaultConfig(ticksPerSecond)
+	cc.Fmax = fmax
+	return cc
+}
+
+// flockFactory returns an Olfati-Saber factory with Table 3 defaults,
+// 4 m spacing, at 4 ticks/s.
+func flockFactory(spacing float64, goal geom.Vec2) control.Factory {
+	return flocking.Factory{Params: flocking.DefaultParams(4, spacing, goal)}
+}
+
+// wireRobotID converts for test readability.
+func wireRobotID(v uint16) wire.RobotID { return wire.RobotID(v) }
