@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race ci bench fmt-check
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrency-bearing packages plus the
+# facade's parallel-sweep determinism and isolation tests.
+race:
+	$(GO) test -race ./internal/runner ./internal/sim ./internal/radio
+	$(GO) test -race -run 'ParallelSweep|CellIsolation|SweepProgress' .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+ci: fmt-check vet build test race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -164,6 +164,28 @@ func BenchmarkFig9_AttackDefended(b *testing.B) {
 	b.ReportMetric(res.AttackActiveSec[1]-res.AttackActiveSec[0], "attackWindow-s")
 }
 
+// ---------------------------------------------- Sweep parallelism
+//
+// Wall-clock for the same Fig-7-style sweep serially vs on the
+// worker pool — the speedup tracks core count because every cell is
+// an independent simulation (results are byte-identical either way;
+// see TestParallelSweepDeterminism*). On a 4-core box the parallel
+// variant should run ≥ 2× faster; on a single core the two are
+// equal-cost, the pool adding only channel overhead per cell.
+
+func benchFig7Sweep(b *testing.B, workers int) {
+	sizes := []int{9, 16, 25, 36}
+	spacings := []float64{4, 64}
+	var pts []Fig7Point
+	for i := 0; i < b.N; i++ {
+		pts = RunFig7DensitySweep(sizes, spacings, 10, 1, SweepOptions{Workers: workers})
+	}
+	b.ReportMetric(float64(len(pts)), "cells")
+}
+
+func BenchmarkSweep_Serial(b *testing.B)   { benchFig7Sweep(b, 1) }
+func BenchmarkSweep_Parallel(b *testing.B) { benchFig7Sweep(b, 0) } // GOMAXPROCS workers
+
 // -------------------------------------------------------- Ablations
 //
 // Design-choice sweeps DESIGN.md calls out: chain batching (§3.8),

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	roborebound <subcommand> [-quick] [-seed N]
+//	roborebound <subcommand> [-quick] [-seed N] [-parallel N]
 //
 // Subcommands: fig2 fig5 fig6 fig7 fig8 fig9 table1 table2 all
 package main
@@ -14,15 +14,41 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	rr "roborebound"
 )
 
 var (
-	quick  = flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
-	seed   = flag.Uint64("seed", 1, "simulation seed")
-	svgDir = flag.String("svg", "", "also write figure panels as SVG files into this directory (fig2/fig8/fig9)")
+	quick    = flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
+	seed     = flag.Uint64("seed", 1, "simulation seed")
+	svgDir   = flag.String("svg", "", "also write figure panels as SVG files into this directory (fig2/fig8/fig9)")
+	parallel = flag.Int("parallel", 0,
+		"worker count for experiment sweeps: 0 = all cores, 1 = serial (results are identical either way)")
+	progress = flag.Bool("progress", true, "print per-cell sweep progress and timing to stderr")
 )
+
+// sweepOpts threads -parallel and -progress into a sweep call.
+func sweepOpts() rr.SweepOptions {
+	opts := rr.SweepOptions{Workers: *parallel}
+	if *progress {
+		opts.Progress = func(p rr.SweepProgress) {
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s  %.2fs\n", p.Done, p.Total, p.Label, p.Elapsed.Seconds())
+		}
+	}
+	return opts
+}
+
+// timed reports a sweep's total wall-clock next to its cell count
+// (returned by f), so the -parallel speedup is visible at a glance.
+func timed(name string, f func() int) {
+	start := time.Now()
+	cells := f()
+	if *progress {
+		fmt.Fprintf(os.Stderr, "  %s: %d cells in %.2fs (-parallel %d)\n",
+			name, cells, time.Since(start).Seconds(), *parallel)
+	}
+}
 
 func writeSVG(name, doc string) {
 	if *svgDir == "" {
@@ -149,7 +175,11 @@ func fig6() {
 		cfg.DurationSec = 20
 		cfg.PeriodsSec = []float64{4}
 	}
-	points := rr.RunFig6(cfg)
+	var points []rr.Fig6Point
+	timed("fig6 sweep", func() int {
+		points = rr.RunFig6Sweep(cfg, sweepOpts())
+		return len(points)
+	})
 	fmt.Println("Fig. 6 — per-robot bandwidth and storage vs f_max and audit period")
 	fmt.Printf("%7s %7s | %10s %10s %10s %10s | %10s\n",
 		"f_max", "T_audit", "txApp B/s", "txAud B/s", "rxApp B/s", "rxAud B/s", "storage B")
@@ -172,14 +202,23 @@ func fig7() {
 		spacings = []float64{4, 64}
 		scaleSizes = []int{16, 36, 64}
 	}
+	var density, scale []rr.Fig7Point
+	timed("fig7 density sweep", func() int {
+		density = rr.RunFig7DensitySweep(sizes, spacings, duration, *seed, sweepOpts())
+		return len(density)
+	})
+	timed("fig7 scale sweep", func() int {
+		scale = rr.RunFig7ScaleSweep(scaleSizes, duration, *seed, sweepOpts())
+		return len(scale)
+	})
 	fmt.Println("Fig. 7a/7b — cost vs inter-robot distance (fixed N)")
 	fmt.Printf("%6s %9s %9s | %12s %11s\n", "N", "spacing", "peers", "goodput B/s", "storage B")
-	for _, p := range rr.RunFig7Density(sizes, spacings, duration, *seed) {
+	for _, p := range density {
 		fmt.Printf("%6d %8.0fm %9.1f | %12.1f %11.0f\n", p.N, p.SpacingM, p.MeanPeers, p.BandwidthBps, p.StorageBytes)
 	}
 	fmt.Println("\nFig. 7c/7d — cost vs number of robots (64 m spacing)")
 	fmt.Printf("%6s %9s %9s | %12s %11s\n", "N", "spacing", "peers", "goodput B/s", "storage B")
-	for _, p := range rr.RunFig7Scale(scaleSizes, duration, *seed) {
+	for _, p := range scale {
 		fmt.Printf("%6d %8.0fm %9.1f | %12.1f %11.0f\n", p.N, p.SpacingM, p.MeanPeers, p.BandwidthBps, p.StorageBytes)
 	}
 	fmt.Println("\nexpected shape: costs fall as density falls, then level off; per-robot")
@@ -218,14 +257,21 @@ func fig8() {
 	fmt.Println("Fig. 8 — baseline runs (unprotected)")
 	base := cfg
 	base.DisableAttack = true
-	clean := rr.RunAttack(base)
+	// The clean and attacked runs are independent cells; run both on
+	// the sweep runner.
+	var results []rr.AttackRunResult
+	timed("fig8 runs", func() int {
+		results = rr.RunAttackSweep([]rr.AttackRunConfig{base, cfg}, sweepOpts())
+		return len(results)
+	})
+	clean := results[0]
 	fmt.Printf("  (b,c) no attack:      mean final dist %.1f m, crashes %d\n",
 		clean.MeanFinalDist, clean.Crashes)
 	printTrace("        dist-to-goal", clean)
 	writeSVG("fig8b_trace_noattack.svg", rr.RenderAttackTrace("Fig 8b: no attack", clean))
 	writeSVG("fig8c_final_noattack.svg", rr.RenderAttackFinal("Fig 8c: final positions, no attack", base, clean))
 
-	attacked := rr.RunAttack(cfg)
+	attacked := results[1]
 	fmt.Printf("  (d,e) attack, no defense: mean final dist %.1f m, attack active %.0fs–%.0fs (never stopped)\n",
 		attacked.MeanFinalDist, attacked.AttackActiveSec[0], attacked.AttackActiveSec[1])
 	printTrace("        dist-to-goal", attacked)

@@ -26,16 +26,20 @@ func main() {
 		duration = 50
 	}
 
+	// Sweep cells are independent simulations; run them on all cores
+	// (results are byte-identical to the serial sweep).
+	par := rr.SweepOptions{}
+
 	fmt.Println("per-robot defense overhead vs flock density (fixed N):")
 	fmt.Printf("%6s %9s %11s | %13s %11s\n", "N", "spacing", "radio peers", "goodput (B/s)", "storage (B)")
-	for _, p := range rr.RunFig7Density(sizes, spacings, duration, 1) {
+	for _, p := range rr.RunFig7DensitySweep(sizes, spacings, duration, 1, par) {
 		fmt.Printf("%6d %8.0fm %11.1f | %13.1f %11.0f\n",
 			p.N, p.SpacingM, p.MeanPeers, p.BandwidthBps, p.StorageBytes)
 	}
 
 	fmt.Println("\nper-robot defense overhead vs flock size (64 m spacing):")
 	fmt.Printf("%6s %11s | %13s %11s\n", "N", "radio peers", "goodput (B/s)", "storage (B)")
-	for _, p := range rr.RunFig7Scale(scaleSizes, duration, 1) {
+	for _, p := range rr.RunFig7ScaleSweep(scaleSizes, duration, 1, par) {
 		fmt.Printf("%6d %11.1f | %13.1f %11.0f\n", p.N, p.MeanPeers, p.BandwidthBps, p.StorageBytes)
 	}
 

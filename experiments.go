@@ -1,10 +1,14 @@
 package roborebound
 
 import (
+	"fmt"
+	"time"
+
 	"roborebound/internal/attack"
 	"roborebound/internal/flocking"
 	"roborebound/internal/geom"
 	"roborebound/internal/metrics"
+	"roborebound/internal/runner"
 	"roborebound/internal/wire"
 )
 
@@ -13,6 +17,54 @@ import (
 // and audit period), Fig. 7 (scalability vs. density and vs. flock
 // size), and Figs. 8–9 (the example attack without and with
 // RoboRebound).
+//
+// Every sweep is a grid of independent (scenario, seed) cells — each
+// cell builds its own World, Medium, and PRNG — so the sweeps execute
+// on the internal/runner worker pool. Results always come back in
+// input order, identical to the serial loops they replaced; pass
+// SweepOptions{Workers: 1} (or use the no-options entry points) for
+// the serial path.
+
+// ------------------------------------------------------- sweep runner
+
+// SweepProgress describes one finished sweep cell.
+type SweepProgress struct {
+	// Done cells so far (including this one) out of Total.
+	Done, Total int
+	// Label identifies the cell (e.g. "fig7 N=64 spacing=16m").
+	Label string
+	// Elapsed is the cell's wall-clock simulation time.
+	Elapsed time.Duration
+}
+
+// SweepOptions control how a sweep's independent cells execute.
+// Parallelism never changes results: any Workers value produces
+// byte-identical output in the same order.
+type SweepOptions struct {
+	// Workers bounds cell concurrency: 1 runs cells serially on the
+	// calling goroutine, 0 means GOMAXPROCS. The options-less entry
+	// points (RunFig6, RunFig7Density, …) fix Workers to 1.
+	Workers int
+	// Progress, if non-nil, is invoked once per completed cell. Calls
+	// are serialized by the runner; under parallelism the completion
+	// order (and hence the Label sequence) is nondeterministic, but
+	// Done/Total always advance monotonically.
+	Progress func(SweepProgress)
+}
+
+// runnerOpts adapts SweepOptions to the worker pool for an n-cell
+// sweep whose cells are labeled by label(i).
+func (o SweepOptions) runnerOpts(n int, label func(i int) string) runner.Options {
+	ro := runner.Options{Workers: o.Workers}
+	if o.Progress != nil {
+		done := 0 // safe: the runner serializes OnDone
+		ro.OnDone = func(i int, _ error, elapsed time.Duration) {
+			done++
+			o.Progress(SweepProgress{Done: done, Total: n, Label: label(i), Elapsed: elapsed})
+		}
+	}
+	return ro
+}
 
 // ---------------------------------------------------------------- Fig 6
 
@@ -59,39 +111,56 @@ func (c Fig6Config) withDefaults() Fig6Config {
 	return c
 }
 
-// RunFig6 sweeps f_max and the audit period.
+// RunFig6 sweeps f_max and the audit period serially.
 func RunFig6(cfg Fig6Config) []Fig6Point {
+	return RunFig6Sweep(cfg, SweepOptions{Workers: 1})
+}
+
+// RunFig6Sweep is RunFig6 on the parallel sweep runner. Points come
+// back in the same (period-major, then f_max) order as the serial
+// sweep regardless of worker count.
+func RunFig6Sweep(cfg Fig6Config, opts SweepOptions) []Fig6Point {
 	cfg = cfg.withDefaults()
-	var out []Fig6Point
+	type cell struct {
+		period float64
+		fmax   int
+	}
+	var cells []cell
 	for _, period := range cfg.PeriodsSec {
 		for _, fmax := range cfg.Fmaxes {
-			f := fmax
-			if f == 0 {
-				f = -1 // explicit zero in FlockScenario's convention
-			}
-			simu := FlockScenario{
-				N:                  cfg.N,
-				Spacing:            cfg.SpacingM,
-				Goal:               geom.V(500, 500),
-				Protected:          true,
-				Fmax:               f,
-				AuditPeriodSeconds: period,
-				Seed:               cfg.Seed,
-			}.Build()
-			simu.RunSeconds(cfg.DurationSec)
-			bw := simu.MeanBandwidth()
-			out = append(out, Fig6Point{
-				Fmax:           fmax,
-				AuditPeriodSec: period,
-				TxAppBps:       bw.TxApp,
-				TxAuditBps:     bw.TxAudit,
-				RxAppBps:       bw.RxApp,
-				RxAuditBps:     bw.RxAudit,
-				StorageBytes:   simu.MeanStorage(),
-			})
+			cells = append(cells, cell{period: period, fmax: fmax})
 		}
 	}
-	return out
+	label := func(i int) string {
+		return fmt.Sprintf("fig6 fmax=%d T_audit=%gs", cells[i].fmax, cells[i].period)
+	}
+	return runner.AllOpts(opts.runnerOpts(len(cells), label), len(cells), func(i int) Fig6Point {
+		c := cells[i]
+		f := c.fmax
+		if f == 0 {
+			f = -1 // explicit zero in FlockScenario's convention
+		}
+		simu := FlockScenario{
+			N:                  cfg.N,
+			Spacing:            cfg.SpacingM,
+			Goal:               geom.V(500, 500),
+			Protected:          true,
+			Fmax:               f,
+			AuditPeriodSeconds: c.period,
+			Seed:               cfg.Seed,
+		}.Build()
+		simu.RunSeconds(cfg.DurationSec)
+		bw := simu.MeanBandwidth()
+		return Fig6Point{
+			Fmax:           c.fmax,
+			AuditPeriodSec: c.period,
+			TxAppBps:       bw.TxApp,
+			TxAuditBps:     bw.TxAudit,
+			RxAppBps:       bw.RxApp,
+			RxAuditBps:     bw.RxAudit,
+			StorageBytes:   simu.MeanStorage(),
+		}
+	})
 }
 
 // ---------------------------------------------------------------- Fig 7
@@ -106,8 +175,14 @@ type Fig7Point struct {
 }
 
 // RunFig7Density sweeps inter-robot distance at fixed flock sizes
-// (Fig. 7a/7b).
+// (Fig. 7a/7b), serially.
 func RunFig7Density(sizes []int, spacings []float64, durationSec float64, seed uint64) []Fig7Point {
+	return RunFig7DensitySweep(sizes, spacings, durationSec, seed, SweepOptions{Workers: 1})
+}
+
+// RunFig7DensitySweep is RunFig7Density on the parallel sweep runner,
+// preserving the serial (size-major, then spacing) point order.
+func RunFig7DensitySweep(sizes []int, spacings []float64, durationSec float64, seed uint64, opts SweepOptions) []Fig7Point {
 	if sizes == nil {
 		sizes = []int{16, 36, 64, 100}
 	}
@@ -117,28 +192,45 @@ func RunFig7Density(sizes []int, spacings []float64, durationSec float64, seed u
 	if durationSec == 0 {
 		durationSec = 50
 	}
-	var out []Fig7Point
+	type cell struct {
+		n       int
+		spacing float64
+	}
+	var cells []cell
 	for _, n := range sizes {
 		for _, spacing := range spacings {
-			out = append(out, runFig7Cell(n, spacing, durationSec, seed))
+			cells = append(cells, cell{n: n, spacing: spacing})
 		}
 	}
-	return out
+	label := func(i int) string {
+		return fmt.Sprintf("fig7 N=%d spacing=%gm", cells[i].n, cells[i].spacing)
+	}
+	return runner.AllOpts(opts.runnerOpts(len(cells), label), len(cells), func(i int) Fig7Point {
+		return runFig7Cell(cells[i].n, cells[i].spacing, durationSec, seed)
+	})
 }
 
-// RunFig7Scale sweeps flock size at fixed 64 m spacing (Fig. 7c/7d).
+// RunFig7Scale sweeps flock size at fixed 64 m spacing (Fig. 7c/7d),
+// serially.
 func RunFig7Scale(sizes []int, durationSec float64, seed uint64) []Fig7Point {
+	return RunFig7ScaleSweep(sizes, durationSec, seed, SweepOptions{Workers: 1})
+}
+
+// RunFig7ScaleSweep is RunFig7Scale on the parallel sweep runner,
+// preserving the serial point order.
+func RunFig7ScaleSweep(sizes []int, durationSec float64, seed uint64, opts SweepOptions) []Fig7Point {
 	if sizes == nil {
 		sizes = []int{16, 36, 64, 100, 144, 196, 256, 324}
 	}
 	if durationSec == 0 {
 		durationSec = 50
 	}
-	var out []Fig7Point
-	for _, n := range sizes {
-		out = append(out, runFig7Cell(n, 64, durationSec, seed))
+	label := func(i int) string {
+		return fmt.Sprintf("fig7 N=%d spacing=64m", sizes[i])
 	}
-	return out
+	return runner.AllOpts(opts.runnerOpts(len(sizes), label), len(sizes), func(i int) Fig7Point {
+		return runFig7Cell(sizes[i], 64, durationSec, seed)
+	})
 }
 
 func runFig7Cell(n int, spacing, durationSec float64, seed uint64) Fig7Point {
@@ -215,6 +307,30 @@ type AttackRunResult struct {
 
 // RunAttack executes one Fig. 8/9 run.
 func RunAttack(cfg AttackRunConfig) AttackRunResult {
+	return runAttackCell(cfg)
+}
+
+// RunAttackSweep executes independent attack runs (e.g. Fig. 8's
+// baseline and undefended variants, or a seed sweep) on the parallel
+// sweep runner, returning results in input order.
+func RunAttackSweep(cfgs []AttackRunConfig, opts SweepOptions) []AttackRunResult {
+	label := func(i int) string {
+		c := cfgs[i]
+		mode := "undefended"
+		if c.Protected {
+			mode = "defended"
+		}
+		if c.DisableAttack {
+			mode = "no-attack"
+		}
+		return fmt.Sprintf("attack N=%d seed=%d %s", c.N, c.Seed, mode)
+	}
+	return runner.AllOpts(opts.runnerOpts(len(cfgs), label), len(cfgs), func(i int) AttackRunResult {
+		return runAttackCell(cfgs[i])
+	})
+}
+
+func runAttackCell(cfg AttackRunConfig) AttackRunResult {
 	goal := geom.V(cfg.GoalX, cfg.GoalY)
 	fs := FlockScenario{
 		N:         cfg.N,

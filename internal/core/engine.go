@@ -218,6 +218,7 @@ func (e *Engine) solicit(now wire.Tick) {
 		candidates = append(candidates[off:], candidates[:off]...)
 	}
 	sent := 0
+	askedNow := make(map[wire.RobotID]bool)
 	for _, target := range candidates {
 		if sent >= need {
 			break
@@ -229,13 +230,20 @@ func (e *Engine) solicit(now wire.Tick) {
 			sent++
 		}
 		r.asked[target] = true
+		askedNow[target] = true
 	}
 	// Candidates exhausted: allow re-asking peers that have not
-	// produced a token yet (they may have been briefly out of range).
+	// produced a token yet (they may have been briefly out of range) —
+	// but never a peer already asked earlier in this same pass, which
+	// would duplicate the request within one tick and double-count
+	// AuditsRequested.
 	if sent < need {
 		for _, target := range candidates {
 			if sent >= need {
 				break
+			}
+			if askedNow[target] {
+				continue
 			}
 			if _, got := r.tokens[target]; got {
 				continue

@@ -177,6 +177,55 @@ func TestTooFewAuditorsMeansDeath(t *testing.T) {
 	}
 }
 
+func TestSolicitExhaustedCandidatesNoDuplicateAsk(t *testing.T) {
+	// Fmax=2 with a single known peer: one solicit pass needs 3 tokens
+	// but has 1 candidate, so the candidate list is exhausted and the
+	// fallback re-ask loop runs. It must not re-send to the peer the
+	// *same* pass just asked — the historical bug sent a duplicate
+	// AuditRequest within one tick and double-counted AuditsRequested.
+	cfg := DefaultConfig(4)
+	cfg.Fmax = 2
+	h := newHarness(t, cfg, 1)
+	eng := h.engines[1]
+
+	// Make peer 2 a candidate (app traffic marks it heard).
+	state := wire.StateMsg{Src: 2, Time: 0}
+	eng.OnFrame(wire.Frame{Src: 2, Dst: wire.Broadcast, Payload: state.Encode()})
+
+	// Trigger exactly one audit round (tick ≡ id mod TAudit), whose
+	// startRound performs one solicit pass.
+	h.now = wire.Tick(1 + cfg.TAudit)
+	eng.Tick(h.now)
+	if eng.Stats().RoundsStarted != 1 {
+		t.Fatal("round did not start")
+	}
+
+	requests := 0
+	for _, f := range h.queue {
+		if f.IsAudit() && wire.PayloadKind(f.Payload) == wire.KindAuditRequest {
+			if f.Dst != 2 {
+				t.Errorf("audit request to unknown peer %d", f.Dst)
+			}
+			requests++
+		}
+	}
+	if requests != 1 {
+		t.Errorf("one solicit pass sent %d requests to the lone candidate, want exactly 1", requests)
+	}
+	if got := eng.Stats().AuditsRequested; got != 1 {
+		t.Errorf("AuditsRequested = %d after one pass, want 1", got)
+	}
+
+	// A *later* pass may legitimately re-ask the still-tokenless peer
+	// (it may have been briefly out of range) — the dedupe is
+	// per-pass, not per-round.
+	h.now += cfg.RetryDelay
+	eng.Tick(h.now)
+	if got := eng.Stats().AuditsRequested; got != 2 {
+		t.Errorf("AuditsRequested = %d after retry pass, want 2", got)
+	}
+}
+
 func TestMalformedAuditTrafficIgnored(t *testing.T) {
 	cfg := DefaultConfig(4)
 	cfg.Fmax = 1

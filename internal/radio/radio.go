@@ -97,11 +97,12 @@ type queuedFrame struct {
 	frame wire.Frame
 	from  wire.RobotID // physical transmitter (≠ claimed frame.Src for spoofers)
 	seq   uint64
+	size  int // encoded length, measured once at Send time
 }
 
 // Medium is the shared wireless channel. Frames transmitted during
 // tick N are delivered at the start of tick N+1, in deterministic
-// (receiver, transmitter, sequence) order.
+// (receiver ID, then transmit sequence) order.
 type Medium struct {
 	params Params
 	pos    Position
@@ -157,14 +158,14 @@ func (m *Medium) Send(from wire.RobotID, f wire.Frame) {
 	}
 	c := m.Counters(from)
 	for _, fr := range frames {
-		size := uint64(len(fr.Encode()))
+		size := len(fr.Encode())
 		c.TxFrames++
 		if fr.IsAudit() {
-			c.TxAudit += size
+			c.TxAudit += uint64(size)
 		} else {
-			c.TxApp += size
+			c.TxApp += uint64(size)
 		}
-		m.queue = append(m.queue, queuedFrame{frame: fr, from: from, seq: m.seq})
+		m.queue = append(m.queue, queuedFrame{frame: fr, from: from, seq: m.seq, size: size})
 		m.seq++
 	}
 }
@@ -173,6 +174,8 @@ func (m *Medium) Send(from wire.RobotID, f wire.Frame) {
 type Delivery struct {
 	To    wire.RobotID
 	Frame wire.Frame
+
+	seq uint64 // transmit sequence, for the (receiver, queue-order) sort
 }
 
 // Deliver computes which robots receive each queued frame and clears
@@ -182,6 +185,13 @@ type Delivery struct {
 // only the addressee is returned — the a-node's address filter drops
 // the rest, and the paper's byte accounting likewise counts only
 // decoded-and-kept traffic.
+//
+// Deliveries are returned in (receiver ID, then transmit queue order)
+// — the ordering the simulation engine documents and that each
+// c-node's log therefore records. Per receiver this equals send
+// order; across receivers it is receiver-major, so every robot's
+// inbound frame sequence is independent of how other receivers
+// interleave.
 func (m *Medium) Deliver(ids []wire.RobotID) []Delivery {
 	if len(m.queue) == 0 {
 		return nil
@@ -213,13 +223,12 @@ func (m *Medium) Deliver(ids []wire.RobotID) []Delivery {
 				m.Counters(id).Dropped++
 				continue
 			}
-			size := uint64(len(q.frame.Encode()))
 			c := m.Counters(id)
 			c.RxFrames++
 			if q.frame.IsAudit() {
-				c.RxAudit += size
+				c.RxAudit += uint64(q.size)
 			} else {
-				c.RxApp += size
+				c.RxApp += uint64(q.size)
 			}
 			frame := q.frame
 			if m.params.MTUBytes > 0 {
@@ -237,9 +246,19 @@ func (m *Medium) Deliver(ids []wire.RobotID) []Delivery {
 				}
 				frame = complete
 			}
-			out = append(out, Delivery{To: id, Frame: frame})
+			out = append(out, Delivery{To: id, Frame: frame, seq: q.seq})
 		}
 	}
+	// The loop above walks frame-major (preserving the loss model's
+	// per-(frame, receiver) RNG draw order across versions); the
+	// documented contract is receiver-major, so sort. (To, seq) pairs
+	// are unique — one frame reaches one receiver at most once.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].To != out[j].To {
+			return out[i].To < out[j].To
+		}
+		return out[i].seq < out[j].seq
+	})
 	m.queue = m.queue[:0]
 	m.deliverTick++
 	if m.params.MTUBytes > 0 && m.deliverTick%32 == 0 {

@@ -99,6 +99,43 @@ func TestDeliveryDeterministicOrder(t *testing.T) {
 	}
 }
 
+func TestDeliverReceiverMajorOrder(t *testing.T) {
+	// The engine documents delivery "(by receiver ID, then queue
+	// order)". Interleave broadcasts and unicasts from several
+	// transmitters and assert the returned slice is receiver-major
+	// with transmit order preserved within each receiver — the
+	// historical bug returned frame-major order instead.
+	pos := posMap{1: geom.V(0, 0), 2: geom.V(5, 0), 3: geom.V(10, 0), 4: geom.V(15, 0)}
+	m := newTestMedium(pos)
+	send := func(from, to wire.RobotID, payload string) {
+		m.Send(from, wire.Frame{Src: from, Dst: to, Payload: []byte(payload)})
+	}
+	send(3, wire.Broadcast, "b3") // seq 0 → receivers 1, 2, 4
+	send(1, 4, "u14")             // seq 1 → receiver 4
+	send(2, wire.Broadcast, "b2") // seq 2 → receivers 1, 3, 4
+	send(4, 1, "u41")             // seq 3 → receiver 1
+
+	got := m.Deliver([]wire.RobotID{4, 2, 1, 3}) // shuffled roster
+	want := []struct {
+		to      wire.RobotID
+		payload string
+	}{
+		{1, "b3"}, {1, "b2"}, {1, "u41"},
+		{2, "b3"},
+		{3, "b2"},
+		{4, "b3"}, {4, "u14"}, {4, "b2"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d deliveries, want %d: %+v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if got[i].To != w.to || string(got[i].Frame.Payload) != w.payload {
+			t.Errorf("delivery[%d] = to %d %q, want to %d %q",
+				i, got[i].To, got[i].Frame.Payload, w.to, w.payload)
+		}
+	}
+}
+
 func TestSpoofedSrcStillDeliveredFromRealPosition(t *testing.T) {
 	// A compromised robot claims to be robot 9; deliverability is
 	// governed by the *transmitter's* physical position.

@@ -1,0 +1,214 @@
+// Package runner executes independent simulation cells concurrently
+// on a bounded worker pool while preserving the exact semantics of a
+// serial loop: results come back in input order, a panic in any cell
+// surfaces on the caller's goroutine, and a cancelled context stops
+// dispatching new cells. The experiment sweeps (Figs. 2, 6, 7 —
+// grids of (scenario, seed) cells that share no state) are the
+// intended workload; each cell owns its own World, Medium, and PRNG,
+// so running them on N workers is observably identical to running
+// them one after another, just faster.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Options tunes one Map call.
+type Options struct {
+	// Workers bounds concurrency. 0 (or negative) means
+	// runtime.GOMAXPROCS(0); 1 forces the serial fast path, which
+	// runs every cell inline on the caller's goroutine.
+	Workers int
+	// OnDone, if non-nil, is invoked once per completed cell with its
+	// index, error (nil on success), and wall-clock duration. Calls
+	// are serialized under a mutex, so the callback may print or
+	// accumulate without its own locking. Completion order is
+	// nondeterministic under parallelism; use the index, not the call
+	// sequence, to identify cells.
+	OnDone func(index int, err error, elapsed time.Duration)
+}
+
+// WorkerCount resolves an Options.Workers value to an actual pool
+// size for n cells.
+func (o Options) WorkerCount(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// CellError wraps an error returned by one cell, recording which one.
+type CellError struct {
+	Index int
+	Err   error
+}
+
+func (e *CellError) Error() string { return fmt.Sprintf("cell %d: %v", e.Index, e.Err) }
+func (e *CellError) Unwrap() error { return e.Err }
+
+// PanicError records a panic captured inside a worker. Map converts
+// worker panics into errors so one bad cell cannot crash the process
+// from an anonymous goroutine; callers that want the serial-loop
+// crash semantics re-panic (see All).
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("cell %d panicked: %v", e.Index, e.Value)
+}
+
+// Map runs fn for every index in [0, n) on a bounded worker pool and
+// returns the results in input order — results[i] is fn(ctx, i)
+// regardless of which worker ran it or when it finished. The first
+// failing cell (lowest index) determines the returned error; cells
+// that already started still run to completion, but no new cells are
+// dispatched after the context is cancelled (their slots hold the
+// zero value and the error includes ctx.Err()).
+func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, ctx.Err()
+	}
+	workers := opts.WorkerCount(n)
+
+	errs := make([]error, n)
+	var doneMu sync.Mutex
+	finish := func(i int, err error, elapsed time.Duration) {
+		errs[i] = err
+		if opts.OnDone != nil {
+			doneMu.Lock()
+			opts.OnDone(i, err, elapsed)
+			doneMu.Unlock()
+		}
+	}
+	runCell := func(i int) {
+		start := time.Now()
+		var (
+			val T
+			err error
+		)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+				}
+			}()
+			val, err = fn(ctx, i)
+		}()
+		results[i] = val
+		if err != nil && !isPanic(err) {
+			err = &CellError{Index: i, Err: err}
+		}
+		finish(i, err, time.Since(start))
+	}
+
+	if workers == 1 {
+		// Serial fast path: no goroutines, no channels — the parallel
+		// runner degenerates to the plain loop it replaced.
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				errs[i] = &CellError{Index: i, Err: ctx.Err()}
+				continue
+			}
+			runCell(i)
+		}
+		return results, firstError(errs)
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				runCell(i)
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			for j := i; j < n; j++ {
+				errs[j] = &CellError{Index: j, Err: ctx.Err()}
+			}
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return results, firstError(errs)
+}
+
+func isPanic(err error) bool {
+	_, ok := err.(*PanicError)
+	return ok
+}
+
+// firstError returns the error of the lowest-index failing cell, so
+// the reported failure is deterministic no matter which worker
+// finished first.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// All is Map for infallible cells: it runs fn for every index with
+// the given worker bound and returns results in input order. A panic
+// inside any cell is re-raised on the caller's goroutine — exactly
+// what a serial `for` loop over the same cells would do — after all
+// in-flight cells drain.
+func All[T any](workers int, n int, fn func(i int) T) []T {
+	return AllOpts(Options{Workers: workers}, n, fn)
+}
+
+// AllOpts is All with full Options (progress callbacks etc.).
+func AllOpts[T any](opts Options, n int, fn func(i int) T) []T {
+	results, err := Map(context.Background(), n, opts, func(_ context.Context, i int) (T, error) {
+		return fn(i), nil
+	})
+	if err != nil {
+		var pe *PanicError
+		if ok := asPanic(err, &pe); ok {
+			panic(fmt.Sprintf("runner: %v\n%s", pe.Value, pe.Stack))
+		}
+		panic(err) // unreachable: fn cannot return an error
+	}
+	return results
+}
+
+func asPanic(err error, target **PanicError) bool {
+	for err != nil {
+		if pe, ok := err.(*PanicError); ok {
+			*target = pe
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

@@ -1,0 +1,226 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapStableOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		got, err := Map(context.Background(), 50, Options{Workers: workers},
+			func(_ context.Context, i int) (int, error) {
+				// Finish later cells faster to provoke out-of-order
+				// completion; results must still land by index.
+				time.Sleep(time.Duration(50-i) * 10 * time.Microsecond)
+				return i * i, nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestSerialAndParallelIdentical(t *testing.T) {
+	fn := func(_ context.Context, i int) (string, error) {
+		return fmt.Sprintf("cell-%d", i*7%13), nil
+	}
+	serial, err := Map(context.Background(), 40, Options{Workers: 1}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Map(context.Background(), 40, Options{Workers: 6}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("results diverge at %d: %q vs %q", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestWorkerBound(t *testing.T) {
+	var active, peak atomic.Int32
+	_, err := Map(context.Background(), 64, Options{Workers: 3},
+		func(_ context.Context, i int) (struct{}, error) {
+			n := active.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+			active.Add(-1)
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > 3 {
+		t.Errorf("observed %d concurrent cells, want ≤ 3", got)
+	}
+}
+
+func TestFirstErrorByIndexNotByTime(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), 20, Options{Workers: 8},
+		func(_ context.Context, i int) (int, error) {
+			if i == 5 || i == 15 {
+				if i == 15 {
+					return 0, boom // finishes first…
+				}
+				time.Sleep(2 * time.Millisecond)
+				return 0, boom // …but index 5 must win
+			}
+			return i, nil
+		})
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error = %v, want *CellError", err)
+	}
+	if ce.Index != 5 {
+		t.Errorf("reported cell %d, want lowest failing index 5", ce.Index)
+	}
+	if !errors.Is(err, boom) {
+		t.Error("cause not preserved through CellError")
+	}
+}
+
+func TestPanicCaptured(t *testing.T) {
+	results, err := Map(context.Background(), 10, Options{Workers: 4},
+		func(_ context.Context, i int) (int, error) {
+			if i == 3 {
+				panic("cell exploded")
+			}
+			return i, nil
+		})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error = %v, want *PanicError", err)
+	}
+	if pe.Index != 3 || pe.Value != "cell exploded" {
+		t.Errorf("panic error = %+v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic stack not captured")
+	}
+	// Healthy cells still completed.
+	if results[9] != 9 {
+		t.Errorf("surviving cell lost: results[9] = %d", results[9])
+	}
+}
+
+func TestAllRepanicsOnCallerGoroutine(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("All swallowed the cell panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "kaboom") {
+			t.Fatalf("panic value %v does not carry the cell's message", r)
+		}
+	}()
+	All(4, 8, func(i int) int {
+		if i == 6 {
+			panic("kaboom")
+		}
+		return i
+	})
+}
+
+func TestContextCancellationStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	results, err := Map(ctx, 100, Options{Workers: 2},
+		func(_ context.Context, i int) (int, error) {
+			started.Add(1)
+			if i == 3 {
+				cancel()
+			}
+			time.Sleep(100 * time.Microsecond)
+			return 1, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n == 100 {
+		t.Error("cancellation did not stop dispatch")
+	}
+	// Undispatched cells hold the zero value.
+	if results[99] != 0 {
+		t.Errorf("results[99] = %d, want zero value", results[99])
+	}
+}
+
+func TestOnDoneSerializedAndComplete(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[int]time.Duration)
+	inCallback := false
+	_, err := Map(context.Background(), 30, Options{
+		Workers: 8,
+		OnDone: func(i int, err error, elapsed time.Duration) {
+			// The runner serializes OnDone; this re-entrancy check
+			// fails (under -race or by flag) if it ever overlaps.
+			mu.Lock()
+			if inCallback {
+				t.Error("OnDone invoked concurrently")
+			}
+			inCallback = true
+			seen[i] = elapsed
+			inCallback = false
+			mu.Unlock()
+		},
+	}, func(_ context.Context, i int) (int, error) {
+		time.Sleep(50 * time.Microsecond)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 30 {
+		t.Fatalf("OnDone fired %d times, want 30", len(seen))
+	}
+	for i, d := range seen {
+		if d <= 0 {
+			t.Errorf("cell %d reported non-positive duration %v", i, d)
+		}
+	}
+}
+
+func TestWorkerCountResolution(t *testing.T) {
+	cases := []struct {
+		workers, n, wantMax int
+	}{
+		{0, 10, 10}, // GOMAXPROCS-capped, never above n
+		{5, 3, 3},   // never more workers than cells
+		{-2, 4, 4},
+		{1, 100, 1},
+	}
+	for _, c := range cases {
+		got := Options{Workers: c.workers}.WorkerCount(c.n)
+		if got < 1 || got > c.wantMax {
+			t.Errorf("WorkerCount(workers=%d, n=%d) = %d, want 1..%d",
+				c.workers, c.n, got, c.wantMax)
+		}
+	}
+}
+
+func TestZeroCells(t *testing.T) {
+	got, err := Map(context.Background(), 0, Options{},
+		func(_ context.Context, i int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty map: %v, %v", got, err)
+	}
+}

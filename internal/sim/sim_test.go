@@ -174,6 +174,47 @@ func TestEngineDeliveryNextTick(t *testing.T) {
 	}
 }
 
+// deliveryOrderActor records the global order in which the engine
+// hands out deliveries across all actors.
+type deliveryOrderActor struct {
+	id    wire.RobotID
+	trace *[]wire.RobotID // shared: appends own id per delivery
+}
+
+func (a *deliveryOrderActor) ActorID() wire.RobotID { return a.id }
+func (a *deliveryOrderActor) Deliver(wire.Frame)    { *a.trace = append(*a.trace, a.id) }
+func (a *deliveryOrderActor) Tick(wire.Tick)        {}
+
+func TestEngineDeliversByReceiverThenQueueOrder(t *testing.T) {
+	// The engine documents step 1 as "frames queued last tick are
+	// delivered (by receiver ID, then queue order)". Queue frames to
+	// several receivers in interleaved order and assert the engine
+	// walks receivers ascending, exhausting each before the next.
+	w := NewWorld(DefaultWorldConfig())
+	w.AddBody(1, geom.V(0, 0))
+	w.AddBody(2, geom.V(5, 0))
+	w.AddBody(3, geom.V(10, 0))
+	m := radio.NewMedium(radio.DefaultParams(), w.Position, 1)
+	e := NewEngine(w, m)
+	var trace []wire.RobotID
+	for _, id := range []wire.RobotID{3, 1, 2} {
+		e.AddActor(&deliveryOrderActor{id: id, trace: &trace})
+	}
+	m.Send(3, wire.Frame{Src: 3, Dst: wire.Broadcast}) // → 1, 2
+	m.Send(1, wire.Frame{Src: 1, Dst: 3})              // → 3
+	m.Send(2, wire.Frame{Src: 2, Dst: wire.Broadcast}) // → 1, 3
+	e.StepOnce()
+	want := []wire.RobotID{1, 1, 2, 3, 3}
+	if len(trace) != len(want) {
+		t.Fatalf("delivery trace %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("delivery trace %v, want receiver-major %v", trace, want)
+		}
+	}
+}
+
 func TestEngineObserversAndRun(t *testing.T) {
 	w := NewWorld(DefaultWorldConfig())
 	m := radio.NewMedium(radio.DefaultParams(), w.Position, 1)
