@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench fmt-check
+.PHONY: all build vet test race ci bench fmt-check cover chaos-smoke fuzz-smoke
 
 all: ci
 
@@ -10,11 +10,15 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on randomizes test (and subtest) execution order each run,
+# flushing out order-dependent tests; the chosen seed is printed so a
+# failure is reproducible with -shuffle=N.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Race-detector pass over the concurrency-bearing packages plus the
-# facade's parallel-sweep determinism and isolation tests.
+# facade's parallel-sweep determinism and isolation tests (the chaos
+# matrix determinism test matches ParallelSweep).
 race:
 	$(GO) test -race ./internal/runner ./internal/sim ./internal/radio
 	$(GO) test -race -run 'ParallelSweep|CellIsolation|SweepProgress' .
@@ -27,3 +31,25 @@ ci: fmt-check vet build test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Coverage over every package, with a per-function summary and an HTML
+# report CI uploads as an artifact.
+cover:
+	$(GO) test -shuffle=on -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+	$(GO) tool cover -html=coverage.out -o coverage.html
+
+# The cross-seed fault-injection soak (reduced seed block): every
+# controller x every fault profile, invariant-checked every tick.
+# Exits nonzero on any violation.
+chaos-smoke:
+	$(GO) run ./cmd/roborebound -quick -progress=false chaos
+
+# Short fuzz pass over each fuzz target (seed corpora always run as
+# part of `make test`; this explores beyond them).
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzFrameRoundTrip -fuzztime=20s ./internal/wire
+	$(GO) test -run=NONE -fuzz=FuzzDecoders -fuzztime=20s ./internal/wire
+	$(GO) test -run=NONE -fuzz=FuzzFragmentRoundTrip -fuzztime=20s ./internal/radio
+	$(GO) test -run=NONE -fuzz=FuzzReassembler -fuzztime=20s ./internal/radio
+	$(GO) test -run=NONE -fuzz=FuzzDecodeCheckpoint -fuzztime=20s ./internal/auditlog

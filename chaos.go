@@ -1,0 +1,423 @@
+package roborebound
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+
+	"roborebound/internal/attack"
+	"roborebound/internal/control"
+	"roborebound/internal/core"
+	"roborebound/internal/faultinject"
+	"roborebound/internal/geom"
+	"roborebound/internal/runner"
+	"roborebound/internal/wire"
+)
+
+// This file is the chaos-testing facade: one entry point that builds
+// a (controller, fault profile, seed) cell, injects the generated
+// fault schedule plus a deliberate Byzantine attacker, runs the
+// mission with the faultinject.Checker watching every tick, and
+// reports the first violated invariant (if any) together with
+// deterministic metrics. RunChaosMatrix sweeps cells across the
+// runner pool; parallelism never changes a single byte of any cell's
+// result.
+
+// ChaosConfig describes one chaos cell. Zero values take defaults.
+type ChaosConfig struct {
+	// Controller selects the mission: "flocking" (default), "patrol",
+	// or "warehouse".
+	Controller string
+	// Profile selects the generated fault mix (default
+	// faultinject.ProfileMixed; faultinject.ProfileNone is the
+	// control cell).
+	Profile faultinject.Profile
+	// Seed drives everything: placement, loss draws, and the fault
+	// schedule itself. (config, seed) fully determines the run.
+	Seed uint64
+	// N is the number of robots (default 9 flocking, 6 patrol /
+	// warehouse; patrol caps at 8, one per route slot).
+	N int
+	// DurationSec is the mission length (default 60 s).
+	DurationSec float64
+	// Fmax is the defense's f_max (default 2).
+	Fmax int
+	// AttackerSlots are the 0-based roster slots turned Byzantine
+	// (robot ID = slot+1). nil means one attacker at a
+	// controller-appropriate slot; an explicit empty slice means no
+	// attacker.
+	AttackerSlots []int
+	// AttackAtSec is the compromise time (default 20 s — after the
+	// a-node grace window, so attackers first earn tokens honestly).
+	AttackAtSec float64
+	// ExtraFaults are appended verbatim to the generated schedule
+	// (tests use this to aim a specific fault at a specific robot).
+	ExtraFaults []faultinject.Fault
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Controller == "" {
+		c.Controller = "flocking"
+	}
+	if c.Profile == "" {
+		c.Profile = faultinject.ProfileMixed
+	}
+	if c.DurationSec == 0 {
+		c.DurationSec = 60
+	}
+	if c.Fmax == 0 {
+		c.Fmax = 2
+	}
+	if c.N == 0 {
+		if c.Controller == "flocking" {
+			c.N = 9
+		} else {
+			c.N = 6
+		}
+	}
+	if c.Controller == "patrol" && c.N > 8 {
+		c.N = 8
+	}
+	if c.AttackerSlots == nil {
+		slot := 2
+		if c.Controller == "warehouse" {
+			slot = 0 // lowest ID: everyone yields to it, maximum blast radius
+		}
+		if slot >= c.N {
+			slot = 0
+		}
+		c.AttackerSlots = []int{slot}
+	}
+	if c.AttackAtSec == 0 {
+		c.AttackAtSec = 20
+	}
+	return c
+}
+
+// Label names the cell in progress output and test failures.
+func (c ChaosConfig) Label() string {
+	return fmt.Sprintf("chaos %s/%s seed=%d", c.Controller, c.Profile, c.Seed)
+}
+
+// ChaosMetrics are the deterministic outcomes of one cell.
+type ChaosMetrics struct {
+	Robots            int
+	Attackers         int
+	AttackersDisabled int
+	// DisableLatencyTicks lists, per disabled attacker (ascending
+	// ID), Safe-Mode tick minus first-misbehavior tick.
+	DisableLatencyTicks []wire.Tick
+	// CorrectDisabled lists correct, physically intact robots in Safe
+	// Mode (must stay empty; the checker also latches this as a
+	// violation). A robot that physically crashed is excluded: its
+	// protocol halts, so its a-node kill switch firing is the designed
+	// outcome, not a false positive.
+	CorrectDisabled []wire.RobotID
+	SafeMode        []SafeModeEvent
+	RoundsCovered   uint64 // summed over correct robots
+	TxBytes         uint64
+	RxBytes         uint64
+	DroppedFrames   uint64
+	// Fingerprint is a SHA-256 over the canonical encoding of every
+	// robot's final position, velocity, radio counters, and Safe-Mode
+	// state — byte-identical across serial and parallel sweeps.
+	Fingerprint string
+}
+
+// ChaosResult is one cell's full outcome.
+type ChaosResult struct {
+	Config   ChaosConfig
+	Schedule []string // rendered fault entries, in schedule order
+	// Violation is the first invariant breach, or nil when every
+	// guarantee held for the whole run.
+	Violation *faultinject.Violation
+	Metrics   ChaosMetrics
+}
+
+// buildChaosSim constructs the cell's simulation with the schedule's
+// hooks installed and every attacker (deliberate and crash-faulted)
+// in place. It returns the sim and the deliberate attacker IDs.
+func buildChaosSim(cfg ChaosConfig, cc core.Config, sched *faultinject.Schedule) (*Sim, []wire.RobotID) {
+	tps := 4.0
+	attackAt := wire.Tick(cfg.AttackAtSec * tps)
+	attackers := make(map[int]bool) // slot -> deliberate attacker
+	var attackerIDs []wire.RobotID
+	for _, slot := range cfg.AttackerSlots {
+		if slot >= 0 && slot < cfg.N {
+			attackers[slot] = true
+			attackerIDs = append(attackerIDs, wire.RobotID(slot+1))
+		}
+	}
+	crashes := sched.CrashTargets()
+
+	switch cfg.Controller {
+	case "patrol":
+		route := []geom.Vec2{
+			geom.V(0, 0), geom.V(40, 0), geom.V(80, 0), geom.V(80, 40),
+			geom.V(80, 80), geom.V(40, 80), geom.V(0, 80), geom.V(0, 40),
+		}
+		params := control.DefaultPatrolParams(tps, route)
+		params.RingGapM = 3
+		factory := control.PatrolFactory{Params: params}
+		s := NewSim(SimConfig{Seed: cfg.Seed, Core: &cc, Faults: sched})
+		for i := 0; i < cfg.N; i++ {
+			id := wire.RobotID(i + 1)
+			pos := route[int(id)%len(route)]
+			switch {
+			case attackers[i]:
+				s.AddCompromised(id, pos, factory, true, attackAt, attack.Silent{}, false)
+			case crashes[id] > 0:
+				s.AddCompromised(id, pos, factory, true, crashes[id], attack.Silent{}, false)
+			default:
+				s.AddRobot(id, pos, factory, true)
+			}
+		}
+		return s, attackerIDs
+
+	case "warehouse":
+		var pickups, dropoffs []geom.Vec2
+		for i := 0; i < cfg.N; i++ {
+			pickups = append(pickups, geom.V(0, 6*float64(i)))
+			dropoffs = append(dropoffs, geom.V(60, 6*float64(i)))
+		}
+		params := control.DefaultWarehouseParams(tps, pickups, dropoffs)
+		factory := control.WarehouseFactory{Params: params}
+		s := NewSim(SimConfig{Seed: cfg.Seed, Core: &cc, Faults: sched})
+		for i := 0; i < cfg.N; i++ {
+			id := wire.RobotID(i + 1)
+			pos := pickups[i].Add(geom.V(2, 0))
+			switch {
+			case attackers[i]:
+				// Park a phantom in the main aisle between lanes, so
+				// neighbors yield to it (the examples/warehouse lie).
+				s.AddCompromised(id, pos, factory, true, attackAt,
+					attack.Blocker{X: 30, Y: 6*float64(i) + 3, Period: 2}, false)
+			case crashes[id] > 0:
+				s.AddCompromised(id, pos, factory, true, crashes[id], attack.Silent{}, false)
+			default:
+				s.AddRobot(id, pos, factory, true)
+			}
+		}
+		return s, attackerIDs
+
+	default: // flocking
+		goal := geom.V(220, 220)
+		fs := FlockScenario{
+			N:         cfg.N,
+			Spacing:   20,
+			Goal:      goal,
+			Protected: true,
+			Seed:      cfg.Seed,
+			Fmax:      cfg.Fmax,
+			Faults:    sched,
+		}
+		for slot := range attackers {
+			fs.Compromised = append(fs.Compromised, CompromisedSpec{
+				Index:        slot,
+				AtSeconds:    cfg.AttackAtSec,
+				Strategy:     SpoofStrategy(150, 2, 1),
+				KeepProtocol: true,
+			})
+		}
+		for _, id := range sortedIDs(crashes) {
+			at := crashes[id]
+			fs.Compromised = append(fs.Compromised, CompromisedSpec{
+				Index:     int(id) - 1,
+				AtSeconds: float64(at) / tps,
+				Strategy: func([]wire.RobotID, geom.Vec2) attack.Strategy {
+					return attack.Silent{}
+				},
+				KeepProtocol: false,
+			})
+		}
+		return fs.Build(), attackerIDs
+	}
+}
+
+// RunChaos runs one chaos cell: generate the fault schedule from
+// (config, seed), build the mission, watch every tick with the
+// invariant checker, and summarize. Identical configs produce
+// byte-identical results.
+func RunChaos(cfg ChaosConfig) ChaosResult {
+	cfg = cfg.withDefaults()
+	tps := 4.0
+	cc := core.DefaultConfig(tps)
+	cc.Fmax = cfg.Fmax
+	cc.AutoServeLimit()
+	total := wire.Tick(cfg.DurationSec * tps)
+
+	ids := make([]wire.RobotID, cfg.N)
+	for i := range ids {
+		ids[i] = wire.RobotID(i + 1)
+	}
+	var avoid []wire.RobotID
+	for _, slot := range cfg.AttackerSlots {
+		if slot >= 0 && slot < cfg.N {
+			avoid = append(avoid, wire.RobotID(slot+1))
+		}
+	}
+	sched := faultinject.Generate(cfg.Profile, cfg.Seed, ids, total,
+		faultinject.Limits{TVal: cc.TVal, TAudit: cc.TAudit, Avoid: avoid})
+	sched.Faults = append(sched.Faults, cfg.ExtraFaults...)
+
+	s, attackerIDs := buildChaosSim(cfg, cc, &sched)
+	crashes := sched.CrashTargets()
+
+	checker := faultinject.NewChecker(cc.TVal, cc.TAudit, &sched)
+	snaps := make([]faultinject.RobotSnapshot, 0, cfg.N)
+	s.Engine.Observe(func(now wire.Tick) {
+		snaps = snaps[:0]
+		for _, id := range s.IDs() {
+			r := s.Robot(id)
+			sn := faultinject.RobotSnapshot{
+				ID:          id,
+				Protected:   true,
+				InSafeMode:  r.InSafeMode(),
+				PhysCrashed: r.Body().Crashed,
+				Counters:    *s.Medium.Counters(id),
+			}
+			if comp := s.Compromised(id); comp != nil {
+				sn.Compromised = true
+				sn.CrashFaulted = crashes[id] > 0
+				sn.MisbehavedAt, sn.Misbehaved = comp.FirstMisbehaviorAt()
+			}
+			if eng := r.Engine(); eng != nil {
+				sn.RoundsCovered = uint64(eng.Stats().RoundsCovered)
+				sn.LogAccounting = eng.Log().AccountingError()
+			}
+			snaps = append(snaps, sn)
+		}
+		checker.Check(now, snaps)
+	})
+
+	s.RunSeconds(cfg.DurationSec)
+
+	res := ChaosResult{
+		Config:    cfg,
+		Schedule:  sched.Strings(),
+		Violation: checker.Violation(),
+	}
+	m := &res.Metrics
+	m.Robots = cfg.N
+	m.Attackers = len(attackerIDs)
+	for _, id := range attackerIDs {
+		comp := s.Compromised(id)
+		if comp.InSafeMode() {
+			m.AttackersDisabled++
+			if at, ok := comp.FirstMisbehaviorAt(); ok {
+				m.DisableLatencyTicks = append(m.DisableLatencyTicks, comp.SafeModeAt()-at)
+			}
+		}
+	}
+	for _, id := range s.CorrectInSafeMode() {
+		if !s.Robot(id).Body().Crashed {
+			m.CorrectDisabled = append(m.CorrectDisabled, id)
+		}
+	}
+	m.SafeMode = s.SafeModeEvents()
+	for _, id := range s.CorrectIDs() {
+		if eng := s.Robot(id).Engine(); eng != nil {
+			m.RoundsCovered += uint64(eng.Stats().RoundsCovered)
+		}
+	}
+	for _, id := range s.IDs() {
+		c := s.Medium.Counters(id)
+		m.TxBytes += c.TxApp + c.TxAudit
+		m.RxBytes += c.RxApp + c.RxAudit
+		m.DroppedFrames += c.Dropped
+	}
+	m.Fingerprint = chaosFingerprint(s)
+	return res
+}
+
+// chaosFingerprint canonically encodes every robot's final state and
+// hashes it. Any divergence between two runs of the same cell — a
+// position bit, a byte counter, a Safe-Mode tick — changes it.
+func chaosFingerprint(s *Sim) string {
+	h := sha256.New()
+	var buf [8]byte
+	w64 := func(v uint64) { binary.BigEndian.PutUint64(buf[:], v); h.Write(buf[:]) }
+	wf := func(v float64) { w64(math.Float64bits(v)) }
+	for _, id := range s.IDs() {
+		w64(uint64(id))
+		body := s.Robot(id).Body()
+		wf(body.Pos.X)
+		wf(body.Pos.Y)
+		wf(body.Vel.X)
+		wf(body.Vel.Y)
+		c := s.Medium.Counters(id)
+		w64(c.TxApp)
+		w64(c.TxAudit)
+		w64(c.RxApp)
+		w64(c.RxAudit)
+		w64(c.TxFrames)
+		w64(c.RxFrames)
+		w64(c.Dropped)
+		r := s.Robot(id)
+		if r.InSafeMode() {
+			w64(1 + uint64(r.SafeModeAt()))
+		} else {
+			w64(0)
+		}
+		if eng := r.Engine(); eng != nil {
+			st := eng.Stats()
+			w64(uint64(st.RoundsStarted))
+			w64(uint64(st.RoundsCovered))
+			w64(uint64(st.TokensInstalled))
+			w64(uint64(eng.Log().StorageBytes()))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ChaosMatrix builds the cross-seed soak grid: every controller ×
+// every profile × every seed, with base supplying the remaining
+// fields.
+func ChaosMatrix(controllers []string, profiles []faultinject.Profile, seeds []uint64, base ChaosConfig) []ChaosConfig {
+	var cfgs []ChaosConfig
+	for _, ctrl := range controllers {
+		for _, p := range profiles {
+			for _, seed := range seeds {
+				c := base
+				c.Controller = ctrl
+				c.Profile = p
+				c.Seed = seed
+				cfgs = append(cfgs, c)
+			}
+		}
+	}
+	return cfgs
+}
+
+// RunChaosMatrix runs the cells on the sweep runner. Results come
+// back in input order and are byte-identical at any worker count.
+func RunChaosMatrix(cfgs []ChaosConfig, opts SweepOptions) []ChaosResult {
+	label := func(i int) string { return cfgs[i].Label() }
+	return runner.AllOpts(opts.runnerOpts(len(cfgs), label), len(cfgs), func(i int) ChaosResult {
+		return RunChaos(cfgs[i])
+	})
+}
+
+// FirstViolation scans matrix results in order and returns the first
+// cell with a violated invariant, or (-1, nil).
+func FirstViolation(results []ChaosResult) (int, *faultinject.Violation) {
+	for i := range results {
+		if results[i].Violation != nil {
+			return i, results[i].Violation
+		}
+	}
+	return -1, nil
+}
+
+// sortedIDs is a tiny helper for deterministic map iteration.
+func sortedIDs(m map[wire.RobotID]wire.Tick) []wire.RobotID {
+	out := make([]wire.RobotID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

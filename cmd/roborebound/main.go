@@ -5,19 +5,26 @@
 //
 //	roborebound <subcommand> [-quick] [-seed N] [-parallel N]
 //
-// Subcommands: fig2 fig5 fig6 fig7 fig8 fig9 table1 table2 all
+// Subcommands: fig2 fig5 fig6 fig7 fig8 fig9 table1 table2 chaos all
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	rr "roborebound"
+	"roborebound/internal/faultinject"
 )
+
+// out is the destination for all report output. Tests swap it for a
+// buffer; everything user-facing goes through it so subcommands stay
+// checkable without running a subprocess.
+var out io.Writer = os.Stdout
 
 var (
 	quick    = flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
@@ -63,7 +70,7 @@ func writeSVG(name, doc string) {
 		fmt.Fprintf(os.Stderr, "svg: %v\n", err)
 		return
 	}
-	fmt.Printf("  wrote %s\n", path)
+	fmt.Fprintf(out, "  wrote %s\n", path)
 }
 
 func main() {
@@ -83,10 +90,11 @@ func main() {
 		"fig9":   fig9,
 		"table1": table1,
 		"table2": table2,
+		"chaos":  chaos,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"table1", "table2", "fig5", "fig6", "fig7", "fig2", "fig8", "fig9"} {
-			fmt.Printf("\n================ %s ================\n", strings.ToUpper(name))
+			fmt.Fprintf(out, "\n================ %s ================\n", strings.ToUpper(name))
 			cmds[name]()
 		}
 		return
@@ -98,6 +106,9 @@ func main() {
 		os.Exit(2)
 	}
 	f()
+	if chaosFailed {
+		os.Exit(1)
+	}
 }
 
 func usage() {
@@ -112,7 +123,8 @@ subcommands:
   fig2     masquerade attack on a 125-robot flock (§2.4 Fig. 2)
   fig8     example attack, baseline + undefended (§5.3 Fig. 8)
   fig9     example attack with RoboRebound (§5.3 Fig. 9)
-  all      everything above
+  chaos    cross-seed fault-injection soak with invariant checking
+  all      every figure and table above
 
 flags:`)
 	flag.PrintDefaults()
@@ -120,28 +132,28 @@ flags:`)
 
 func table1() {
 	costs := rr.MeasuredCostModel()
-	fmt.Printf("Worst-case a-node load (T_audit=4s, T_state=1.5s, T_ctl=0.25s, f_max=3, 10 peers)\n")
-	fmt.Printf("cost model: MAC=%.1fms  hash=%.1fms  io=%.0f/%.0fms (host-measured crypto × PIC scale %g)\n\n",
+	fmt.Fprintf(out, "Worst-case a-node load (T_audit=4s, T_state=1.5s, T_ctl=0.25s, f_max=3, 10 peers)\n")
+	fmt.Fprintf(out, "cost model: MAC=%.1fms  hash=%.1fms  io=%.0f/%.0fms (host-measured crypto × PIC scale %g)\n\n",
 		costs.MACMs, costs.HashMs, costs.IOSmallMs, costs.IOLargeMs, rr.PICSlowdown)
 	printLoad(rr.Table1(rr.PaperRateConfig(), costs))
-	fmt.Printf("\npaper reports a total of 17.28%% with its measured PIC costs\n")
+	fmt.Fprintf(out, "\npaper reports a total of 17.28%% with its measured PIC costs\n")
 }
 
 func table2() {
 	costs := rr.MeasuredCostModel()
-	fmt.Printf("Worst-case s-node load (same configuration)\n\n")
+	fmt.Fprintf(out, "Worst-case s-node load (same configuration)\n\n")
 	printLoad(rr.Table2(rr.PaperRateConfig(), costs))
-	fmt.Printf("\npaper reports a total of 5.99%%\n")
+	fmt.Fprintf(out, "\npaper reports a total of 5.99%%\n")
 }
 
 func printLoad(rows []rr.LoadRow) {
-	fmt.Printf("%-42s %8s %8s %8s\n", "Primitive (computation)", "ms/op", "ops/s", "Load")
+	fmt.Fprintf(out, "%-42s %8s %8s %8s\n", "Primitive (computation)", "ms/op", "ops/s", "Load")
 	for _, r := range rows {
 		if r.Primitive == "Total" {
-			fmt.Printf("%-42s %8s %8s %7.2f%%\n", "Total", "", "", r.LoadPct)
+			fmt.Fprintf(out, "%-42s %8s %8s %7.2f%%\n", "Total", "", "", r.LoadPct)
 			continue
 		}
-		fmt.Printf("%-42s %8.1f %8.2f %7.2f%%\n", r.Primitive, r.MsPerOp, r.OpsPerSec, r.LoadPct)
+		fmt.Fprintf(out, "%-42s %8.1f %8.2f %7.2f%%\n", r.Primitive, r.MsPerOp, r.OpsPerSec, r.LoadPct)
 	}
 }
 
@@ -150,22 +162,22 @@ func fig5() {
 	if *quick {
 		iters = 500
 	}
-	fmt.Println("Fig. 5a — SHA-1 and LightMAC latency vs argument size")
-	fmt.Printf("%8s %14s %14s %14s %14s\n", "bytes", "hash host ns", "hash PIC ms", "MAC host ns", "MAC PIC ms")
+	fmt.Fprintln(out, "Fig. 5a — SHA-1 and LightMAC latency vs argument size")
+	fmt.Fprintf(out, "%8s %14s %14s %14s %14s\n", "bytes", "hash host ns", "hash PIC ms", "MAC host ns", "MAC PIC ms")
 	hash := rr.MeasureHashLatency(iters)
 	mac := rr.MeasureMACLatency(iters)
 	for i := range hash {
-		fmt.Printf("%8d %14.0f %14.3f %14.0f %14.3f\n",
+		fmt.Fprintf(out, "%8d %14.0f %14.3f %14.0f %14.3f\n",
 			hash[i].Bytes, hash[i].HostNs, hash[i].PICMs, mac[i].HostNs, mac[i].PICMs)
 	}
-	fmt.Println("\nFig. 5b — I/O (framing + copy) overhead vs message size")
-	fmt.Printf("%8s %14s %14s\n", "bytes", "send host ns", "recv host ns")
+	fmt.Fprintln(out, "\nFig. 5b — I/O (framing + copy) overhead vs message size")
+	fmt.Fprintf(out, "%8s %14s %14s\n", "bytes", "send host ns", "recv host ns")
 	send, recv := rr.MeasureIOLatency(iters)
 	for i := range send {
-		fmt.Printf("%8d %14.0f %14.0f\n", send[i].Bytes, send[i].HostNs, recv[i].HostNs)
+		fmt.Fprintf(out, "%8d %14.0f %14.0f\n", send[i].Bytes, send[i].HostNs, recv[i].HostNs)
 	}
-	fmt.Println("\npaper anchors: SHA-1(270B) ≈ 1 ms, MAC(≤40B) ≈ 10–12 ms on the PIC;")
-	fmt.Println("32B ≈ 0.3–0.4 ms, 512B ≈ 3–3.5 ms, 2kB ≈ 11–16 ms I/O")
+	fmt.Fprintln(out, "\npaper anchors: SHA-1(270B) ≈ 1 ms, MAC(≤40B) ≈ 10–12 ms on the PIC;")
+	fmt.Fprintln(out, "32B ≈ 0.3–0.4 ms, 512B ≈ 3–3.5 ms, 2kB ≈ 11–16 ms I/O")
 }
 
 func fig6() {
@@ -180,15 +192,15 @@ func fig6() {
 		points = rr.RunFig6Sweep(cfg, sweepOpts())
 		return len(points)
 	})
-	fmt.Println("Fig. 6 — per-robot bandwidth and storage vs f_max and audit period")
-	fmt.Printf("%7s %7s | %10s %10s %10s %10s | %10s\n",
+	fmt.Fprintln(out, "Fig. 6 — per-robot bandwidth and storage vs f_max and audit period")
+	fmt.Fprintf(out, "%7s %7s | %10s %10s %10s %10s | %10s\n",
 		"f_max", "T_audit", "txApp B/s", "txAud B/s", "rxApp B/s", "rxAud B/s", "storage B")
 	for _, p := range points {
-		fmt.Printf("%7d %6.0fs | %10.1f %10.1f %10.1f %10.1f | %10.0f\n",
+		fmt.Fprintf(out, "%7d %6.0fs | %10.1f %10.1f %10.1f %10.1f | %10.0f\n",
 			p.Fmax, p.AuditPeriodSec, p.TxAppBps, p.TxAuditBps, p.RxAppBps, p.RxAuditBps, p.StorageBytes)
 	}
-	fmt.Println("\nexpected shape: audit bandwidth grows with f_max+1, ≈flat in audit period;")
-	fmt.Println("storage flat in f_max, linear in audit period; log ≈0.8 kB/s")
+	fmt.Fprintln(out, "\nexpected shape: audit bandwidth grows with f_max+1, ≈flat in audit period;")
+	fmt.Fprintln(out, "storage flat in f_max, linear in audit period; log ≈0.8 kB/s")
 }
 
 func fig7() {
@@ -211,18 +223,18 @@ func fig7() {
 		scale = rr.RunFig7ScaleSweep(scaleSizes, duration, *seed, sweepOpts())
 		return len(scale)
 	})
-	fmt.Println("Fig. 7a/7b — cost vs inter-robot distance (fixed N)")
-	fmt.Printf("%6s %9s %9s | %12s %11s\n", "N", "spacing", "peers", "goodput B/s", "storage B")
+	fmt.Fprintln(out, "Fig. 7a/7b — cost vs inter-robot distance (fixed N)")
+	fmt.Fprintf(out, "%6s %9s %9s | %12s %11s\n", "N", "spacing", "peers", "goodput B/s", "storage B")
 	for _, p := range density {
-		fmt.Printf("%6d %8.0fm %9.1f | %12.1f %11.0f\n", p.N, p.SpacingM, p.MeanPeers, p.BandwidthBps, p.StorageBytes)
+		fmt.Fprintf(out, "%6d %8.0fm %9.1f | %12.1f %11.0f\n", p.N, p.SpacingM, p.MeanPeers, p.BandwidthBps, p.StorageBytes)
 	}
-	fmt.Println("\nFig. 7c/7d — cost vs number of robots (64 m spacing)")
-	fmt.Printf("%6s %9s %9s | %12s %11s\n", "N", "spacing", "peers", "goodput B/s", "storage B")
+	fmt.Fprintln(out, "\nFig. 7c/7d — cost vs number of robots (64 m spacing)")
+	fmt.Fprintf(out, "%6s %9s %9s | %12s %11s\n", "N", "spacing", "peers", "goodput B/s", "storage B")
 	for _, p := range scale {
-		fmt.Printf("%6d %8.0fm %9.1f | %12.1f %11.0f\n", p.N, p.SpacingM, p.MeanPeers, p.BandwidthBps, p.StorageBytes)
+		fmt.Fprintf(out, "%6d %8.0fm %9.1f | %12.1f %11.0f\n", p.N, p.SpacingM, p.MeanPeers, p.BandwidthBps, p.StorageBytes)
 	}
-	fmt.Println("\nexpected shape: costs fall as density falls, then level off; per-robot")
-	fmt.Println("cost ≈constant in N with a small edge-effect rise")
+	fmt.Fprintln(out, "\nexpected shape: costs fall as density falls, then level off; per-robot")
+	fmt.Fprintln(out, "cost ≈constant in N with a small edge-effect rise")
 }
 
 func fig2() {
@@ -234,17 +246,17 @@ func fig2() {
 		cfg.GoalX, cfg.GoalY = 250, 250
 		cfg.DurationSec = 120
 	}
-	fmt.Printf("Fig. 2 — %d-robot flock, %d masqueraders, unprotected\n\n", cfg.N, cfg.NumCompromised)
+	fmt.Fprintf(out, "Fig. 2 — %d-robot flock, %d masqueraders, unprotected\n\n", cfg.N, cfg.NumCompromised)
 	clean := rr.RunFig2(cfg, false)
 	attacked := rr.RunFig2(cfg, true)
-	fmt.Printf("%-24s %14s %14s %10s\n", "", "mean dist (m)", "median (m)", "within z")
-	fmt.Printf("%-24s %14.1f %14.1f %7d/%d\n", "no attack (Fig. 2a)",
+	fmt.Fprintf(out, "%-24s %14s %14s %10s\n", "", "mean dist (m)", "median (m)", "within z")
+	fmt.Fprintf(out, "%-24s %14.1f %14.1f %7d/%d\n", "no attack (Fig. 2a)",
 		clean.MeanDistToGoal, clean.MedianDist, clean.WithinZ, clean.CorrectRobots)
-	fmt.Printf("%-24s %14.1f %14.1f %7d/%d\n", "10 compromised (Fig. 2b)",
+	fmt.Fprintf(out, "%-24s %14.1f %14.1f %7d/%d\n", "10 compromised (Fig. 2b)",
 		attacked.MeanDistToGoal, attacked.MedianDist, attacked.WithinZ, attacked.CorrectRobots)
 	writeSVG("fig2a_noattack.svg", rr.RenderFig2Final("Fig 2a: no attack", cfg, clean, nil))
 	writeSVG("fig2b_attack.svg", rr.RenderFig2Final("Fig 2b: 10 masqueraders", cfg, attacked, nil))
-	fmt.Println("\nexpected shape: the attacked flock is held far from the destination")
+	fmt.Fprintln(out, "\nexpected shape: the attacked flock is held far from the destination")
 }
 
 func fig8() {
@@ -254,7 +266,7 @@ func fig8() {
 		cfg.N = 9
 		cfg.DurationSec = 60
 	}
-	fmt.Println("Fig. 8 — baseline runs (unprotected)")
+	fmt.Fprintln(out, "Fig. 8 — baseline runs (unprotected)")
 	base := cfg
 	base.DisableAttack = true
 	// The clean and attacked runs are independent cells; run both on
@@ -265,14 +277,14 @@ func fig8() {
 		return len(results)
 	})
 	clean := results[0]
-	fmt.Printf("  (b,c) no attack:      mean final dist %.1f m, crashes %d\n",
+	fmt.Fprintf(out, "  (b,c) no attack:      mean final dist %.1f m, crashes %d\n",
 		clean.MeanFinalDist, clean.Crashes)
 	printTrace("        dist-to-goal", clean)
 	writeSVG("fig8b_trace_noattack.svg", rr.RenderAttackTrace("Fig 8b: no attack", clean))
 	writeSVG("fig8c_final_noattack.svg", rr.RenderAttackFinal("Fig 8c: final positions, no attack", base, clean))
 
 	attacked := results[1]
-	fmt.Printf("  (d,e) attack, no defense: mean final dist %.1f m, attack active %.0fs–%.0fs (never stopped)\n",
+	fmt.Fprintf(out, "  (d,e) attack, no defense: mean final dist %.1f m, attack active %.0fs–%.0fs (never stopped)\n",
 		attacked.MeanFinalDist, attacked.AttackActiveSec[0], attacked.AttackActiveSec[1])
 	printTrace("        dist-to-goal", attacked)
 	writeSVG("fig8d_trace_attack.svg", rr.RenderAttackTrace("Fig 8d: attack, defense off", attacked))
@@ -288,14 +300,14 @@ func fig9() {
 		cfg.DurationSec = 60
 	}
 	res := rr.RunAttack(cfg)
-	fmt.Println("Fig. 9 — same attack with RoboRebound enabled")
-	fmt.Printf("  attacker active %.0fs–%.1fs (disabled: %v); mean final dist %.1f m; correct disabled: %v\n",
+	fmt.Fprintln(out, "Fig. 9 — same attack with RoboRebound enabled")
+	fmt.Fprintf(out, "  attacker active %.0fs–%.1fs (disabled: %v); mean final dist %.1f m; correct disabled: %v\n",
 		res.AttackActiveSec[0], res.AttackActiveSec[1], res.AttackerKilled, res.MeanFinalDist, res.CorrectDisabled)
 	printTrace("  dist-to-goal", res)
 	writeSVG("fig9a_trace_defended.svg", rr.RenderAttackTrace("Fig 9a: attack, RoboRebound enabled", res))
 	writeSVG("fig9b_final_defended.svg", rr.RenderAttackFinal("Fig 9b: final positions, defended", cfg, res))
-	fmt.Println("\nexpected shape: the attack window collapses to ≲T_val and the flock")
-	fmt.Println("reaches roughly the no-attack final state")
+	fmt.Fprintln(out, "\nexpected shape: the attack window collapses to ≲T_val and the flock")
+	fmt.Fprintln(out, "reaches roughly the no-attack final state")
 }
 
 func printTrace(label string, res rr.AttackRunResult) {
@@ -308,7 +320,7 @@ func printTrace(label string, res rr.AttackRunResult) {
 	if step == 0 {
 		step = 1
 	}
-	fmt.Printf("%s:", label)
+	fmt.Fprintf(out, "%s:", label)
 	for i := 0; i < n; i += step {
 		sum, cnt := 0.0, 0
 		for _, series := range res.DistSeries {
@@ -317,7 +329,72 @@ func printTrace(label string, res rr.AttackRunResult) {
 				cnt++
 			}
 		}
-		fmt.Printf(" %.0fs:%.0fm", res.SampleTimesSec[i], sum/float64(cnt))
+		fmt.Fprintf(out, " %.0fs:%.0fm", res.SampleTimesSec[i], sum/float64(cnt))
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
+}
+
+// chaosFailed makes the chaos subcommand's verdict visible to main
+// without plumbing return values through the cmds map.
+var chaosFailed bool
+
+// chaos runs the cross-seed fault-injection soak: every mission
+// controller x every fault profile x a block of seeds, each cell
+// watched tick-by-tick by the invariant checker. The process exits
+// nonzero if any cell violates an invariant or leaves an attacker
+// undisabled, so CI can gate on it directly.
+func chaos() {
+	controllers := []string{"flocking", "patrol", "warehouse"}
+	profiles := faultinject.Profiles()
+	nseeds := uint64(10)
+	if *quick {
+		nseeds = 2
+	}
+	seeds := make([]uint64, 0, nseeds)
+	for s := uint64(0); s < nseeds; s++ {
+		seeds = append(seeds, *seed+s)
+	}
+	cfgs := rr.ChaosMatrix(controllers, profiles, seeds, rr.ChaosConfig{DurationSec: 60})
+
+	var results []rr.ChaosResult
+	timed("chaos matrix", func() int {
+		results = rr.RunChaosMatrix(cfgs, sweepOpts())
+		return len(results)
+	})
+
+	fmt.Fprintf(out, "Chaos soak — %d controllers x %d profiles x %d seeds = %d cells\n\n",
+		len(controllers), len(profiles), len(seeds), len(results))
+	fmt.Fprintf(out, "%-12s %-10s | %9s %9s %12s | %s\n",
+		"controller", "profile", "attackers", "disabled", "latency(tk)", "verdict")
+	bad := 0
+	for _, r := range results {
+		verdict := "ok"
+		if r.Violation != nil {
+			verdict = r.Violation.Error()
+			bad++
+		} else if r.Metrics.AttackersDisabled < r.Metrics.Attackers {
+			verdict = "FAIL: attacker not disabled"
+			bad++
+		} else if len(r.Metrics.CorrectDisabled) > 0 {
+			verdict = fmt.Sprintf("FAIL: correct robots disabled %v", r.Metrics.CorrectDisabled)
+			bad++
+		}
+		lat := ""
+		for i, l := range r.Metrics.DisableLatencyTicks {
+			if i > 0 {
+				lat += ","
+			}
+			lat += fmt.Sprintf("%d", l)
+		}
+		fmt.Fprintf(out, "%-12s %-10s | %9d %9d %12s | seed=%d %s\n",
+			r.Config.Controller, r.Config.Profile,
+			r.Metrics.Attackers, r.Metrics.AttackersDisabled, lat, r.Config.Seed, verdict)
+	}
+	if bad > 0 {
+		fmt.Fprintf(out, "\nchaos: %d/%d cells FAILED\n", bad, len(results))
+		chaosFailed = true
+		return
+	}
+	fmt.Fprintf(out, "\nchaos: all %d cells ok — no false positives, every attacker Safe-Moded within the BTI bound\n",
+		len(results))
 }

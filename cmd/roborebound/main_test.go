@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// capture redirects report output to a buffer, runs the subcommand,
+// and restores stdout routing and the flags the subcommand reads.
+func capture(t *testing.T, quickRun bool, f func()) string {
+	t.Helper()
+	var buf bytes.Buffer
+	oldOut, oldQuick, oldProgress := out, *quick, *progress
+	out, *quick, *progress = &buf, quickRun, false
+	defer func() {
+		out, *quick, *progress = oldOut, oldQuick, oldProgress
+		chaosFailed = false
+	}()
+	f()
+	return buf.String()
+}
+
+func TestTable1Smoke(t *testing.T) {
+	got := capture(t, false, table1)
+	for _, want := range []string{"a-node load", "Primitive", "Total", "%"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("table1 output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	got := capture(t, false, table2)
+	for _, want := range []string{"s-node load", "Total"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("table2 output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestFig6QuickSmoke(t *testing.T) {
+	got := capture(t, true, fig6)
+	for _, want := range []string{"Fig. 6", "f_max", "storage"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("fig6 output missing %q:\n%s", want, got)
+		}
+	}
+	// The quick sweep still prints at least one data row: f_max values
+	// 1..3 at a single audit period.
+	if rows := strings.Count(got, "4s |"); rows < 2 {
+		t.Errorf("fig6 printed %d data rows:\n%s", rows, got)
+	}
+}
+
+func TestChaosQuickSmoke(t *testing.T) {
+	got := capture(t, true, chaos)
+	if chaosFailed {
+		t.Fatalf("quick chaos soak failed:\n%s", got)
+	}
+	for _, want := range []string{"Chaos soak", "controller", "verdict", "all", "cells ok"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("chaos output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "FAIL") {
+		t.Errorf("chaos output reports failures:\n%s", got)
+	}
+	// Every controller and the control profile appear as rows.
+	for _, want := range []string{"flocking", "patrol", "warehouse", "none", "mixed"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("chaos matrix missing %q rows:\n%s", want, got)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package auditlog
 
 import (
 	"errors"
+	"fmt"
 
 	"roborebound/internal/cryptolite"
 	"roborebound/internal/wire"
@@ -141,6 +142,25 @@ func (l *Log) PendingCheckpoints() int { return len(l.pending) }
 
 // Truncations returns how many times the log has been truncated.
 func (l *Log) Truncations() int { return l.truncations }
+
+// AccountingError cross-checks the incrementally maintained byte
+// accounting against a full recount of the retained entries. A nil
+// return means log growth matches the sum of entry sizes; a non-nil
+// error describes the mismatch. The fault-injection invariant checker
+// calls this every tick — Append and MarkCovered both mutate
+// entryBytes incrementally, and this is the conservation check that
+// keeps them honest.
+func (l *Log) AccountingError() error {
+	n := 0
+	for i := range l.entries {
+		n += l.entries[i].EncodedSize()
+	}
+	if n != l.entryBytes {
+		return fmt.Errorf("auditlog: entryBytes=%d but %d retained entries re-encode to %d bytes",
+			l.entryBytes, len(l.entries), n)
+	}
+	return nil
+}
 
 // StorageBytes returns the current storage footprint: retained
 // entries, the covered start checkpoint with its tokens, and all

@@ -151,6 +151,12 @@ func (e *Engine) startRound(now wire.Tick) {
 	if !okS || !okA {
 		return // keyless or safe mode: nothing to do
 	}
+	// Log the flush position. MakeAuthenticator flushed both chains,
+	// resetting their batch phase; auditors replaying a segment that
+	// spans this point (because this round's checkpoint never got
+	// covered) must flush their replicas here or the batched tops
+	// cannot match.
+	e.log.Append(wire.LogEntry{Kind: wire.EntryMark})
 	cp := auditlog.Checkpoint{
 		Time:  now,
 		AuthS: authS,

@@ -31,7 +31,9 @@ type Params struct {
 	// RxSensitivityDBm is the weakest decodable signal.
 	RxSensitivityDBm float64
 	// LossRate is an optional uniform packet-loss probability applied
-	// per (frame, receiver) pair; 0 disables.
+	// per (frame, receiver) pair; 0 disables. It is shorthand for
+	// installing UniformLoss{LossRate} as the medium's LossModel; a
+	// model installed with SetLossModel takes precedence.
 	LossRate float64
 	// MTUBytes caps the encoded size of one on-air frame; larger
 	// frames are fragmented and reassembled (Appendix B: the RFM69's
@@ -79,6 +81,36 @@ func (p Params) RangeM() float64 {
 // provides it from the physics world.
 type Position func(id wire.RobotID) (geom.Vec2, bool)
 
+// LossModel decides whether one candidate (frame, receiver) delivery
+// is dropped. draw is the medium's deterministic per-candidate RNG
+// sample in [0,1); a model must be a pure function of its inputs so a
+// run stays bit-reproducible. Fault injection installs time-varying
+// models that close over the engine clock.
+type LossModel interface {
+	Drop(from, to wire.RobotID, draw float64) bool
+}
+
+// UniformLoss drops every candidate independently with probability
+// Rate — the model Params.LossRate is shorthand for.
+type UniformLoss struct{ Rate float64 }
+
+// Drop implements LossModel.
+func (u UniformLoss) Drop(_, _ wire.RobotID, draw float64) bool { return draw < u.Rate }
+
+// LinkFilter blocks candidate deliveries outright (true = blocked).
+// Unlike a LossModel it consumes no RNG draw, so installing one never
+// perturbs the loss model's draw stream for the frames it lets
+// through. Fault injection uses it for partitions and withheld
+// responses. It runs after the range check and before the loss draw.
+type LinkFilter func(from, to wire.RobotID, f wire.Frame) bool
+
+// TxDelay returns how many extra delivery rounds to hold a frame in
+// the air before it becomes deliverable (0 = normal next-round
+// delivery). Held frames keep their transmit sequence number, so the
+// (receiver, seq) delivery contract still holds when they land. Fault
+// injection uses it to delay audit/token responses.
+type TxDelay func(from wire.RobotID, f wire.Frame) wire.Tick
+
 // ByteCounters accumulates the traffic accounting for one robot,
 // split into application vs audit traffic (the paper's Fig. 6 plots
 // exactly this breakdown).
@@ -87,17 +119,18 @@ type ByteCounters struct {
 	RxApp, RxAudit uint64
 	TxFrames       uint64
 	RxFrames       uint64
-	Dropped        uint64 // frames lost to the loss model
+	Dropped        uint64 // frames lost to the loss model or blocked by a link filter
 }
 
 // Total returns all bytes sent plus received.
 func (b *ByteCounters) Total() uint64 { return b.TxApp + b.TxAudit + b.RxApp + b.RxAudit }
 
 type queuedFrame struct {
-	frame wire.Frame
-	from  wire.RobotID // physical transmitter (≠ claimed frame.Src for spoofers)
-	seq   uint64
-	size  int // encoded length, measured once at Send time
+	frame   wire.Frame
+	from    wire.RobotID // physical transmitter (≠ claimed frame.Src for spoofers)
+	seq     uint64
+	size    int       // encoded length, measured once at Send time
+	readyAt wire.Tick // earliest delivery round (TxDelay holds frames past this)
 }
 
 // Medium is the shared wireless channel. Frames transmitted during
@@ -112,6 +145,13 @@ type Medium struct {
 	seq      uint64
 	counters map[wire.RobotID]*ByteCounters
 
+	// Optional fault hooks (see SetLossModel / SetLinkFilter /
+	// SetTxDelay). loss defaults to UniformLoss when Params.LossRate
+	// is set; filter and delay default to nil (inactive).
+	loss   LossModel
+	filter LinkFilter
+	delay  TxDelay
+
 	// Fragmentation state (only used when params.MTUBytes > 0).
 	nextMsgID    map[wire.RobotID]uint16
 	reassemblers map[wire.RobotID]*Reassembler
@@ -121,7 +161,7 @@ type Medium struct {
 // NewMedium creates a medium. seed drives only the optional loss
 // model; with LossRate 0 the medium is loss-free and the seed inert.
 func NewMedium(params Params, pos Position, seed uint64) *Medium {
-	return &Medium{
+	m := &Medium{
 		params:       params,
 		pos:          pos,
 		rng:          prng.New(seed),
@@ -129,7 +169,24 @@ func NewMedium(params Params, pos Position, seed uint64) *Medium {
 		nextMsgID:    make(map[wire.RobotID]uint16),
 		reassemblers: make(map[wire.RobotID]*Reassembler),
 	}
+	if params.LossRate > 0 {
+		m.loss = UniformLoss{Rate: params.LossRate}
+	}
+	return m
 }
+
+// SetLossModel replaces the loss model. nil disables loss entirely,
+// including the Params.LossRate shorthand. A non-nil model consumes
+// one RNG draw per candidate (frame, receiver) pair even when it
+// never drops, so swapping models changes which draws later frames
+// see — determinism is per (params, seed, model), not across models.
+func (m *Medium) SetLossModel(l LossModel) { m.loss = l }
+
+// SetLinkFilter installs a delivery filter (nil disables).
+func (m *Medium) SetLinkFilter(f LinkFilter) { m.filter = f }
+
+// SetTxDelay installs a transmit-delay hook (nil disables).
+func (m *Medium) SetTxDelay(d TxDelay) { m.delay = d }
 
 // Params returns the link parameters.
 func (m *Medium) Params() Params { return m.params }
@@ -165,7 +222,11 @@ func (m *Medium) Send(from wire.RobotID, f wire.Frame) {
 		} else {
 			c.TxApp += uint64(size)
 		}
-		m.queue = append(m.queue, queuedFrame{frame: fr, from: from, seq: m.seq, size: size})
+		q := queuedFrame{frame: fr, from: from, seq: m.seq, size: size, readyAt: m.deliverTick}
+		if m.delay != nil {
+			q.readyAt += m.delay(from, fr)
+		}
+		m.queue = append(m.queue, q)
 		m.seq++
 	}
 }
@@ -200,7 +261,12 @@ func (m *Medium) Deliver(ids []wire.RobotID) []Delivery {
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 
 	var out []Delivery
+	held := m.queue[:0]
 	for _, q := range m.queue {
+		if q.readyAt > m.deliverTick {
+			held = append(held, q) // still in the air (TxDelay); retry next round
+			continue
+		}
 		src, ok := m.pos(q.from)
 		if !ok {
 			continue
@@ -219,7 +285,11 @@ func (m *Medium) Deliver(ids []wire.RobotID) []Delivery {
 			if m.params.RxPowerDBm(src.Dist(dst)) < m.params.RxSensitivityDBm {
 				continue
 			}
-			if m.params.LossRate > 0 && m.rng.Float64() < m.params.LossRate {
+			if m.filter != nil && m.filter(q.from, id, q.frame) {
+				m.Counters(id).Dropped++
+				continue
+			}
+			if m.loss != nil && m.loss.Drop(q.from, id, m.rng.Float64()) {
 				m.Counters(id).Dropped++
 				continue
 			}
@@ -259,7 +329,7 @@ func (m *Medium) Deliver(ids []wire.RobotID) []Delivery {
 		}
 		return out[i].seq < out[j].seq
 	})
-	m.queue = m.queue[:0]
+	m.queue = held
 	m.deliverTick++
 	if m.params.MTUBytes > 0 && m.deliverTick%32 == 0 {
 		for _, r := range m.reassemblers {

@@ -156,6 +156,16 @@ func Verify(req Request, cfg Config) error {
 			}
 			ctrl.OnMessage(frame.Payload)
 
+		case wire.EntryMark:
+			if len(expected) > 0 {
+				return fail("order", i, "checkpoint marker before prior outputs were logged")
+			}
+			// A checkpoint was taken here: the trusted nodes flushed
+			// their chains, so the replicas must flush too to keep the
+			// batch phase aligned.
+			sChain.Flush()
+			aChain.Flush()
+
 		case wire.EntrySend, wire.EntryActuator:
 			if len(expected) == 0 {
 				return fail("output", i, "logged output the controller did not produce")

@@ -27,6 +27,18 @@ type Config struct {
 	// Master is the MRS master key; Sealed the mission key bundle.
 	Master []byte
 	Sealed trusted.SealedMissionKey
+	// TrustedClock, when non-nil, replaces the engine clock as the
+	// robot's local time source: the trusted pair's timestamps and
+	// token-freshness timers AND the c-node's protocol scheduling (the
+	// c-node has no clock of its own — it reads time from the trusted
+	// hardware, so checkpoint times, token-request times, and
+	// authenticator times all come from the same source; auditors
+	// cross-check those against each other). Fault injection uses it
+	// to model per-robot clock skew and drift. Physics and Safe-Mode
+	// bookkeeping stay on the engine clock, so skew is observable the
+	// way the paper's analysis assumes: only through the robot's own
+	// protocol behavior.
+	TrustedClock func() wire.Tick
 }
 
 // Robot is a sim.Actor. All robots — protected, unprotected, and the
@@ -38,10 +50,12 @@ type Robot struct {
 	medium *radio.Medium
 	clock  func() wire.Tick
 
-	// Protected path.
+	// Protected path. pclock is the local protocol clock — the
+	// trusted clock when one is injected, the engine clock otherwise.
 	snode  *trusted.SNode
 	anode  *trusted.ANode
 	engine *core.Engine
+	pclock func() wire.Tick
 
 	// Unprotected path.
 	ctrl control.Controller
@@ -59,7 +73,11 @@ func New(cfg Config, body *sim.Body, medium *radio.Medium, clock func() wire.Tic
 		return r
 	}
 
-	tclock := trusted.Clock(clock)
+	r.pclock = clock
+	if cfg.TrustedClock != nil {
+		r.pclock = cfg.TrustedClock
+	}
+	tclock := trusted.Clock(r.pclock)
 	r.snode = trusted.NewSNode(cfg.Core.BatchSize, tclock)
 	r.anode = trusted.NewANode(cfg.Core.ANodeConfig(), tclock,
 		func(f wire.Frame) { medium.Send(cfg.ID, f) },
@@ -176,10 +194,15 @@ func (r *Robot) Tick(now wire.Tick) {
 		return
 	}
 	if r.cfg.Protected {
-		if fwd, ok := r.snode.PollSensors(r.reading(now)); ok {
+		// The protocol runs on the robot's local (trusted) clock: the
+		// c-node reads time from the trusted hardware, so sensor
+		// timestamps, round scheduling, checkpoints, and token
+		// requests all agree even when that clock is skewed.
+		lnow := r.pclock()
+		if fwd, ok := r.snode.PollSensors(r.reading(lnow)); ok {
 			r.engine.OnSensorReading(fwd)
 		}
-		r.engine.Tick(now)
+		r.engine.Tick(lnow)
 		return
 	}
 	out := r.ctrl.OnSensor(r.reading(now))

@@ -19,6 +19,15 @@ const (
 	EntryRecv     uint8 = 0x11
 	EntrySend     uint8 = 0x12
 	EntryActuator uint8 = 0x13 // "acmd" in Algorithm 4
+	// EntryMark records that a checkpoint was taken here (payload
+	// empty). Taking a checkpoint flushes both trusted-node chains
+	// (MAKEAUTHENTICATOR), which resets the batch phase; since the
+	// batched chain top depends on where flushes fall, an auditor can
+	// only reproduce the attested tops if the log tells it where every
+	// flush happened — including checkpoints of rounds that were later
+	// abandoned. Without the marker, one uncovered audit round makes
+	// every subsequent replay of that robot fail forever.
+	EntryMark uint8 = 0x14
 )
 
 // MaxLoggedPayload is the largest payload a log entry can carry.
@@ -53,7 +62,7 @@ func (e *LogEntry) Encode() []byte {
 func (e *LogEntry) IsSensor() bool { return e.Kind == EntrySensor }
 
 func validEntryKind(k uint8) bool {
-	return k == EntrySensor || k == EntryRecv || k == EntrySend || k == EntryActuator
+	return k == EntrySensor || k == EntryRecv || k == EntrySend || k == EntryActuator || k == EntryMark
 }
 
 // DecodeLogEntries parses a concatenation of encoded entries, as

@@ -29,6 +29,7 @@ import (
 	"roborebound/internal/attack"
 	"roborebound/internal/control"
 	"roborebound/internal/core"
+	"roborebound/internal/faultinject"
 	"roborebound/internal/geom"
 	"roborebound/internal/radio"
 	"roborebound/internal/robot"
@@ -55,6 +56,12 @@ type SimConfig struct {
 	Core *core.Config
 	// Master is the MRS master key (a default test key if empty).
 	Master []byte
+	// Faults, when non-nil, installs the fault-injection schedule's
+	// hooks: the medium's loss model / link filter / transmit delay,
+	// and per-robot trusted-clock skew. The schedule is data — see
+	// internal/faultinject — so a faulted run is exactly as
+	// deterministic as a clean one.
+	Faults *faultinject.Schedule
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -99,7 +106,7 @@ func NewSim(cfg SimConfig) *Sim {
 	medium := radio.NewMedium(*cfg.Radio, world.Position, cfg.Seed^0x5eed)
 	var mission [trusted.MissionKeySize]byte
 	copy(mission[:], "mission-key-material")
-	return &Sim{
+	s := &Sim{
 		Cfg:         cfg,
 		Engine:      sim.NewEngine(world, medium),
 		World:       world,
@@ -108,6 +115,19 @@ func NewSim(cfg SimConfig) *Sim {
 		compromised: make(map[wire.RobotID]*attack.Compromised),
 		sealed:      trusted.SealMissionKey(cfg.Master, mission, cfg.Seed|1, 1),
 	}
+	if f := cfg.Faults; f != nil {
+		f.BaseLoss = cfg.Radio.LossRate
+		if lm := f.LossModel(s.Engine.Now); lm != nil {
+			medium.SetLossModel(lm)
+		}
+		if lf := f.LinkFilter(s.Engine.Now); lf != nil {
+			medium.SetLinkFilter(lf)
+		}
+		if td := f.TxDelay(s.Engine.Now); td != nil {
+			medium.SetTxDelay(td)
+		}
+	}
+	return s
 }
 
 // Tick converts seconds to ticks.
@@ -122,14 +142,18 @@ func (s *Sim) Seconds(t wire.Tick) float64 {
 
 func (s *Sim) newRobot(id wire.RobotID, pos geom.Vec2, factory control.Factory, protected bool) *robot.Robot {
 	body := s.World.AddBody(id, pos)
-	r := robot.New(robot.Config{
+	rcfg := robot.Config{
 		ID:        id,
 		Protected: protected,
 		Core:      *s.Cfg.Core,
 		Factory:   factory,
 		Master:    s.Cfg.Master,
 		Sealed:    s.sealed,
-	}, body, s.Medium, s.Engine.Now)
+	}
+	if s.Cfg.Faults != nil {
+		rcfg.TrustedClock = s.Cfg.Faults.Clock(id, s.Engine.Now)
+	}
+	r := robot.New(rcfg, body, s.Medium, s.Engine.Now)
 	s.robots[id] = r
 	return r
 }

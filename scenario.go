@@ -5,6 +5,7 @@ import (
 
 	"roborebound/internal/attack"
 	"roborebound/internal/core"
+	"roborebound/internal/faultinject"
 	"roborebound/internal/flocking"
 	"roborebound/internal/geom"
 	"roborebound/internal/prng"
@@ -93,6 +94,9 @@ type FlockScenario struct {
 	MaxSpeedMS float64
 	// Compromised marks attacker slots.
 	Compromised []CompromisedSpec
+	// Faults, when non-nil, is the fault-injection schedule threaded
+	// through to SimConfig.Faults.
+	Faults *faultinject.Schedule
 	// Tune, if non-nil, adjusts the flocking parameters after the
 	// defaults are applied (used by ablations).
 	Tune func(*flocking.Params)
@@ -127,6 +131,7 @@ func (fs FlockScenario) Build() *Sim {
 		TicksPerSecond: tps,
 		Core:           &cc,
 		World:          &world,
+		Faults:         fs.Faults,
 	})
 
 	params := flocking.DefaultParams(tps, fs.Spacing, fs.Goal)
