@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench fmt-check cover chaos-smoke fuzz-smoke
+.PHONY: all build vet lint test race ci bench fmt-check cover chaos-smoke fuzz-smoke
 
 all: ci
 
@@ -10,24 +10,31 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static analysis: go vet plus reboundlint, the repository's own
+# analyzer suite (determinism, trustedboundary, clockdomain — see
+# DESIGN.md "Static analysis & determinism contracts"). Fails on any
+# violation; legitimate exceptions carry a justified //rebound:
+# annotation.
+lint: vet
+	$(GO) run ./cmd/reboundlint ./...
+
 # -shuffle=on randomizes test (and subtest) execution order each run,
 # flushing out order-dependent tests; the chosen seed is printed so a
 # failure is reproducible with -shuffle=N.
 test:
 	$(GO) test -shuffle=on ./...
 
-# Race-detector pass over the concurrency-bearing packages plus the
-# facade's parallel-sweep determinism and isolation tests (the chaos
-# matrix determinism test matches ParallelSweep).
+# Race-detector pass over the whole module. Most packages are
+# single-goroutine and cheap under -race; the runner/sweep tests are
+# the ones that genuinely exercise concurrency.
 race:
-	$(GO) test -race ./internal/runner ./internal/sim ./internal/radio
-	$(GO) test -race -run 'ParallelSweep|CellIsolation|SweepProgress' .
+	$(GO) test -race ./...
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-ci: fmt-check vet build test race
+ci: fmt-check lint build test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

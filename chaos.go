@@ -146,7 +146,7 @@ func buildChaosSim(cfg ChaosConfig, cc core.Config, sched *faultinject.Schedule)
 	attackers := make(map[int]bool) // slot -> deliberate attacker
 	var attackerIDs []wire.RobotID
 	for _, slot := range cfg.AttackerSlots {
-		if slot >= 0 && slot < cfg.N {
+		if slot >= 0 && slot < cfg.N && !attackers[slot] {
 			attackers[slot] = true
 			attackerIDs = append(attackerIDs, wire.RobotID(slot+1))
 		}
@@ -214,7 +214,8 @@ func buildChaosSim(cfg ChaosConfig, cc core.Config, sched *faultinject.Schedule)
 			Fmax:      cfg.Fmax,
 			Faults:    sched,
 		}
-		for slot := range attackers {
+		for _, aid := range attackerIDs {
+			slot := int(aid) - 1
 			fs.Compromised = append(fs.Compromised, CompromisedSpec{
 				Index:        slot,
 				AtSeconds:    cfg.AttackAtSec,

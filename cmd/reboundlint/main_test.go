@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsClean is the contract the whole PR converges on: the
+// repository itself must pass all three analyzers with exit status 0.
+// Every violation is either fixed or carries a justified //rebound:
+// annotation.
+func TestRepoIsClean(t *testing.T) {
+	t.Chdir(repoRoot(t))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("reboundlint ./... = exit %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if out := stdout.String(); out != "" {
+		t.Errorf("expected no findings, got:\n%s", out)
+	}
+}
+
+// TestFindingsExitOne checks the failure path end to end on a throwaway
+// module: findings print in file:line order and flip the exit status.
+func TestFindingsExitOne(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module lintfixture\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "main.go"), `package main
+
+import "time"
+
+func main() {
+	_ = time.Now()
+}
+`)
+	t.Chdir(dir)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "wall-clock read time.Now") {
+		t.Errorf("missing determinism finding in output:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "[determinism]") {
+		t.Errorf("finding not attributed to its analyzer:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "1 violation") {
+		t.Errorf("missing violation count on stderr:\n%s", stderr.String())
+	}
+}
+
+func TestRunFlagSelectsAnalyzers(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module lintfixture\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "main.go"), `package main
+
+import "time"
+
+func main() {
+	_ = time.Now()
+}
+`)
+	t.Chdir(dir)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", "trustedboundary,clockdomain", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0 (determinism deselected)\nstdout:\n%s", code, stdout.String())
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, name := range []string{"determinism", "trustedboundary", "clockdomain"} {
+		if !strings.Contains(stdout.String(), name+":") {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown analyzer exit = %d, want 2", code)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,258 @@
+// Package analysistest runs a reboundlint analyzer over a golden-file
+// fixture directory and checks its diagnostics against `// want`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	for k := range m { // want `map iteration order`
+//		sink = append(sink, k)
+//	}
+//
+// A want comment holds one or more double-quoted or backquoted regular
+// expressions; each must match a diagnostic reported on that line, and
+// every diagnostic must be matched by some expectation. Fixture
+// packages live under testdata/src/<name>/ and may import both the
+// standard library and roborebound packages (they are type-checked
+// against the repository's export data, compiled on demand into the
+// build cache — no network needed).
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"roborebound/internal/analysis"
+	"roborebound/internal/analysis/load"
+)
+
+// extraStdPackages are stdlib packages fixtures may import beyond the
+// repository's own dependency closure.
+var extraStdPackages = []string{"time", "math/rand", "math/rand/v2", "sort", "slices"}
+
+// repoState is loaded once per test binary: a FileSet shared between
+// the repository's parsed syntax and the fixtures (positions must
+// resolve in one set), export data for type-checking fixture imports,
+// and the repository's ModuleFiles so analyzers see the real
+// //rebound:clock annotations during fixture runs.
+type repoState struct {
+	fset        *token.FileSet
+	exports     map[string]string
+	moduleFiles map[string][]*ast.File
+}
+
+var (
+	repoOnce sync.Once
+	repoData repoState
+	repoErr  error
+)
+
+func repo(t *testing.T) repoState {
+	t.Helper()
+	repoOnce.Do(func() {
+		root, err := repoRoot()
+		if err != nil {
+			repoErr = err
+			return
+		}
+		patterns := append([]string{"./..."}, extraStdPackages...)
+		repoData.fset, repoData.exports, repoData.moduleFiles, repoErr = load.ModuleSyntax(root, patterns...)
+	})
+	if repoErr != nil {
+		t.Fatalf("loading repository packages: %v", repoErr)
+	}
+	return repoData
+}
+
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}
+
+// Run analyzes the fixture package in dir (e.g. "testdata/src/a",
+// relative to the test) and compares diagnostics with its `// want`
+// expectations. The fixture's import path is its path below
+// testdata/src/ — a fixture at testdata/src/roborebound/internal/core
+// is analyzed AS roborebound/internal/core, which is how the
+// trustedboundary rules (keyed by import path) are exercised.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	state := repo(t)
+	fset := state.fset
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	pkgPath := fixturePath(dir)
+	pkg, info, err := load.Check(fset, pkgPath, files, load.Importer(fset, state.exports))
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	// The fixture sees the repository's module syntax (for cross-package
+	// annotations) with itself spliced in, shadowing any real package of
+	// the same import path.
+	moduleFiles := make(map[string][]*ast.File, len(state.moduleFiles)+1)
+	for p, fs := range state.moduleFiles {
+		moduleFiles[p] = fs
+	}
+	moduleFiles[pkgPath] = files
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:    a,
+		Fset:        fset,
+		Files:       files,
+		Pkg:         pkg,
+		TypesInfo:   info,
+		Annotations: analysis.ParseAnnotations(fset, files),
+		ModuleFiles: moduleFiles,
+		Report:      func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	checkExpectations(t, fset, files, diags)
+}
+
+// fixturePath derives a fixture's import path from its directory: the
+// part below the testdata/src/ marker, or the base name if the fixture
+// lives elsewhere.
+func fixturePath(dir string) string {
+	clean := filepath.ToSlash(filepath.Clean(dir))
+	const marker = "testdata/src/"
+	if i := strings.Index(clean, marker); i >= 0 {
+		return clean[i+len(marker):]
+	}
+	return filepath.Base(dir)
+}
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Pos())
+				for _, raw := range parseWant(c.Text) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps of a `// want "..." `...“
+// comment; nil if the comment is not a want comment. The block form
+// `/* want ... */` exists so an expectation can share a line with a
+// //rebound: directive (one line comment per line).
+func parseWant(text string) []string {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		if body, ok = strings.CutPrefix(text, "/*"); !ok {
+			return nil
+		}
+		body = strings.TrimSuffix(body, "*/")
+	}
+	body = strings.TrimSpace(body)
+	body, ok = strings.CutPrefix(body, "want ")
+	if !ok {
+		return nil
+	}
+	var out []string
+	for {
+		body = strings.TrimSpace(body)
+		if body == "" {
+			return out
+		}
+		switch body[0] {
+		case '"':
+			i := 1
+			for i < len(body) && (body[i] != '"' || body[i-1] == '\\') {
+				i++
+			}
+			if i >= len(body) {
+				return out
+			}
+			if s, err := strconv.Unquote(body[:i+1]); err == nil {
+				out = append(out, s)
+			}
+			body = body[i+1:]
+		case '`':
+			i := strings.IndexByte(body[1:], '`')
+			if i < 0 {
+				return out
+			}
+			out = append(out, body[1:1+i])
+			body = body[i+2:]
+		default:
+			return out
+		}
+	}
+}

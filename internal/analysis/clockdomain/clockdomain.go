@@ -1,0 +1,469 @@
+// Package clockdomain implements the reboundlint analyzer that keeps
+// engine-clock and trusted-clock timestamps apart.
+//
+// Every wire.Tick in this codebase originates from one of two clocks:
+// the simulation engine's global tick (physics, Safe-Mode bookkeeping,
+// experiment observers) or a robot's local trusted clock (the a-node
+// timer that stamps checkpoints, token requests, and authenticators —
+// and that fault injection skews per robot). The paper's analysis
+// (§3.5) never compares timestamps across clocks; PR 2's hardest bug
+// was exactly such a comparison — checkpoints stamped off the engine
+// clock while token requests carried trusted time, so any injected
+// skew made auditors reject honest robots. This analyzer makes the
+// bug class visible at build time.
+//
+// Domains are declared, not guessed: a //rebound:clock directive on a
+// declaration states where its ticks come from —
+//
+//	now wire.Tick //rebound:clock engine       (struct field)
+//	type Clock func() wire.Tick                (named type: calls to
+//	//rebound:clock trusted                     values yield trusted)
+//	//rebound:clock now=trusted return=trusted (func doc: parameter
+//	func (e *Engine) Tick(now wire.Tick)        and result domains)
+//
+// The analyzer then propagates domains through assignments, calls,
+// conversions, and composite literals *within each function*, and
+// reports:
+//
+//   - comparison or arithmetic mixing the two domains,
+//   - passing a tick into a parameter annotated with the other domain,
+//   - assigning across domains (including struct-literal fields),
+//   - returning the wrong domain from an annotated function.
+//
+// Unannotated values have unknown domain and never trigger reports, so
+// adoption is incremental: annotate the boundaries (the robot layer,
+// the protocol engine's entry points, the sim engine) and the checker
+// polices everything that flows between them. Intentional mixing —
+// e.g. fault injection *implementing* skew as a function of engine
+// time — is annotated //rebound:clockmix <why>.
+package clockdomain
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"roborebound/internal/analysis"
+)
+
+// Analyzer is the clock-domain checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "clockdomain",
+	Doc: "track wire.Tick values by originating clock (engine vs trusted) and " +
+		"flag cross-domain comparison, arithmetic, assignment, and calls",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Domain declarations come from every module package in the load,
+	// so core can honor annotations made in robot or sim. Malformed
+	// directives are reported only for the package under analysis.
+	index := make(map[string]string)
+	addPkg := func(path string, files []*ast.File) {
+		var report func(pos token.Pos, msg string)
+		if path == pass.Pkg.Path() {
+			report = func(pos token.Pos, msg string) { pass.Reportf(pos, "%s", msg) }
+		}
+		for k, v := range analysis.ClockDomains(pass.Fset, path, files, report) {
+			index[k] = v
+		}
+	}
+	if _, ok := pass.ModuleFiles[pass.Pkg.Path()]; !ok {
+		addPkg(pass.Pkg.Path(), pass.Files)
+	}
+	paths := make([]string, 0, len(pass.ModuleFiles))
+	for path := range pass.ModuleFiles {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		addPkg(path, pass.ModuleFiles[path])
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, index, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checker carries one function's inference state.
+type checker struct {
+	pass   *analysis.Pass
+	index  map[string]string
+	vars   map[types.Object]string // local vars with inferred domains
+	report bool
+}
+
+func checkFunc(pass *analysis.Pass, index map[string]string, fd *ast.FuncDecl) {
+	c := &checker{pass: pass, index: index, vars: make(map[types.Object]string)}
+	// Seed parameter domains from the function's own annotation.
+	key := funcDeclKey(pass, fd)
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if dom, ok := index[key+"#"+name.Name]; ok {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						c.vars[obj] = dom
+					}
+				}
+			}
+		}
+	}
+	retDomain := index[key+"#return"]
+
+	// Two passes: the first infers local domains (including simple
+	// loop-carried flows), the second reports. Closures share the
+	// enclosing function's inference state; returns inside a closure
+	// are not checked against the enclosing annotation (a stack of
+	// enclosing nodes tracks which function a return belongs to).
+	for _, report := range []bool{false, true} {
+		c.report = report
+		var stack []ast.Node
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				c.assign(n)
+			case *ast.BinaryExpr:
+				c.binary(n)
+			case *ast.CallExpr:
+				c.callArgs(n)
+			case *ast.CompositeLit:
+				c.composite(n)
+			case *ast.ReturnStmt:
+				dom := retDomain
+				for i := len(stack) - 2; i >= 0; i-- {
+					if _, inLit := stack[i].(*ast.FuncLit); inLit {
+						dom = "" // closure returns are unannotated
+						break
+					}
+				}
+				c.ret(n, dom)
+			}
+			return true
+		})
+	}
+}
+
+// assign infers LHS domains and checks writes into annotated targets.
+func (c *checker) assign(a *ast.AssignStmt) {
+	// Line-level declaration: `x := ... //rebound:clock trusted`
+	// pins the domain of every LHS variable explicitly.
+	if d, ok := c.pass.Annotations.At(c.pass.Fset.Position(a.Pos()), analysis.DirClock); ok {
+		if d.Arg == analysis.DomainEngine || d.Arg == analysis.DomainTrusted {
+			for _, lhs := range a.Lhs {
+				if ident, ok := lhs.(*ast.Ident); ok {
+					if obj := c.obj(ident); obj != nil {
+						c.vars[obj] = d.Arg
+					}
+				}
+			}
+			return
+		}
+		if c.report {
+			c.pass.Reportf(a.Pos(), "//rebound:clock on an assignment takes a bare domain: engine or trusted")
+		}
+		return
+	}
+	for i, lhs := range a.Lhs {
+		var rhs ast.Expr
+		switch {
+		case len(a.Lhs) == len(a.Rhs):
+			rhs = a.Rhs[i]
+		case len(a.Rhs) == 1:
+			// Multi-value RHS (call, map read): domains unknown.
+			continue
+		default:
+			continue
+		}
+		rhsDom := c.domain(rhs)
+		lhsDom := c.declaredDomain(lhs)
+		if lhsDom != "" && rhsDom != "" && lhsDom != rhsDom {
+			c.mix(a.Pos(), "assignment stores a %s-clock value into %s-clock %s", rhsDom, lhsDom, exprString(lhs))
+			continue
+		}
+		if ident, ok := lhs.(*ast.Ident); ok && ident.Name != "_" {
+			if obj := c.obj(ident); obj != nil {
+				if rhsDom != "" {
+					c.vars[obj] = rhsDom
+				} else if a.Tok == token.DEFINE {
+					delete(c.vars, obj)
+				}
+			}
+		}
+	}
+}
+
+func (c *checker) binary(b *ast.BinaryExpr) {
+	x, y := c.domain(b.X), c.domain(b.Y)
+	if x == "" || y == "" || x == y {
+		return
+	}
+	c.mix(b.Pos(), "cross-clock %s: left is %s-clock, right is %s-clock (the paper never compares timestamps across clocks, §3.5)",
+		b.Op, x, y)
+}
+
+func (c *checker) callArgs(call *ast.CallExpr) {
+	fn := calleeFunc(c.pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	key := funcObjKey(fn)
+	for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+		param := sig.Params().At(i)
+		want, ok := c.index[key+"#"+param.Name()]
+		if !ok {
+			continue
+		}
+		got := c.domain(call.Args[i])
+		if got != "" && got != want {
+			c.mix(call.Args[i].Pos(), "%s-clock value passed to %s-clock parameter %q of %s", got, want, param.Name(), fn.Name())
+		}
+	}
+}
+
+func (c *checker) composite(lit *ast.CompositeLit) {
+	tv, ok := c.pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	named := namedOf(tv.Type)
+	if named == nil || named.Obj().Pkg() == nil {
+		return
+	}
+	base := named.Obj().Pkg().Path() + "." + named.Obj().Name() + "."
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		keyIdent, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		want, ok := c.index[base+keyIdent.Name]
+		if !ok {
+			continue
+		}
+		got := c.domain(kv.Value)
+		if got != "" && got != want {
+			c.mix(kv.Pos(), "%s-clock value initializes %s-clock field %s.%s", got, want, named.Obj().Name(), keyIdent.Name)
+		}
+	}
+}
+
+func (c *checker) ret(r *ast.ReturnStmt, want string) {
+	if want == "" || len(r.Results) != 1 {
+		return
+	}
+	got := c.domain(r.Results[0])
+	if got != "" && got != want {
+		c.mix(r.Pos(), "returning a %s-clock value from a function annotated //rebound:clock return=%s", got, want)
+	}
+}
+
+func (c *checker) mix(pos token.Pos, format string, args ...interface{}) {
+	if !c.report {
+		return
+	}
+	if c.pass.Suppressed(pos, analysis.DirClockMix) {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+// domain computes the clock domain of an expression, or "" if unknown.
+func (c *checker) domain(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return c.domain(e.X)
+	case *ast.Ident:
+		if obj := c.obj(e); obj != nil {
+			if d, ok := c.vars[obj]; ok {
+				return d
+			}
+			return c.objDomain(obj, nil)
+		}
+	case *ast.SelectorExpr:
+		if obj := c.obj(e.Sel); obj != nil {
+			return c.objDomain(obj, e)
+		}
+	case *ast.CallExpr:
+		// Conversion wire.Tick(x) keeps x's domain.
+		if tv, ok := c.pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+			if len(e.Args) == 1 {
+				return c.domain(e.Args[0])
+			}
+			return ""
+		}
+		// Annotated function/method result.
+		if fn := calleeFunc(c.pass, e); fn != nil && fn.Pkg() != nil {
+			if d, ok := c.index[funcObjKey(fn)+"#return"]; ok {
+				return d
+			}
+		}
+		// Call through an annotated func-typed value: a named type
+		// (trusted.Clock), an annotated field (r.pclock), or a local
+		// carrying a known domain (the clock parameter).
+		if tv, ok := c.pass.TypesInfo.Types[e.Fun]; ok {
+			if named := namedOf(tv.Type); named != nil && named.Obj().Pkg() != nil {
+				if d, ok := c.index[named.Obj().Pkg().Path()+"."+named.Obj().Name()]; ok {
+					return d
+				}
+			}
+		}
+		return c.domain(e.Fun)
+	case *ast.BinaryExpr:
+		// Tick ± offset keeps the tick's domain; comparisons yield
+		// bool (no domain).
+		switch e.Op.String() {
+		case "+", "-", "*", "/", "%":
+			x, y := c.domain(e.X), c.domain(e.Y)
+			if x != "" {
+				return x
+			}
+			return y
+		}
+	case *ast.UnaryExpr:
+		return c.domain(e.X)
+	}
+	return ""
+}
+
+// declaredDomain is the annotation-declared domain of an assignment
+// target (fields and package vars; locals are flow-inferred instead).
+func (c *checker) declaredDomain(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := c.obj(e); obj != nil {
+			if d, ok := c.vars[obj]; ok {
+				return d
+			}
+			return c.objDomain(obj, nil)
+		}
+	case *ast.SelectorExpr:
+		if obj := c.obj(e.Sel); obj != nil {
+			return c.objDomain(obj, e)
+		}
+	}
+	return ""
+}
+
+// objDomain resolves a types.Object to its annotated domain: package
+// vars, struct fields (via the selection's receiver type), funcs
+// (their value has no domain, but callers use #return via domain()).
+func (c *checker) objDomain(obj types.Object, sel *ast.SelectorExpr) string {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return ""
+	}
+	if v.IsField() {
+		if sel == nil {
+			return ""
+		}
+		s, ok := c.pass.TypesInfo.Selections[sel]
+		if !ok {
+			// Qualified package var pkg.X parses as a selector but has
+			// no selection entry.
+			return c.index[v.Pkg().Path()+"."+v.Name()]
+		}
+		if named := namedOf(s.Recv()); named != nil && named.Obj().Pkg() != nil {
+			return c.index[named.Obj().Pkg().Path()+"."+named.Obj().Name()+"."+v.Name()]
+		}
+		return ""
+	}
+	// Package-level var.
+	if v.Parent() == v.Pkg().Scope() {
+		return c.index[v.Pkg().Path()+"."+v.Name()]
+	}
+	return ""
+}
+
+func (c *checker) obj(ident *ast.Ident) types.Object {
+	if obj := c.pass.TypesInfo.Uses[ident]; obj != nil {
+		return obj
+	}
+	return c.pass.TypesInfo.Defs[ident]
+}
+
+// calleeFunc resolves a call's static callee, if any.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var ident *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		ident = fun
+	case *ast.SelectorExpr:
+		ident = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[ident].(*types.Func)
+	return fn
+}
+
+// funcDeclKey builds the annotation-index key for a FuncDecl in the
+// package under analysis.
+func funcDeclKey(pass *analysis.Pass, fd *ast.FuncDecl) string {
+	key := pass.Pkg.Path() + "."
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+			if fn, ok := obj.(*types.Func); ok {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					if named := namedOf(sig.Recv().Type()); named != nil {
+						return key + named.Obj().Name() + "." + fd.Name.Name
+					}
+				}
+			}
+		}
+	}
+	return key + fd.Name.Name
+}
+
+// funcObjKey builds the annotation-index key for a resolved callee.
+func funcObjKey(fn *types.Func) string {
+	key := fn.Pkg().Path() + "."
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := namedOf(sig.Recv().Type()); named != nil {
+			return key + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return key + fn.Name()
+}
+
+// namedOf unwraps pointers and aliases down to a named type.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	default:
+		return "target"
+	}
+}

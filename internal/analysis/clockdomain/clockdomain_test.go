@@ -1,0 +1,20 @@
+package clockdomain_test
+
+import (
+	"testing"
+
+	"roborebound/internal/analysis/analysistest"
+	"roborebound/internal/analysis/clockdomain"
+)
+
+func TestClockDomain(t *testing.T) {
+	analysistest.Run(t, clockdomain.Analyzer, "testdata/src/clockfix")
+}
+
+// TestPR2Regression pins the analyzer to the bug that motivated it:
+// the fixture re-creates PR 2's engine-vs-trusted-clock confusion
+// using the repository's real annotations, so it fails both if the
+// analyzer regresses and if the annotations are removed.
+func TestPR2Regression(t *testing.T) {
+	analysistest.Run(t, clockdomain.Analyzer, "testdata/src/pr2regression")
+}

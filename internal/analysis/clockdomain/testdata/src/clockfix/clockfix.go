@@ -1,0 +1,70 @@
+// Package clockfix declares both clock domains locally and exercises
+// every clockdomain check: cross-domain comparison, call arguments,
+// stores, composite-literal fields, returns, flow-through-locals
+// inference, the line-level pin, and the clockmix escape hatch.
+package clockfix
+
+import "roborebound/internal/wire"
+
+type engineState struct {
+	now wire.Tick //rebound:clock engine
+}
+
+type trustedState struct {
+	now wire.Tick //rebound:clock trusted
+}
+
+//rebound:clock return=engine
+func engineNow(s *engineState) wire.Tick { return s.now }
+
+//rebound:clock return=trusted
+func trustedNow(s *trustedState) wire.Tick { return s.now }
+
+//rebound:clock now=trusted
+func protocolTick(now wire.Tick) {}
+
+func compare(e *engineState, t *trustedState) bool {
+	return e.now < t.now // want `cross-clock <: left is engine-clock, right is trusted-clock`
+}
+
+func call(e *engineState) {
+	protocolTick(engineNow(e)) // want `engine-clock value passed to trusted-clock parameter "now" of protocolTick`
+}
+
+func store(e *engineState, t *trustedState) {
+	t.now = e.now // want `assignment stores a engine-clock value into trusted-clock t.now`
+}
+
+func initialize(e *engineState) trustedState {
+	return trustedState{now: e.now} // want `engine-clock value initializes trusted-clock field trustedState.now`
+}
+
+//rebound:clock return=trusted
+func wrongReturn(e *engineState) wire.Tick {
+	return e.now // want `returning a engine-clock value from a function annotated //rebound:clock return=trusted`
+}
+
+func propagate(e *engineState, t *trustedState) bool {
+	deadline := trustedNow(t) + 10
+	now := engineNow(e)
+	return now >= deadline // want `cross-clock >=: left is engine-clock, right is trusted-clock`
+}
+
+func sameDomain(e *engineState) bool {
+	return engineNow(e) < e.now+5 // both engine: allowed
+}
+
+func intentionalMix(e *engineState, t *trustedState) bool {
+	//rebound:clockmix fixture: deliberately comparing across domains to test the hatch
+	return e.now < t.now
+}
+
+func pinned(e *engineState, t *trustedState) bool {
+	skewed := e.now + 3   //rebound:clock trusted
+	return skewed > t.now // pinned trusted: allowed
+}
+
+/* want `name=domain pairs` */ //rebound:clock bogus
+func badDirective(now wire.Tick) {
+	_ = now
+}

@@ -1,0 +1,37 @@
+// Package pr2regression is the seeded regression for the PR 2
+// engine-vs-trusted-clock bug, written against the REPOSITORY'S real
+// //rebound:clock annotations (sim.Engine.Now, core.Engine.Tick,
+// robot.Robot.Tick, auditlog.Checkpoint.Time): if those annotations
+// are ever deleted or weakened, this fixture stops reporting and the
+// test fails.
+//
+// The original bug: the harness drove core.Engine.Tick off the
+// simulation engine's global clock while checkpoints and token
+// requests carried the robot's trusted clock, so any injected skew
+// made auditors reject honest robots. Both shapes below would now be
+// flagged at build time.
+package pr2regression
+
+import (
+	"roborebound/internal/auditlog"
+	"roborebound/internal/core"
+	"roborebound/internal/robot"
+	"roborebound/internal/sim"
+)
+
+func buggyTick(world *sim.Engine, e *core.Engine) {
+	e.Tick(world.Now()) // want `engine-clock value passed to trusted-clock parameter "now" of Tick`
+}
+
+func staleCheckpoint(world *sim.Engine, cp auditlog.Checkpoint) bool {
+	return cp.Time+100 < world.Now() // want `cross-clock <: left is trusted-clock, right is engine-clock`
+}
+
+func correctTick(r *robot.Robot, world *sim.Engine) {
+	r.Tick(world.Now()) // robot.Tick runs on the engine clock: allowed
+}
+
+func zeroSkewHarness(world *sim.Engine, e *core.Engine) {
+	//rebound:clockmix fixture: a zero-skew harness drives both clocks from the engine tick
+	e.Tick(world.Now())
+}

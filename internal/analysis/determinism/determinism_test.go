@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"roborebound/internal/analysis/analysistest"
+	"roborebound/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "testdata/src/determinism")
+}

@@ -1,0 +1,109 @@
+// Package determinism is the golden fixture for the determinism
+// analyzer: wall-clock reads, global math/rand draws, order-escaping
+// map iteration, and racy selects — each with a suppressed twin that
+// must stay silent.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+var sink []int
+
+func wallclock() time.Time {
+	return time.Now() // want `wall-clock read time.Now on a replay-critical path`
+}
+
+func wallclockElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock read time.Since`
+}
+
+func wallclockJustified() time.Time {
+	return time.Now() //rebound:wallclock fixture: measuring host latency is the point
+}
+
+func wallclockBare() time.Time {
+	return time.Now() /* want `directive requires a justification` */ //rebound:wallclock
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `global math/rand draw rand.Intn`
+}
+
+func seededRand(r *rand.Rand) int {
+	return r.Intn(6) // explicit source: allowed
+}
+
+func newSourceAllowed() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // constructors do not touch the global stream
+}
+
+func globalRandJustified() float64 {
+	return rand.Float64() //rebound:nondet fixture: jitter that never reaches results
+}
+
+func mapOrderEscapes(m map[int]int) {
+	for k := range m { // want `map iteration order may escape`
+		sink = append(sink, k)
+	}
+}
+
+func mapOrderSorted(m map[int]int) []int {
+	var keys []int
+	for k := range m { // collect-then-sort: allowed
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func mapOrderSum(m map[int]int) int {
+	total := 0
+	for _, v := range m { // commutative accumulation: allowed
+		total += v
+	}
+	return total
+}
+
+func mapOrderRekey(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k := range m { // writes keyed by the range key: allowed
+		out[k] = len(m)
+	}
+	return out
+}
+
+func mapOrderJustified(m map[int]int) {
+	//rebound:nondet fixture: the sink is cleared before anyone reads it
+	for k := range m {
+		sink = append(sink, k)
+	}
+}
+
+func racySelect(a, b chan int) int {
+	select { // want `select with 2 cases chooses pseudorandomly`
+	case x := <-a:
+		return x
+	case x := <-b:
+		return x
+	}
+}
+
+func racySelectJustified(a, b chan int) int {
+	//rebound:nondet fixture: both channels carry the same value by construction
+	select {
+	case x := <-a:
+		return x
+	case x := <-b:
+		return x
+	}
+}
+
+func singleSelect(a chan int) int {
+	select { // one blocking case: deterministic, allowed
+	case x := <-a:
+		return x
+	}
+}

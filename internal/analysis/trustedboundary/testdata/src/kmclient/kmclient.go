@@ -1,0 +1,26 @@
+// Package kmclient models robot-side code reaching for keyed crypto:
+// any package outside internal/trusted touching cryptolite key
+// material is a TCB violation.
+package kmclient
+
+import "roborebound/internal/cryptolite"
+
+func mintMAC(secret []byte) cryptolite.Tag {
+	mac := cryptolite.NewLightMACFromSecret(secret) // want `cryptolite key material cryptolite.NewLightMACFromSecret is reachable only from internal/trusted`
+	return mac.MAC(nil)
+}
+
+func hashOnly(b []byte) [cryptolite.SHA1Size]byte {
+	return cryptolite.SHA1(b) // keyless primitive: allowed everywhere
+}
+
+func benchJustified(secret []byte) cryptolite.Tag {
+	//rebound:tcb-exempt fixture: host-side benchmark with a throwaway key
+	mac := cryptolite.NewLightMACFromSecret(secret)
+	return mac.MAC(nil)
+}
+
+func bareDirective(secret []byte) cryptolite.Tag {
+	mac := cryptolite.NewLightMACFromSecret(secret) /* want `directive requires a justification` */ //rebound:tcb-exempt
+	return mac.MAC(nil)
+}

@@ -1,0 +1,26 @@
+// Package core is a fixture that stands in for the real protocol
+// engine: its import path below testdata/src makes the trustedboundary
+// c-node rules apply to it.
+package core
+
+import (
+	"roborebound/internal/radio" // want `untrusted c-node package roborebound/internal/core must not import roborebound/internal/radio`
+	"roborebound/internal/trusted"
+
+	//rebound:tcb-exempt fixture: exercising the suppression path, not shipping code
+	simx "roborebound/internal/sim"
+)
+
+var (
+	_ *radio.Medium
+	_ *simx.Engine
+)
+
+func provision(master []byte, mission [20]byte) trusted.SealedMissionKey {
+	return trusted.SealMissionKey(master, mission, 1, 2) // want `trusted.SealMissionKey is owner-side provisioning`
+}
+
+func provisionJustified(master []byte, mission [20]byte) trusted.SealedMissionKey {
+	//rebound:tcb-exempt fixture: this fixture models the harness, not robot code
+	return trusted.SealMissionKey(master, mission, 1, 2)
+}

@@ -1,0 +1,17 @@
+// Package wire is a fixture with the real wire format's import path:
+// the TCB import-allowlist rule applies to it.
+package wire
+
+import (
+	"encoding/binary" // allowlisted pure stdlib
+	"strings"         // want `TCB package roborebound/internal/wire imports strings, which is outside the trusted-base allowlist`
+
+	//rebound:tcb-exempt fixture: exercising the allowlist escape hatch
+	"os"
+)
+
+var (
+	_ = binary.LittleEndian
+	_ = strings.TrimSpace
+	_ = os.Getenv
+)

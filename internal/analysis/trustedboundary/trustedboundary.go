@@ -1,0 +1,185 @@
+// Package trustedboundary implements the reboundlint analyzer that
+// enforces RoboRebound's trusted-computing-base structure at compile
+// time.
+//
+// The paper's security argument (§3.2) rests on the s-node and a-node
+// being the ONLY components that hold key material, and on the
+// untrusted c-node reaching sensors, actuators, and the radio only
+// through them. In this codebase that argument is an import DAG:
+//
+//   - key material (cipher instances and their constructors in
+//     internal/cryptolite) is reachable only from internal/trusted —
+//     every other package may use the keyless primitives (SHA1, hash
+//     chains, the Tag/ChainHash value types) but must not be able to
+//     mint or hold a keyed MAC;
+//   - owner-side provisioning (trusted.SealMissionKey) never appears
+//     in c-node code: it models the operator's provisioning machine,
+//     which a compromised robot does not contain;
+//   - untrusted c-node packages (core, control, flocking) never import
+//     the radio or the simulator: all I/O is interposed by the a-node,
+//     exactly as the €3 MCUs interpose on the real robot;
+//   - the TCB itself (trusted, cryptolite, wire) stays minimal: no
+//     imports beyond each other and a short allowlist of pure stdlib
+//     packages, mirroring the ~250 lines of ROM the paper burns.
+//
+// Violations are fixed or carry //rebound:tcb-exempt <why> (e.g.
+// loadmodel.go benchmarks the MAC primitive itself, host-side, with a
+// throwaway key).
+package trustedboundary
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"roborebound/internal/analysis"
+)
+
+// Analyzer is the TCB import-DAG checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "trustedboundary",
+	Doc: "enforce the s-node/a-node trust boundary: key material stays in internal/trusted, " +
+		"c-node code reaches the radio only through the a-node, and the TCB imports stay minimal",
+	Run: run,
+}
+
+const (
+	pkgCryptolite = "roborebound/internal/cryptolite"
+	pkgTrusted    = "roborebound/internal/trusted"
+	pkgWire       = "roborebound/internal/wire"
+	pkgRadio      = "roborebound/internal/radio"
+	pkgSim        = "roborebound/internal/sim"
+)
+
+// keyMaterial lists the cryptolite symbols that constitute or mint
+// keyed state. Everything else in cryptolite (SHA1, chains, Tag,
+// ChainHash, sizes) is keyless and free to use.
+var keyMaterial = map[string]bool{
+	"LightMAC": true, "NewLightMAC": true, "NewLightMACFromSecret": true,
+	"Present": true, "NewPresent": true,
+}
+
+// keyMaterialUsers may reference keyMaterial symbols.
+var keyMaterialUsers = map[string]bool{
+	pkgTrusted:    true,
+	pkgCryptolite: true,
+}
+
+// ownerSide lists trusted symbols that model the operator's
+// provisioning machine and must never appear in robot-side code.
+var ownerSide = map[string]bool{"SealMissionKey": true}
+
+// cnodePkgs is untrusted robot-side code: the protocol engine and the
+// mission controllers. (internal/attack is *deliberately* compromised
+// c-node code and plays by the same rules: an attacker cannot import
+// hardware it does not have.)
+var cnodePkgs = map[string]bool{
+	"roborebound/internal/core":     true,
+	"roborebound/internal/control":  true,
+	"roborebound/internal/flocking": true,
+	"roborebound/internal/attack":   true,
+}
+
+// bannedCnodeImports are the packages c-node code may not reach
+// directly: the radio (must go through the a-node) and the simulator
+// (no physics backdoor).
+var bannedCnodeImports = map[string]string{
+	pkgRadio: "all transmission is interposed by the a-node (trusted.ANode.SendWireless)",
+	pkgSim:   "the c-node has no direct view of world state beyond its sensors",
+}
+
+// tcbPkgs and tcbAllowedImports pin the TCB's import surface.
+var tcbPkgs = map[string]bool{
+	pkgTrusted:    true,
+	pkgCryptolite: true,
+	pkgWire:       true,
+}
+
+var tcbAllowedImports = map[string]bool{
+	pkgCryptolite: true,
+	pkgWire:       true,
+	// Pure stdlib the wire format and crypto legitimately use.
+	"encoding/binary": true,
+	"errors":          true,
+	"fmt":             true,
+	"math":            true,
+	"math/bits":       true,
+	"sort":            true,
+}
+
+func run(pass *analysis.Pass) error {
+	self := pass.Pkg.Path()
+	for _, file := range pass.Files {
+		checkImports(pass, self, file)
+	}
+	if !keyMaterialUsers[self] {
+		checkSymbolRefs(pass, pkgCryptolite, keyMaterial,
+			"cryptolite key material %s.%s is reachable only from internal/trusted (the s-node/a-node TCB); move the keyed operation behind a trusted-node method or annotate //rebound:tcb-exempt <why>")
+	}
+	if cnodePkgs[self] {
+		checkSymbolRefs(pass, pkgTrusted, ownerSide,
+			"%s.%s is owner-side provisioning and must not appear in (possibly compromised) robot c-node code; provision from the harness or annotate //rebound:tcb-exempt <why>")
+	}
+	return nil
+}
+
+func checkImports(pass *analysis.Pass, self string, file *ast.File) {
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if cnodePkgs[self] {
+			if why, banned := bannedCnodeImports[path]; banned && !pass.Suppressed(imp.Pos(), analysis.DirTCBExempt) {
+				pass.Reportf(imp.Pos(),
+					"untrusted c-node package %s must not import %s: %s (or annotate //rebound:tcb-exempt <why>)",
+					self, path, why)
+			}
+		}
+		if tcbPkgs[self] && !tcbAllowedImports[path] && !isOwnModule(self, path) {
+			if !pass.Suppressed(imp.Pos(), analysis.DirTCBExempt) {
+				pass.Reportf(imp.Pos(),
+					"TCB package %s imports %s, which is outside the trusted-base allowlist; the s-node/a-node model the paper's ~250 lines of ROM and must stay minimal (or annotate //rebound:tcb-exempt <why>)",
+					self, path)
+			}
+		}
+	}
+}
+
+// isOwnModule permits a TCB package importing itself (e.g. future
+// internal split of cryptolite) without widening the allowlist to the
+// whole module.
+func isOwnModule(self, path string) bool {
+	return strings.HasPrefix(path, self+"/")
+}
+
+// checkSymbolRefs reports any selector reference pkg.Sym with Sym in
+// banned, resolving through the type-checker so aliased imports are
+// caught too.
+func checkSymbolRefs(pass *analysis.Pass, pkgPath string, banned map[string]bool, format string) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != pkgPath {
+				return true
+			}
+			if !banned[sel.Sel.Name] {
+				return true
+			}
+			if pass.Suppressed(sel.Pos(), analysis.DirTCBExempt) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), format, pkgName.Imported().Name(), sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,20 @@
+package trustedboundary_test
+
+import (
+	"testing"
+
+	"roborebound/internal/analysis/analysistest"
+	"roborebound/internal/analysis/trustedboundary"
+)
+
+func TestCnodeRules(t *testing.T) {
+	analysistest.Run(t, trustedboundary.Analyzer, "testdata/src/roborebound/internal/core")
+}
+
+func TestKeyMaterial(t *testing.T) {
+	analysistest.Run(t, trustedboundary.Analyzer, "testdata/src/kmclient")
+}
+
+func TestTCBAllowlist(t *testing.T) {
+	analysistest.Run(t, trustedboundary.Analyzer, "testdata/src/roborebound/internal/wire")
+}

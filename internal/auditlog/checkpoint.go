@@ -23,7 +23,7 @@ import (
 // 690 B for 24 neighbors) corresponds to Time + the two embedded
 // authenticator tops + the flocking controller's state blob.
 type Checkpoint struct {
-	Time  wire.Tick          // c-node local time of creation
+	Time  wire.Tick          //rebound:clock trusted
 	AuthS wire.Authenticator // s-node chain top at creation
 	AuthA wire.Authenticator // a-node chain top at creation
 	State []byte             // controller-specific encoded state

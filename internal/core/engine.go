@@ -27,7 +27,7 @@ type Engine struct {
 	send func(wire.Frame) bool // a-node's SendWireless
 
 	heard map[wire.RobotID]wire.Tick // last tick each peer was heard
-	now   wire.Tick
+	now   wire.Tick                  //rebound:clock trusted
 
 	round  *auditRound
 	served []wire.Tick // timestamps of recently served audits (ServeLimit window)
@@ -36,7 +36,7 @@ type Engine struct {
 
 type auditRound struct {
 	hash     cryptolite.ChainHash
-	startAt  wire.Tick
+	startAt  wire.Tick //rebound:clock trusted
 	covered  bool
 	fromBoot bool
 
@@ -47,7 +47,7 @@ type auditRound struct {
 
 	tokens  map[wire.RobotID]wire.Token
 	asked   map[wire.RobotID]bool
-	lastAsk wire.Tick
+	lastAsk wire.Tick //rebound:clock trusted
 }
 
 // NewEngine constructs the protocol engine for one robot. The caller
@@ -133,6 +133,12 @@ func (e *Engine) OnFrame(f wire.Frame) {
 // *not* driven from here — it runs on the trusted node's own timer
 // (the robot layer invokes it unconditionally), because a compromised
 // c-node would simply stop calling it.
+//
+// The tick passed in is the robot's local protocol clock (the trusted
+// clock), never the engine clock — mixing the two is the PR 2 bug
+// class that reboundlint's clockdomain analyzer exists to catch.
+//
+//rebound:clock now=trusted
 func (e *Engine) Tick(now wire.Tick) {
 	e.now = now
 	if e.cfg.TAudit > 0 && now%e.cfg.TAudit == wire.Tick(e.id)%e.cfg.TAudit {
@@ -145,6 +151,7 @@ func (e *Engine) Tick(now wire.Tick) {
 	}
 }
 
+//rebound:clock now=trusted
 func (e *Engine) startRound(now wire.Tick) {
 	authS, okS := e.snode.MakeAuthenticator()
 	authA, okA := e.anode.MakeAuthenticator()
@@ -207,6 +214,8 @@ func (e *Engine) auditorCandidates() []wire.RobotID {
 // solicit sends audit requests until f_max+1 auditors have been asked
 // (beyond those that already answered). Extra tokens cause no harm
 // (§3.7), so over-asking on retry is safe.
+//
+//rebound:clock now=trusted
 func (e *Engine) solicit(now wire.Tick) {
 	r := e.round
 	need := e.cfg.Fmax + 1 - len(r.tokens)

@@ -1,0 +1,171 @@
+package geom
+
+import (
+	"math"
+	"testing"
+
+	"roborebound/internal/prng"
+)
+
+// Property tests over seeded random inputs: the existing unit tests
+// pin specific values; these pin the algebraic identities the flocking
+// controller's derivation assumes. The prng seed is fixed, so the
+// sampled inputs — and therefore the test — are deterministic.
+
+func randVec(s *prng.Source) Vec2 {
+	return V(s.Range(-100, 100), s.Range(-100, 100))
+}
+
+func TestVectorAlgebraIdentities(t *testing.T) {
+	s := prng.New(1)
+	for i := 0; i < 500; i++ {
+		v, w, u := randVec(s), randVec(s), randVec(s)
+		k := s.Range(-10, 10)
+
+		if got := v.Add(w).Sub(w); !got.ApproxEqual(v, 1e-9) {
+			t.Fatalf("(v+w)-w = %v, want %v", got, v)
+		}
+		if got, want := v.Dot(w), w.Dot(v); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("dot not symmetric: %v vs %v", got, want)
+		}
+		if got, want := v.Cross(w), -w.Cross(v); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("cross not antisymmetric: %v vs %v", got, want)
+		}
+		if got, want := v.Scale(k).Dot(w), k*v.Dot(w); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("dot not bilinear: %v vs %v", got, want)
+		}
+		if got, want := u.Add(v).Dot(w), u.Dot(w)+v.Dot(w); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("dot not distributive: %v vs %v", got, want)
+		}
+		// Cauchy–Schwarz with a tolerance for float rounding.
+		if lhs, rhs := math.Abs(v.Dot(w)), v.Norm()*w.Norm(); lhs > rhs*(1+1e-12) {
+			t.Fatalf("Cauchy–Schwarz violated: |v·w|=%v > ‖v‖‖w‖=%v", lhs, rhs)
+		}
+		// Triangle inequality.
+		if lhs, rhs := v.Add(w).Norm(), v.Norm()+w.Norm(); lhs > rhs*(1+1e-12) {
+			t.Fatalf("triangle inequality violated: %v > %v", lhs, rhs)
+		}
+		// Perp is a rotation: preserves norm, orthogonal to input.
+		if got := v.Perp().Norm(); math.Abs(got-v.Norm()) > 1e-9 {
+			t.Fatalf("Perp changed norm: %v vs %v", got, v.Norm())
+		}
+		if got := v.Dot(v.Perp()); math.Abs(got) > 1e-9 {
+			t.Fatalf("Perp not orthogonal: v·v⊥ = %v", got)
+		}
+		// Unit has norm 1 (or is zero for the zero vector).
+		if n := v.Norm(); n > 0 {
+			if got := v.Unit().Norm(); math.Abs(got-1) > 1e-12 {
+				t.Fatalf("Unit norm = %v", got)
+			}
+		}
+		// ClampNorm never increases the norm and preserves direction.
+		limit := s.Range(0.1, 50)
+		c := v.ClampNorm(limit)
+		if c.Norm() > limit*(1+1e-12) && c.Norm() > v.Norm() {
+			t.Fatalf("ClampNorm(%v) grew the vector: %v -> %v", limit, v.Norm(), c.Norm())
+		}
+		if v.Norm() > 0 && math.Abs(v.Cross(c)) > 1e-6*v.Norm()*math.Max(c.Norm(), 1) {
+			t.Fatalf("ClampNorm changed direction: cross = %v", v.Cross(c))
+		}
+		// Lerp endpoints.
+		if got := v.Lerp(w, 0); !got.ApproxEqual(v, 1e-12) {
+			t.Fatalf("Lerp(0) = %v, want %v", got, v)
+		}
+		if got := v.Lerp(w, 1); !got.ApproxEqual(w, 1e-9) {
+			t.Fatalf("Lerp(1) = %v, want %v", got, w)
+		}
+	}
+}
+
+// The σ-norm machinery must satisfy the properties Olfati-Saber's
+// stability proof uses: σ-norm nonnegative and zero only at zero,
+// gradient norm < 1, bump in [0,1] and monotonically nonincreasing,
+// φ_β never attractive.
+func TestSigmaMachineryProperties(t *testing.T) {
+	s := prng.New(2)
+	const eps = 0.1
+	for i := 0; i < 500; i++ {
+		z := randVec(s)
+
+		sn := SigmaNorm(z, eps)
+		if sn < 0 {
+			t.Fatalf("σ-norm negative: %v", sn)
+		}
+		if z == Zero2 && sn != 0 {
+			t.Fatalf("σ-norm of zero = %v", sn)
+		}
+		// σ-norm agrees with its scalar form on the magnitude.
+		if got := SigmaNormScalar(z.Norm(), eps); math.Abs(got-sn) > 1e-6 {
+			t.Fatalf("scalar/vector σ-norm disagree: %v vs %v", got, sn)
+		}
+		// Gradient is a contraction: ‖σ_ε(z)‖ < 1/√ε · anything finite;
+		// specifically ‖σ_ε(z)‖ ≤ ‖z‖ and bounded by 1/√ε.
+		g := SigmaGrad(z, eps)
+		if g.Norm() > z.Norm()*(1+1e-12) {
+			t.Fatalf("σ-grad longer than input: %v > %v", g.Norm(), z.Norm())
+		}
+		if g.Norm() > 1/math.Sqrt(eps)+1e-9 {
+			t.Fatalf("σ-grad exceeds 1/√ε: %v", g.Norm())
+		}
+
+		x := s.Range(-0.5, 1.5)
+		h := s.Range(0.1, 0.9)
+		b := Bump(x, h)
+		if b < 0 || b > 1 {
+			t.Fatalf("bump out of range: ρ_%v(%v) = %v", h, x, b)
+		}
+		// Monotone nonincreasing on [0, 1].
+		if x >= 0 && x+1e-3 <= 1 {
+			if b2 := Bump(x+1e-3, h); b2 > b+1e-12 {
+				t.Fatalf("bump increased: ρ(%v)=%v < ρ(%v)=%v", x, b, x+1e-3, b2)
+			}
+		}
+
+		// σ₁ is odd, bounded by 1, and sign-preserving.
+		zz := s.Range(-20, 20)
+		if got := Sigma1(-zz) + Sigma1(zz); math.Abs(got) > 1e-12 {
+			t.Fatalf("σ₁ not odd at %v", zz)
+		}
+		if got := math.Abs(Sigma1(zz)); got >= 1 {
+			t.Fatalf("|σ₁(%v)| = %v ≥ 1", zz, got)
+		}
+
+		// φ_β ≤ 0 everywhere (obstacles never attract) and vanishes
+		// beyond d_β.
+		dBeta := s.Range(1, 30)
+		if got := PhiBeta(s.Range(0, 40), dBeta, 0.9); got > 0 {
+			t.Fatalf("φ_β attractive: %v", got)
+		}
+		if got := PhiBeta(dBeta+s.Range(0, 10), dBeta, 0.9); got != 0 {
+			t.Fatalf("φ_β nonzero beyond range: %v", got)
+		}
+
+		// φ_α vanishes beyond r_α (finite interaction range).
+		rAlpha := s.Range(1, 30)
+		if got := PhiAlpha(rAlpha+s.Range(0, 10), rAlpha, rAlpha/2, 0.2, 1, 5); got != 0 {
+			t.Fatalf("φ_α nonzero beyond r_α: %v", got)
+		}
+		// φ at the equilibrium distance is zero: φ(0 + c shifted) —
+		// Phi(0,a,b) with a=b has c=0 and σ₁(0)=0.
+		if got := Phi(0, 3, 3); got != 0 {
+			t.Fatalf("φ(0) with a=b: %v", got)
+		}
+	}
+}
+
+// Adjacency is symmetric in its arguments (a_ij = a_ji), which the
+// velocity-consensus term requires for momentum conservation.
+func TestAdjacencySymmetric(t *testing.T) {
+	s := prng.New(3)
+	for i := 0; i < 200; i++ {
+		xi, xj := randVec(s), randVec(s)
+		aij := Adjacency(xi, xj, 10, 0.2, 0.1)
+		aji := Adjacency(xj, xi, 10, 0.2, 0.1)
+		if math.Abs(aij-aji) > 1e-12 {
+			t.Fatalf("adjacency asymmetric: %v vs %v", aij, aji)
+		}
+		if aij < 0 || aij > 1 {
+			t.Fatalf("adjacency out of [0,1]: %v", aij)
+		}
+	}
+}

@@ -332,8 +332,15 @@ func (m *Medium) Deliver(ids []wire.RobotID) []Delivery {
 	m.queue = held
 	m.deliverTick++
 	if m.params.MTUBytes > 0 && m.deliverTick%32 == 0 {
-		for _, r := range m.reassemblers {
-			r.Expire(m.deliverTick)
+		// Expire in ID order: each reassembler is independent today,
+		// but replay determinism must not hinge on that staying true.
+		ids := make([]wire.RobotID, 0, len(m.reassemblers))
+		for id := range m.reassemblers {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			m.reassemblers[id].Expire(m.deliverTick)
 		}
 	}
 	return out

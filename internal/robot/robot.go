@@ -38,7 +38,7 @@ type Config struct {
 	// bookkeeping stay on the engine clock, so skew is observable the
 	// way the paper's analysis assumes: only through the robot's own
 	// protocol behavior.
-	TrustedClock func() wire.Tick
+	TrustedClock func() wire.Tick //rebound:clock trusted
 }
 
 // Robot is a sim.Actor. All robots — protected, unprotected, and the
@@ -48,24 +48,26 @@ type Robot struct {
 	cfg    Config
 	body   *sim.Body
 	medium *radio.Medium
-	clock  func() wire.Tick
+	clock  func() wire.Tick //rebound:clock engine
 
 	// Protected path. pclock is the local protocol clock — the
 	// trusted clock when one is injected, the engine clock otherwise.
 	snode  *trusted.SNode
 	anode  *trusted.ANode
 	engine *core.Engine
-	pclock func() wire.Tick
+	pclock func() wire.Tick //rebound:clock trusted
 
 	// Unprotected path.
 	ctrl control.Controller
 
-	safeModeAt wire.Tick
+	safeModeAt wire.Tick //rebound:clock engine
 	inSafeMode bool
 }
 
 // New wires up a robot. body must already be placed in the world;
 // clock must report the engine's current tick.
+//
+//rebound:clock clock=engine
 func New(cfg Config, body *sim.Body, medium *radio.Medium, clock func() wire.Tick) *Robot {
 	r := &Robot{id: cfg.ID, cfg: cfg, body: body, medium: medium, clock: clock}
 	if !cfg.Protected {
@@ -73,6 +75,7 @@ func New(cfg Config, body *sim.Body, medium *radio.Medium, clock func() wire.Tic
 		return r
 	}
 
+	//rebound:clockmix zero-skew default: with no injected TrustedClock the robot's local timer IS the engine tick
 	r.pclock = clock
 	if cfg.TrustedClock != nil {
 		r.pclock = cfg.TrustedClock
@@ -117,6 +120,8 @@ func (r *Robot) InSafeMode() bool { return r.inSafeMode }
 
 // SafeModeAt returns the tick at which Safe Mode triggered (valid only
 // when InSafeMode).
+//
+//rebound:clock return=engine
 func (r *Robot) SafeModeAt() wire.Tick { return r.safeModeAt }
 
 // Controller returns the live controller (either path).
@@ -188,6 +193,8 @@ func (r *Robot) HardwareTick() {
 
 // Tick implements sim.Actor: poll sensors, step the control loop, run
 // the audit protocol (protected only).
+//
+//rebound:clock now=engine
 func (r *Robot) Tick(now wire.Tick) {
 	r.HardwareTick()
 	if r.body.Crashed {

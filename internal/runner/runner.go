@@ -97,7 +97,7 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 		}
 	}
 	runCell := func(i int) {
-		start := time.Now()
+		start := time.Now() //rebound:wallclock per-cell elapsed time feeds progress reporting only, never results
 		var (
 			val T
 			err error
@@ -114,7 +114,7 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 		if err != nil && !isPanic(err) {
 			err = &CellError{Index: i, Err: err}
 		}
-		finish(i, err, time.Since(start))
+		finish(i, err, time.Since(start)) //rebound:wallclock elapsed time is OnDone telemetry, not simulation state
 	}
 
 	if workers == 1 {
@@ -143,6 +143,7 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 	}
 dispatch:
 	for i := 0; i < n; i++ {
+		//rebound:nondet dispatch-vs-cancel race is deliberate; results are indexed by cell, so completion order never escapes
 		select {
 		case jobs <- i:
 		case <-ctx.Done():

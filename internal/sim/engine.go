@@ -39,7 +39,7 @@ type Engine struct {
 	actors []Actor // sorted by ID
 	ids    []wire.RobotID
 	byID   map[wire.RobotID]Actor
-	now    wire.Tick
+	now    wire.Tick //rebound:clock engine
 
 	observers []func(now wire.Tick)
 }
@@ -72,7 +72,11 @@ func (e *Engine) Observe(f func(now wire.Tick)) {
 	e.observers = append(e.observers, f)
 }
 
-// Now returns the current tick.
+// Now returns the current tick on the engine (global simulation)
+// clock. Protocol timestamps live on each robot's local trusted
+// clock; never compare the two directly.
+//
+//rebound:clock return=engine
 func (e *Engine) Now() wire.Tick { return e.now }
 
 // IDs returns all actor IDs in ascending order (do not mutate).

@@ -87,5 +87,10 @@ func SealMissionKey(master []byte, mission [MissionKeySize]byte, r, seq uint64) 
 // Clock reads a node-local timer. Each a-node has its own clock and
 // the protocol never compares timestamps across robots (§3.5); the
 // simulator hands every trusted node a view of its robot's local
-// timer, which the c-node has no way to reset (§3.2).
+// timer, which the c-node has no way to reset (§3.2). Ticks read
+// through a Clock are trusted-domain: reboundlint's clockdomain
+// analyzer flags any comparison or arithmetic against engine-clock
+// values.
+//
+//rebound:clock trusted
 type Clock func() wire.Tick

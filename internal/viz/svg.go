@@ -70,8 +70,8 @@ func (v *viewBox) include(p geom.Vec2, pad float64) {
 // RenderSnapshot produces a standalone SVG document.
 func RenderSnapshot(s Snapshot) string {
 	vb := viewBox{x0: 1e18, y0: 1e18, x1: -1e18, y1: -1e18}
-	for _, p := range s.Robots {
-		vb.include(p, 10)
+	for _, id := range sortedIDs(s.Robots) {
+		vb.include(s.Robots[id], 10)
 	}
 	if s.Goal != nil {
 		pad := 10.0
@@ -182,9 +182,14 @@ func RenderLinePlot(p LinePlot) string {
 	if xMax == xMin {
 		xMax = xMin + 1
 	}
+	labels := make([]string, 0, len(p.Series))
+	for label := range p.Series {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
 	yMax := 0.0
-	for _, ys := range p.Series {
-		for _, y := range ys {
+	for _, label := range labels {
+		for _, y := range p.Series[label] {
 			if y > yMax {
 				yMax = y
 			}
@@ -223,11 +228,6 @@ func RenderLinePlot(p LinePlot) string {
 	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="#4a5568">%.0f</text>`, padL-24, sy(yMax)+4, yMax)
 	b.WriteString("\n")
 
-	labels := make([]string, 0, len(p.Series))
-	for label := range p.Series {
-		labels = append(labels, label)
-	}
-	sort.Strings(labels)
 	for _, label := range labels {
 		ys := p.Series[label]
 		var path strings.Builder

@@ -14,6 +14,7 @@ import (
 // robot's distance-to-goal trace with the attack-active window shaded.
 func RenderAttackTrace(title string, res AttackRunResult) string {
 	series := make(map[string][]float64, len(res.DistSeries))
+	//rebound:nondet map-to-map rekey with distinct keys (one per robot); the renderer sorts labels before drawing
 	for id, ys := range res.DistSeries {
 		series[robotLabel(id)] = ys
 	}
@@ -33,6 +34,7 @@ func RenderAttackTrace(title string, res AttackRunResult) string {
 func RenderAttackFinal(title string, cfg AttackRunConfig, res AttackRunResult) string {
 	goal := geom.V(cfg.GoalX, cfg.GoalY)
 	robots := make(map[wire.RobotID]geom.Vec2, len(res.FinalPositions))
+	//rebound:nondet map-to-map rekey with distinct keys (one per robot); the renderer iterates IDs in sorted order
 	for id, p := range res.FinalPositions {
 		robots[id] = geom.V(p[0], p[1])
 	}
@@ -53,6 +55,7 @@ func RenderAttackFinal(title string, cfg AttackRunConfig, res AttackRunResult) s
 func RenderFig2Final(title string, cfg Fig2Config, res Fig2Result, obstacles []geom.SphereObstacle) string {
 	goal := geom.V(cfg.GoalX, cfg.GoalY)
 	robots := make(map[wire.RobotID]geom.Vec2, len(res.FinalPositions))
+	//rebound:nondet map-to-map rekey with distinct keys (one per robot); the renderer iterates IDs in sorted order
 	for id, p := range res.FinalPositions {
 		robots[id] = geom.V(p[0], p[1])
 	}

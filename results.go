@@ -1,10 +1,25 @@
 package roborebound
 
 import (
+	"cmp"
+	"sort"
+
 	"roborebound/internal/geom"
 	"roborebound/internal/metrics"
 	"roborebound/internal/wire"
 )
+
+// sortedKeys returns m's keys in ascending order, for deterministic
+// map iteration (the determinism analyzer forbids order-escaping map
+// ranges on replay-critical paths).
+func sortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
 
 // DistanceTracker samples each robot's distance to a goal every tick.
 type DistanceTracker struct {
@@ -19,10 +34,11 @@ func (s *Sim) TrackDistances(goal geom.Vec2) *DistanceTracker {
 	for _, id := range s.IDs() {
 		dt.Series[id] = &metrics.Series{}
 	}
+	ids := append([]wire.RobotID(nil), s.IDs()...) // ascending, fixed at attach time
 	s.Engine.Observe(func(now wire.Tick) {
-		for id, series := range dt.Series {
+		for _, id := range ids {
 			if pos, ok := s.World.Position(id); ok {
-				series.Add(now, pos.Dist(goal))
+				dt.Series[id].Add(now, pos.Dist(goal))
 			}
 		}
 	})
@@ -32,8 +48,8 @@ func (s *Sim) TrackDistances(goal geom.Vec2) *DistanceTracker {
 // FinalDistances returns each tracked robot's final distance.
 func (dt *DistanceTracker) FinalDistances() map[wire.RobotID]float64 {
 	out := make(map[wire.RobotID]float64, len(dt.Series))
-	for id, s := range dt.Series {
-		out[id] = s.Final()
+	for _, id := range sortedKeys(dt.Series) {
+		out[id] = dt.Series[id].Final()
 	}
 	return out
 }
