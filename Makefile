@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race ci bench fmt-check cover chaos-smoke fuzz-smoke
+.PHONY: all build vet lint test race ci bench bench-all fmt-check cover chaos-smoke fuzz-smoke
 
 all: ci
 
@@ -36,7 +36,21 @@ fmt-check:
 
 ci: fmt-check lint build test race
 
+# The observability benchmark suite, recorded to the committed
+# BENCH_obs.json (name -> ns/op, allocs/op, ...): the obs package's
+# micro benches (emit paths, registry), the serial-vs-parallel sweep
+# pair, and the whole-simulation tracer-overhead pair. The sim-level
+# benches run one iteration (-benchtime 1x) to keep this target in
+# seconds; the micro benches use the default benchtime for stable
+# numbers. benchjson sorts everything, so reruns diff cleanly.
 bench:
+	@{ $(GO) test -run '^$$' -bench . -benchmem ./internal/obs/ && \
+	   $(GO) test -run '^$$' -bench 'BenchmarkObs_|BenchmarkSweep_' -benchtime 1x -benchmem . ; } \
+	  | $(GO) run ./cmd/benchjson -o BENCH_obs.json
+	@cat BENCH_obs.json
+
+# Every benchmark in the module at full benchtime (minutes).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Coverage over every package, with a per-function summary and an HTML
@@ -48,9 +62,15 @@ cover:
 
 # The cross-seed fault-injection soak (reduced seed block): every
 # controller x every fault profile, invariant-checked every tick.
-# Exits nonzero on any violation.
+# Exits nonzero on any violation. Alongside the verdict table it
+# leaves the observability artifacts CI uploads: the soak's summed
+# metrics snapshot and any violating cell's flight-recorder dump,
+# plus a full event log + Perfetto trace of one instrumented cell.
 chaos-smoke:
-	$(GO) run ./cmd/roborebound -quick -progress=false chaos
+	$(GO) run ./cmd/roborebound -quick -progress=false \
+	  -metrics obs-chaos-metrics.json -events obs-chaos-violations.ndjson chaos
+	$(GO) run ./cmd/roborebound -quick -progress=false \
+	  -events obs-events.ndjson -perfetto obs-trace.json -metrics obs-metrics.json trace flocking
 
 # Short fuzz pass over each fuzz target (seed corpora always run as
 # part of `make test`; this explores beyond them).

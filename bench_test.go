@@ -10,7 +10,9 @@ import (
 	"testing"
 
 	"roborebound/internal/cryptolite"
+	"roborebound/internal/faultinject"
 	"roborebound/internal/geom"
+	"roborebound/internal/obs"
 )
 
 // ---------------------------------------------------------- Fig. 5a
@@ -234,6 +236,35 @@ func BenchmarkAblation_Fmax(b *testing.B) {
 		})
 	}
 }
+
+// ------------------------------------------------- Tracer overhead
+//
+// The observability layer's cost at full-simulation scale: the same
+// chaos cell with the nil-guarded emit sites compiled in but no
+// tracer attached (the shipping default) vs fully instrumented
+// (collector + registry on top of the always-on flight recorder).
+// The pair quantifies what `-events`/`-metrics` cost and pins that
+// the disabled path stays cheap.
+
+func benchChaosCell(b *testing.B, traced bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := ChaosConfig{
+			Controller:  "flocking",
+			Profile:     faultinject.ProfileNone,
+			Seed:        1,
+			DurationSec: 20,
+		}
+		if traced {
+			cfg.Trace = obs.NewCollector()
+			cfg.Metrics = obs.NewRegistry()
+		}
+		RunChaos(cfg)
+	}
+}
+
+func BenchmarkObs_ChaosCellUntraced(b *testing.B) { benchChaosCell(b, false) }
+func BenchmarkObs_ChaosCellTraced(b *testing.B)   { benchChaosCell(b, true) }
 
 // BenchmarkAuditVerify measures the auditor's replay cost for one
 // typical 4-second segment — the dominant c-node cost of the defense.

@@ -13,6 +13,7 @@ import (
 	"roborebound/internal/core"
 	"roborebound/internal/faultinject"
 	"roborebound/internal/geom"
+	"roborebound/internal/obs"
 	"roborebound/internal/runner"
 	"roborebound/internal/wire"
 )
@@ -56,6 +57,17 @@ type ChaosConfig struct {
 	// ExtraFaults are appended verbatim to the generated schedule
 	// (tests use this to aim a specific fault at a specific robot).
 	ExtraFaults []faultinject.Fault
+	// Trace, when non-nil, receives the cell's full event stream in
+	// addition to the always-on flight recorder. Leave nil for matrix
+	// sweeps: cells run on the worker pool and a shared collector
+	// would race (each cell's flight recorder is private, so matrix
+	// runs stay race-clean without it).
+	Trace obs.Tracer
+	// Metrics, when non-nil, receives the cell's counters; otherwise
+	// the cell uses a private registry. Either way the final snapshot
+	// lands in ChaosResult.MetricsSnapshot. Same matrix caveat as
+	// Trace.
+	Metrics *obs.Registry
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -132,9 +144,13 @@ type ChaosResult struct {
 	Config   ChaosConfig
 	Schedule []string // rendered fault entries, in schedule order
 	// Violation is the first invariant breach, or nil when every
-	// guarantee held for the whole run.
+	// guarantee held for the whole run. On violation it carries the
+	// offending robot's flight-recorder dump (Violation.Events).
 	Violation *faultinject.Violation
 	Metrics   ChaosMetrics
+	// MetricsSnapshot is the cell's final registry snapshot (sorted by
+	// name): per-robot protocol counters and radio byte accounting.
+	MetricsSnapshot []obs.Sample
 }
 
 // buildChaosSim constructs the cell's simulation with the schedule's
@@ -162,7 +178,7 @@ func buildChaosSim(cfg ChaosConfig, cc core.Config, sched *faultinject.Schedule)
 		params := control.DefaultPatrolParams(tps, route)
 		params.RingGapM = 3
 		factory := control.PatrolFactory{Params: params}
-		s := NewSim(SimConfig{Seed: cfg.Seed, Core: &cc, Faults: sched})
+		s := NewSim(SimConfig{Seed: cfg.Seed, Core: &cc, Faults: sched, Trace: cfg.Trace, Metrics: cfg.Metrics})
 		for i := 0; i < cfg.N; i++ {
 			id := wire.RobotID(i + 1)
 			pos := route[int(id)%len(route)]
@@ -185,7 +201,7 @@ func buildChaosSim(cfg ChaosConfig, cc core.Config, sched *faultinject.Schedule)
 		}
 		params := control.DefaultWarehouseParams(tps, pickups, dropoffs)
 		factory := control.WarehouseFactory{Params: params}
-		s := NewSim(SimConfig{Seed: cfg.Seed, Core: &cc, Faults: sched})
+		s := NewSim(SimConfig{Seed: cfg.Seed, Core: &cc, Faults: sched, Trace: cfg.Trace, Metrics: cfg.Metrics})
 		for i := 0; i < cfg.N; i++ {
 			id := wire.RobotID(i + 1)
 			pos := pickups[i].Add(geom.V(2, 0))
@@ -213,6 +229,8 @@ func buildChaosSim(cfg ChaosConfig, cc core.Config, sched *faultinject.Schedule)
 			Seed:      cfg.Seed,
 			Fmax:      cfg.Fmax,
 			Faults:    sched,
+			Trace:     cfg.Trace,
+			Metrics:   cfg.Metrics,
 		}
 		for _, aid := range attackerIDs {
 			slot := int(aid) - 1
@@ -264,10 +282,25 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 		faultinject.Limits{TVal: cc.TVal, TAudit: cc.TAudit, Avoid: avoid})
 	sched.Faults = append(sched.Faults, cfg.ExtraFaults...)
 
-	s, attackerIDs := buildChaosSim(cfg, cc, &sched)
+	// The flight recorder is always on: when the checker latches a
+	// violation mid-run, the offending robot's recent protocol history
+	// must already exist. It is private to this cell, so matrix sweeps
+	// stay race-clean; the ring bound keeps the overhead flat. The
+	// metrics registry is likewise per-cell unless the caller supplied
+	// one. Tracing is observation only — fingerprints are unchanged.
+	flight := obs.NewFlightRecorder(obs.DefaultFlightRing)
+	runCfg := cfg
+	runCfg.Trace = obs.MultiTracer(cfg.Trace, flight)
+	if runCfg.Metrics == nil {
+		runCfg.Metrics = obs.NewRegistry()
+	}
+
+	s, attackerIDs := buildChaosSim(runCfg, cc, &sched)
 	crashes := sched.CrashTargets()
 
 	checker := faultinject.NewChecker(cc.TVal, cc.TAudit, &sched)
+	checker.Flight = flight
+	checker.Trace = runCfg.Trace
 	snaps := make([]faultinject.RobotSnapshot, 0, cfg.N)
 	s.Engine.Observe(func(now wire.Tick) {
 		snaps = snaps[:0]
@@ -331,6 +364,7 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 		m.DroppedFrames += c.Dropped
 	}
 	m.Fingerprint = chaosFingerprint(s)
+	res.MetricsSnapshot = runCfg.Metrics.Snapshot()
 	return res
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"roborebound/internal/faultinject"
+	"roborebound/internal/obs"
 	"roborebound/internal/wire"
 )
 
@@ -185,5 +186,33 @@ func TestChaosCheckerDetectsSuppressedSafeMode(t *testing.T) {
 	msg := v.Error()
 	if !strings.Contains(msg, "tick") || !strings.Contains(msg, "robot 3") {
 		t.Errorf("Error() lacks tick/robot context: %s", msg)
+	}
+
+	// The violation must arrive as a self-contained forensic report:
+	// the offending robot's flight-recorder dump rides along, showing
+	// the protocol history that led here — the attacker kept earning
+	// tokens (its frozen clock keeps them fresh forever) and never
+	// entered Safe Mode.
+	if len(v.Events) == 0 {
+		t.Fatal("violation carries no flight-recorder dump")
+	}
+	kinds := make(map[obs.EventKind]int)
+	for _, e := range v.Events {
+		if e.Robot != attackerID {
+			t.Fatalf("dump contains another robot's event: %v", e)
+		}
+		kinds[e.Kind]++
+	}
+	if kinds[obs.EvTokenGranted] == 0 {
+		t.Errorf("dump lacks the attacker's token-grant history: %v", kinds)
+	}
+	if kinds[obs.EvAuditRoundStart] == 0 {
+		t.Errorf("dump lacks the attacker's audit-round history: %v", kinds)
+	}
+	if kinds[obs.EvSafeModeEntered] != 0 {
+		t.Errorf("frozen-clock attacker must never reach Safe Mode, dump says otherwise")
+	}
+	if !strings.Contains(msg, "flight recorder") || !strings.Contains(msg, "token-granted") {
+		t.Errorf("Error() does not render the flight dump:\n%s", msg)
 	}
 }

@@ -1,0 +1,105 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON report: one object per benchmark, keyed by name (the
+// GOMAXPROCS suffix stripped), each holding every reported metric
+// (ns/op, B/op, allocs/op, and any custom b.ReportMetric units).
+// Names and metric keys are emitted sorted, so reruns on the same
+// numbers produce byte-identical files — the committed BENCH_obs.json
+// is generated through it by `make bench`.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson -o BENCH_obs.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+var output = flag.String("o", "", "write the JSON report to this file instead of stdout")
+
+// stripProcs removes the trailing -N GOMAXPROCS suffix go test adds
+// to benchmark names ("BenchmarkFoo-8" → "BenchmarkFoo").
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// parse reads benchmark result lines, ignoring everything else in the
+// stream (headers, PASS/ok lines, test log output).
+func parse(r io.Reader) (map[string]map[string]float64, error) {
+	results := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// A result line is "BenchmarkName-N  iters  value unit [value unit]...".
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue
+		}
+		name := stripProcs(fields[0])
+		metrics := results[name]
+		if metrics == nil {
+			metrics = make(map[string]float64)
+			results[name] = metrics
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			metrics[fields[i+1]] = v
+		}
+	}
+	return results, sc.Err()
+}
+
+func run(r io.Reader, w io.Writer) error {
+	results, err := parse(r)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark result lines on input")
+	}
+	// json.Marshal sorts map keys, giving the stable ordering for free.
+	b, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", b)
+	return err
+}
+
+func main() {
+	flag.Parse()
+	var w io.Writer = os.Stdout
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := run(os.Stdin, w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

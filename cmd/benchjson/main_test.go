@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: roborebound/internal/obs
+cpu: whatever
+BenchmarkEmitDisabled-8      	1000000000	         0.2512 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEmitCollector-8     	31415926	        38.10 ns/op	      90 B/op	       0 allocs/op
+BenchmarkSweep_Serial-8      	       1	1234567890 ns/op	         8.000 cells
+BenchmarkAblation_Fmax/fmax1-8	     100	    500000 ns/op	      1200 auditB/s
+PASS
+ok  	roborebound	1.234s
+`
+
+func TestRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(strings.NewReader(sample), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]map[string]float64
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(got), got)
+	}
+	if m := got["BenchmarkEmitDisabled"]; m["ns/op"] != 0.2512 || m["allocs/op"] != 0 {
+		t.Errorf("EmitDisabled = %v", m)
+	}
+	if m := got["BenchmarkEmitCollector"]; m["B/op"] != 90 {
+		t.Errorf("EmitCollector = %v", m)
+	}
+	// GOMAXPROCS suffix stripped, sub-benchmark slash kept, custom
+	// b.ReportMetric units captured.
+	if m := got["BenchmarkSweep_Serial"]; m["cells"] != 8 {
+		t.Errorf("Sweep_Serial = %v", m)
+	}
+	if m := got["BenchmarkAblation_Fmax/fmax1"]; m["auditB/s"] != 1200 {
+		t.Errorf("Ablation sub-bench = %v", m)
+	}
+	for name := range got {
+		if strings.HasSuffix(name, "-8") {
+			t.Errorf("GOMAXPROCS suffix not stripped: %q", name)
+		}
+	}
+
+	// Byte-identical on rerun: the report is sorted throughout.
+	var buf2 bytes.Buffer
+	if err := run(strings.NewReader(sample), &buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("reports differ across identical inputs")
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(strings.NewReader("PASS\nok x 0.1s\n"), &buf); err == nil {
+		t.Error("no benchmark lines should be an error, got none")
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":        "BenchmarkFoo",
+		"BenchmarkFoo-128":      "BenchmarkFoo",
+		"BenchmarkFoo":          "BenchmarkFoo",
+		"BenchmarkFoo/sub-2-4":  "BenchmarkFoo/sub-2",
+		"BenchmarkFoo/case-abc": "BenchmarkFoo/case-abc",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -5,7 +5,7 @@
 //
 //	roborebound <subcommand> [-quick] [-seed N] [-parallel N]
 //
-// Subcommands: fig2 fig5 fig6 fig7 fig8 fig9 table1 table2 chaos all
+// Subcommands: fig2 fig5 fig6 fig7 fig8 fig9 table1 table2 chaos trace all
 package main
 
 import (
@@ -92,12 +92,19 @@ func main() {
 		"table1": table1,
 		"table2": table2,
 		"chaos":  chaos,
+		"trace":  traceCmd,
+	}
+	stopProfiles, err := startProfiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	if cmd == "all" {
 		for _, name := range []string{"table1", "table2", "fig5", "fig6", "fig7", "fig2", "fig8", "fig9"} {
 			fmt.Fprintf(out, "\n================ %s ================\n", strings.ToUpper(name))
 			cmds[name]()
 		}
+		stopProfiles()
 		return
 	}
 	f, ok := cmds[cmd]
@@ -107,6 +114,7 @@ func main() {
 		os.Exit(2)
 	}
 	f()
+	stopProfiles()
 	if chaosFailed {
 		os.Exit(1)
 	}
@@ -125,6 +133,9 @@ subcommands:
   fig8     example attack, baseline + undefended (§5.3 Fig. 8)
   fig9     example attack with RoboRebound (§5.3 Fig. 9)
   chaos    cross-seed fault-injection soak with invariant checking
+  trace    run one scenario fully instrumented and export its protocol
+           event log / Perfetto trace / metrics (see -events, -perfetto,
+           -metrics); scenarios: flocking (default), patrol, warehouse
   all      every figure and table above
 
 flags:`)
@@ -391,6 +402,7 @@ func chaos() {
 			r.Config.Controller, r.Config.Profile,
 			r.Metrics.Attackers, r.Metrics.AttackersDisabled, lat, r.Config.Seed, verdict)
 	}
+	chaosObsExports(results)
 	if bad > 0 {
 		fmt.Fprintf(out, "\nchaos: %d/%d cells FAILED\n", bad, len(results))
 		chaosFailed = true

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+)
+
+// Profiling hooks. These observe the process, not the simulation:
+// they have no effect on results and are safe on any subcommand.
+var (
+	cpuprofile = flag.String("cpuprofile", "",
+		"write a pprof CPU profile to this file (go tool pprof)")
+	memprofile = flag.String("memprofile", "",
+		"write a pprof heap profile to this file at exit")
+	runtimeTrace = flag.String("runtime-trace", "",
+		"write a Go runtime execution trace to this file (go tool trace)")
+)
+
+// startProfiles starts the profilers selected by flags and returns a
+// stop function that finalizes them (stopping the CPU profile and
+// runtime trace, then snapshotting the heap). The stop function must
+// run before the process exits or the files are truncated/empty.
+func startProfiles() (stop func(), err error) {
+	var cpuF, traceF *os.File
+	if *cpuprofile != "" {
+		cpuF, err = os.Create(*cpuprofile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if *runtimeTrace != "" {
+		traceF, err = os.Create(*runtimeTrace)
+		if err != nil {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			return nil, fmt.Errorf("runtime-trace: %w", err)
+		}
+		if err := rtrace.Start(traceF); err != nil {
+			traceF.Close()
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			return nil, fmt.Errorf("runtime-trace: %w", err)
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if traceF != nil {
+			rtrace.Stop()
+			traceF.Close()
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize final live-heap stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
+}

@@ -103,10 +103,14 @@ func (c Config) ANodeConfig() trusted.ANodeConfig {
 	}
 }
 
-// Stats counts protocol events for the evaluation harness.
+// Stats is a point-in-time snapshot of the protocol counters for the
+// evaluation harness. It stays a plain comparable value struct (tests
+// compare snapshots with ==); the live tallies behind it are obs
+// counters — see Engine.Instrument.
 type Stats struct {
 	RoundsStarted   uint64
 	RoundsCovered   uint64
+	RoundsAbandoned uint64 // rounds replaced while still uncovered
 	AuditsRequested uint64 // requests sent as auditee
 	AuditsServed    uint64 // tokens issued as auditor
 	AuditsRefused   uint64 // requests rejected as auditor (replay/token failures)

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"roborebound/internal/auditlog"
 	"roborebound/internal/control"
 	"roborebound/internal/cryptolite"
+	"roborebound/internal/obs"
 	"roborebound/internal/replay"
 	"roborebound/internal/trusted"
 	"roborebound/internal/wire"
@@ -31,7 +33,38 @@ type Engine struct {
 
 	round  *auditRound
 	served []wire.Tick // timestamps of recently served audits (ServeLimit window)
-	stats  Stats
+
+	stats        statsCounters
+	trace        obs.Tracer
+	roundLatency *obs.Histogram // start→covered latency in ticks; nil unless instrumented
+}
+
+// statsCounters holds the live protocol tallies. They are obs
+// counters so Instrument can rebind them into a metrics registry; an
+// uninstrumented engine uses standalone counters and pays one pointer
+// indirection per increment.
+type statsCounters struct {
+	roundsStarted   *obs.Counter
+	roundsCovered   *obs.Counter
+	roundsAbandoned *obs.Counter
+	auditsRequested *obs.Counter
+	auditsServed    *obs.Counter
+	auditsRefused   *obs.Counter
+	tokensInstalled *obs.Counter
+	tokensRejected  *obs.Counter
+}
+
+func newStatsCounters(counter func(name string) *obs.Counter) statsCounters {
+	return statsCounters{
+		roundsStarted:   counter("rounds_started"),
+		roundsCovered:   counter("rounds_covered"),
+		roundsAbandoned: counter("rounds_abandoned"),
+		auditsRequested: counter("audits_requested"),
+		auditsServed:    counter("audits_served"),
+		auditsRefused:   counter("audits_refused"),
+		tokensInstalled: counter("tokens_installed"),
+		tokensRejected:  counter("tokens_rejected"),
+	}
 }
 
 type auditRound struct {
@@ -64,7 +97,26 @@ func NewEngine(id wire.RobotID, cfg Config, factory control.Factory,
 		log:     auditlog.New(),
 		send:    send,
 		heard:   make(map[wire.RobotID]wire.Tick),
+		stats:   newStatsCounters(func(string) *obs.Counter { return new(obs.Counter) }),
 	}
+}
+
+// Instrument attaches the observability layer: protocol events go to
+// tr (nil disables tracing at zero cost) and, when reg is non-nil,
+// the engine's tallies are rebound to registry counters named
+// core.robot.<id>.<stat> plus a round-latency histogram. Call before
+// the first Tick — rebinding discards any counts accumulated so far.
+func (e *Engine) Instrument(tr obs.Tracer, reg *obs.Registry) {
+	e.trace = tr
+	if reg == nil {
+		return
+	}
+	prefix := fmt.Sprintf("core.robot.%d.", e.id)
+	e.stats = newStatsCounters(func(name string) *obs.Counter {
+		return reg.Counter(prefix + name)
+	})
+	e.roundLatency = reg.Histogram(prefix+"round_latency_ticks",
+		[]float64{1, 2, 4, 8, 16, 32, 64})
 }
 
 // Controller exposes the live controller (the robot reads it for
@@ -74,8 +126,19 @@ func (e *Engine) Controller() control.Controller { return e.ctrl }
 // Log exposes the audit log for storage accounting.
 func (e *Engine) Log() *auditlog.Log { return e.log }
 
-// Stats returns a copy of the protocol counters.
-func (e *Engine) Stats() Stats { return e.stats }
+// Stats returns a snapshot of the protocol counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		RoundsStarted:   e.stats.roundsStarted.Value(),
+		RoundsCovered:   e.stats.roundsCovered.Value(),
+		RoundsAbandoned: e.stats.roundsAbandoned.Value(),
+		AuditsRequested: e.stats.auditsRequested.Value(),
+		AuditsServed:    e.stats.auditsServed.Value(),
+		AuditsRefused:   e.stats.auditsRefused.Value(),
+		TokensInstalled: e.stats.tokensInstalled.Value(),
+		TokensRejected:  e.stats.tokensRejected.Value(),
+	}
+}
 
 // CurrentRoundHash returns the checkpoint hash of the in-progress
 // audit round, if any (tests and metrics only).
@@ -158,12 +221,22 @@ func (e *Engine) startRound(now wire.Tick) {
 	if !okS || !okA {
 		return // keyless or safe mode: nothing to do
 	}
+	if e.round != nil && !e.round.covered {
+		e.stats.roundsAbandoned.Inc()
+		if e.trace != nil {
+			e.trace.Emit(obs.Event{Tick: now, Robot: e.id,
+				Kind: obs.EvAuditRoundAbandoned, Value: int64(len(e.round.tokens))})
+		}
+	}
 	// Log the flush position. MakeAuthenticator flushed both chains,
 	// resetting their batch phase; auditors replaying a segment that
 	// spans this point (because this round's checkpoint never got
 	// covered) must flush their replicas here or the batched tops
 	// cannot match.
 	e.log.Append(wire.LogEntry{Kind: wire.EntryMark})
+	if e.trace != nil {
+		e.trace.Emit(obs.Event{Tick: now, Robot: e.id, Kind: obs.EvCheckpointFlush})
+	}
 	cp := auditlog.Checkpoint{
 		Time:  now,
 		AuthS: authS,
@@ -189,7 +262,11 @@ func (e *Engine) startRound(now wire.Tick) {
 		round.startTok = seg.Start.Tokens
 	}
 	e.round = round
-	e.stats.RoundsStarted++
+	e.stats.roundsStarted.Inc()
+	if e.trace != nil {
+		e.trace.Emit(obs.Event{Tick: now, Robot: e.id,
+			Kind: obs.EvAuditRoundStart, Value: int64(len(round.segment))})
+	}
 	e.solicit(now)
 }
 
@@ -229,7 +306,7 @@ func (e *Engine) solicit(now wire.Tick) {
 	// dense flock converge on the same few auditors each round, which
 	// saturates their serve budgets and starves the flock.
 	if n := len(candidates); n > 1 {
-		off := (int(e.stats.RoundsStarted)*(1+e.cfg.Fmax) + int(e.id)*7) % n
+		off := (int(e.stats.roundsStarted.Value())*(1+e.cfg.Fmax) + int(e.id)*7) % n
 		candidates = append(candidates[off:], candidates[:off]...)
 	}
 	sent := 0
@@ -291,7 +368,7 @@ func (e *Engine) askOne(target wire.RobotID) bool {
 	if !e.send(f) {
 		return false
 	}
-	e.stats.AuditsRequested++
+	e.stats.auditsRequested.Inc()
 	return true
 }
 
@@ -318,16 +395,16 @@ func (e *Engine) serveBudgetOK() bool {
 // request, so the requestor's tokens simply expire.
 func (e *Engine) onAuditRequest(a wire.AuditRequest) {
 	if a.Auditor != e.id || a.Req.Auditor != e.id || a.Req.Auditee != a.Auditee || a.Auditee == e.id {
-		e.stats.AuditsRefused++
+		e.stats.auditsRefused.Inc()
 		return
 	}
 	if !e.serveBudgetOK() {
-		e.stats.AuditsRefused++
+		e.stats.auditsRefused.Inc()
 		return
 	}
 	end, err := auditlog.DecodeCheckpoint(a.EndCheckpoint)
 	if err != nil {
-		e.stats.AuditsRefused++
+		e.stats.auditsRefused.Inc()
 		return
 	}
 	req := replay.Request{
@@ -339,20 +416,20 @@ func (e *Engine) onAuditRequest(a wire.AuditRequest) {
 	if !a.FromBoot {
 		start, err := auditlog.DecodeCheckpoint(a.StartCheckpoint)
 		if err != nil {
-			e.stats.AuditsRefused++
+			e.stats.auditsRefused.Inc()
 			return
 		}
 		startHash := cryptolite.SHA1(a.StartCheckpoint)
 		if err := replay.TokensCoverStart(a.Auditee, startHash, a.StartTokens,
 			e.cfg.Fmax, e.anode.VerifyToken); err != nil {
-			e.stats.AuditsRefused++
+			e.stats.auditsRefused.Inc()
 			return
 		}
 		req.Start = &start
 	}
 	entries, err := wire.DecodeLogEntries(a.Segment)
 	if err != nil {
-		e.stats.AuditsRefused++
+		e.stats.auditsRefused.Inc()
 		return
 	}
 	req.Entries = entries
@@ -363,19 +440,19 @@ func (e *Engine) onAuditRequest(a wire.AuditRequest) {
 		AuthSlack:          e.cfg.AuthSlack,
 		CheckAuthenticator: e.anode.CheckAuthenticator,
 	}); err != nil {
-		e.stats.AuditsRefused++
+		e.stats.auditsRefused.Inc()
 		return
 	}
 
 	tok, ok := e.anode.IssueToken(a.Req, cryptolite.SHA1(a.EndCheckpoint))
 	if !ok {
-		e.stats.AuditsRefused++
+		e.stats.auditsRefused.Inc()
 		return
 	}
 	resp := wire.AuditResponse{Auditor: e.id, Auditee: a.Auditee, OK: true, Tok: tok}
 	e.send(wire.Frame{Src: e.id, Dst: a.Auditee, Flags: wire.FlagAudit, Payload: resp.Encode()})
 	e.served = append(e.served, e.now)
-	e.stats.AuditsServed++
+	e.stats.auditsServed.Inc()
 }
 
 // onAuditResponse is the auditee receiving a token. A compromised
@@ -387,11 +464,15 @@ func (e *Engine) onAuditResponse(resp wire.AuditResponse) {
 		return
 	}
 	if !e.anode.InstallToken(resp.Tok) {
-		e.stats.TokensRejected++
+		e.stats.tokensRejected.Inc()
 		return
 	}
-	e.stats.TokensInstalled++
+	e.stats.tokensInstalled.Inc()
 	r.tokens[resp.Tok.Auditor] = resp.Tok
+	if e.trace != nil {
+		e.trace.Emit(obs.Event{Tick: e.now, Robot: e.id, Kind: obs.EvTokenGranted,
+			Peer: resp.Tok.Auditor, Value: int64(len(r.tokens))})
+	}
 	if !r.covered && len(r.tokens) >= e.cfg.Fmax+1 {
 		tokens := make([]wire.Token, 0, len(r.tokens))
 		for _, id := range sortedTokenIDs(r.tokens) {
@@ -399,7 +480,12 @@ func (e *Engine) onAuditResponse(resp wire.AuditResponse) {
 		}
 		if e.log.MarkCovered(r.hash, tokens) == nil {
 			r.covered = true
-			e.stats.RoundsCovered++
+			e.stats.roundsCovered.Inc()
+			e.roundLatency.Observe(float64(e.now - r.startAt))
+			if e.trace != nil {
+				e.trace.Emit(obs.Event{Tick: e.now, Robot: e.id,
+					Kind: obs.EvAuditRoundComplete, Value: int64(len(r.tokens))})
+			}
 		}
 	}
 }

@@ -3,6 +3,7 @@ package faultinject
 import (
 	"fmt"
 
+	"roborebound/internal/obs"
 	"roborebound/internal/radio"
 	"roborebound/internal/wire"
 )
@@ -47,13 +48,26 @@ type Violation struct {
 	Detail    string
 	// ActiveFaults renders the schedule entries active at Tick.
 	ActiveFaults []string
+	// Events is the offending robot's flight-recorder dump (its last N
+	// protocol + frame events), captured at latch time when the checker
+	// has a recorder attached. Empty for system-wide violations
+	// (Robot == wire.Broadcast) or when flight recording is off.
+	Events []obs.Event
 }
 
-// Error formats the violation as a single line.
+// Error formats the violation as a single line, followed by the
+// flight-recorder dump when one was captured — a chaos failure is a
+// self-contained forensic report.
 func (v *Violation) Error() string {
 	s := fmt.Sprintf("invariant %s violated at tick %d robot %d: %s", v.Invariant, v.Tick, v.Robot, v.Detail)
 	if len(v.ActiveFaults) > 0 {
 		s += fmt.Sprintf(" (active faults: %v)", v.ActiveFaults)
+	}
+	if len(v.Events) > 0 {
+		s += fmt.Sprintf("\nflight recorder (last %d events of robot %d):", len(v.Events), v.Robot)
+		for _, e := range v.Events {
+			s += "\n  " + e.String()
+		}
 	}
 	return s
 }
@@ -84,6 +98,14 @@ type Checker struct {
 	// Schedule provides fault context for reports and the
 	// environment-quiet timer for the liveness check; optional.
 	Schedule *Schedule
+	// Flight, when non-nil, is dumped into the Violation at latch
+	// time: the offending robot's retained event history rides along
+	// with the report. Optional.
+	Flight *obs.FlightRecorder
+	// Trace, when non-nil, receives an EvInvariantViolation event at
+	// latch time (so exported event logs mark the breach in-stream).
+	// Optional.
+	Trace obs.Tracer
 
 	violation *Violation
 	prev      map[wire.RobotID]radio.ByteCounters
@@ -112,6 +134,13 @@ func (c *Checker) report(inv string, now wire.Tick, id wire.RobotID, format stri
 	v := &Violation{Invariant: inv, Tick: now, Robot: id, Detail: fmt.Sprintf(format, args...)}
 	if c.Schedule != nil {
 		v.ActiveFaults = c.Schedule.Describe(now)
+	}
+	if c.Flight != nil && id != wire.Broadcast {
+		v.Events = c.Flight.Events(id)
+	}
+	if c.Trace != nil {
+		c.Trace.Emit(obs.Event{Tick: now, Robot: id,
+			Kind: obs.EvInvariantViolation, Detail: inv + ": " + v.Detail})
 	}
 	c.violation = v
 }

@@ -113,6 +113,8 @@ func MinMax(vs []float64) (lo, hi float64) {
 // tables.
 func FmtBytes(b float64) string {
 	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GB", b/(1<<30))
 	case b >= 1<<20:
 		return fmt.Sprintf("%.2f MB", b/(1<<20))
 	case b >= 1<<10:

@@ -24,6 +24,24 @@ func TestSeriesBasics(t *testing.T) {
 	}
 }
 
+func TestSeriesAtEdges(t *testing.T) {
+	var empty Series
+	if v, ok := empty.At(0); ok || v != 0 {
+		t.Errorf("empty At(0) = %v, %v", v, ok)
+	}
+	var one Series
+	one.Add(10, 7)
+	if _, ok := one.At(9); ok {
+		t.Error("single-sample At before the sample should fail")
+	}
+	if v, ok := one.At(10); !ok || v != 7 {
+		t.Errorf("single-sample At(10) = %v, %v", v, ok)
+	}
+	if v, ok := one.At(wire.Tick(math.MaxUint64)); !ok || v != 7 {
+		t.Errorf("single-sample At(max) = %v, %v", v, ok)
+	}
+}
+
 func TestSeriesAt(t *testing.T) {
 	var s Series
 	s.Add(10, 1)
@@ -72,6 +90,29 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentileEdges(t *testing.T) {
+	// A single sample is every percentile.
+	for _, p := range []float64{0, 50, 100} {
+		if got := Percentile([]float64{42}, p); got != 42 {
+			t.Errorf("single-sample p%v = %v", p, got)
+		}
+	}
+	// Unsorted input: nearest-rank must see the sorted order.
+	vs := []float64{9, 0, 7, 3}
+	if got := Percentile(vs, 0); got != 0 {
+		t.Errorf("unsorted p0 = %v", got)
+	}
+	if got := Percentile(vs, 100); got != 9 {
+		t.Errorf("unsorted p100 = %v", got)
+	}
+	if got := Percentile(vs, 25); got != 0 {
+		t.Errorf("unsorted p25 = %v (rank 1 of sorted [0 3 7 9])", got)
+	}
+	if got := Percentile(vs, 75); got != 7 {
+		t.Errorf("unsorted p75 = %v (rank 3 of sorted [0 3 7 9])", got)
+	}
+}
+
 func TestPercentileMonotone(t *testing.T) {
 	f := func(vs []float64, a, b uint8) bool {
 		for _, v := range vs {
@@ -99,13 +140,21 @@ func TestMinMax(t *testing.T) {
 	if lo != 0 || hi != 0 {
 		t.Error("empty MinMax != 0,0")
 	}
+	lo, hi = MinMax([]float64{-2})
+	if lo != -2 || hi != -2 {
+		t.Errorf("single-sample MinMax = %v, %v", lo, hi)
+	}
 }
 
 func TestFmtBytes(t *testing.T) {
 	cases := map[float64]string{
-		100:     "100 B",
-		2048:    "2.00 kB",
-		2 << 20: "2.00 MB",
+		100:             "100 B",
+		2048:            "2.00 kB",
+		2 << 20:         "2.00 MB",
+		1<<30 - 1:       "1024.00 MB", // just under the GB tier stays MB
+		1 << 30:         "1.00 GB",
+		3 << 30:         "3.00 GB",
+		1.5 * (1 << 30): "1.50 GB",
 	}
 	for in, want := range cases {
 		if got := FmtBytes(in); got != want {

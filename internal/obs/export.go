@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// TickMapping converts simulation ticks into the microsecond
+// timestamps Chrome trace viewers expect. It is pure arithmetic on
+// the configured tick rate: tick t maps to t * 1e6 / TicksPerSecond
+// µs, so the mapping is deterministic and involves no wall clock.
+type TickMapping struct {
+	TicksPerSecond int
+}
+
+// Micros returns tick t's timestamp in microseconds.
+func (m TickMapping) Micros(t uint64) float64 {
+	tps := m.TicksPerSecond
+	if tps <= 0 {
+		tps = 1
+	}
+	return float64(t) * 1e6 / float64(tps)
+}
+
+// jsonString escapes s as a JSON string literal. Event details and
+// metric names are plain ASCII, so strconv.Quote's escaping rules
+// match JSON's for everything we emit.
+func jsonString(s string) string { return strconv.Quote(s) }
+
+// jsonFloat renders v in the shortest round-trippable form, with a
+// fixed representation for integral values so output is stable.
+func jsonFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteNDJSON writes one JSON object per event, newline-delimited, in
+// slice order. Fields are emitted in a fixed order and zero-valued
+// optional fields are omitted, so the byte stream is a pure function
+// of the event sequence.
+func WriteNDJSON(w io.Writer, events []Event) error {
+	var b strings.Builder
+	for _, e := range events {
+		b.Reset()
+		b.WriteString(`{"tick":`)
+		b.WriteString(strconv.FormatUint(uint64(e.Tick), 10))
+		b.WriteString(`,"robot":`)
+		b.WriteString(strconv.FormatUint(uint64(e.Robot), 10))
+		b.WriteString(`,"kind":`)
+		b.WriteString(jsonString(e.Kind.String()))
+		if e.Peer != 0 {
+			b.WriteString(`,"peer":`)
+			b.WriteString(strconv.FormatUint(uint64(e.Peer), 10))
+		}
+		if e.Cause != CauseNone {
+			b.WriteString(`,"cause":`)
+			b.WriteString(jsonString(e.Cause.String()))
+		}
+		if e.Value != 0 {
+			b.WriteString(`,"value":`)
+			b.WriteString(strconv.FormatInt(e.Value, 10))
+		}
+		if e.Detail != "" {
+			b.WriteString(`,"detail":`)
+			b.WriteString(jsonString(e.Detail))
+		}
+		b.WriteString("}\n")
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMetricsJSON writes a snapshot as one JSON object mapping
+// metric name to value, one metric per line, preserving the
+// snapshot's (sorted) order.
+func WriteMetricsJSON(w io.Writer, snap []Sample) error {
+	if _, err := io.WriteString(w, "{\n"); err != nil {
+		return err
+	}
+	for i, s := range snap {
+		sep := ",\n"
+		if i == len(snap)-1 {
+			sep = "\n"
+		}
+		line := "  " + jsonString(s.Name) + ": " + jsonFloat(s.Value) + sep
+		if _, err := io.WriteString(w, line); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}
+
+// WriteChromeTrace writes the events as a Chrome trace-event JSON
+// document loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+//
+// Layout: each robot is a "process" (named via metadata events);
+// within it, thread 1 carries the protocol plane and thread 2 the
+// radio plane. Audit rounds become complete ("X") slices from
+// EvAuditRoundStart to the matching Complete/Abandoned; every other
+// event is an instant ("i"). Timestamps come from the TickMapping.
+func WriteChromeTrace(w io.Writer, events []Event, m TickMapping) error {
+	var b strings.Builder
+	b.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	emit := func(s string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString("\n")
+		b.WriteString(s)
+	}
+
+	// Process-name metadata, one per robot, in first-seen order (the
+	// event slice is already deterministic).
+	seen := make(map[uint16]bool)
+	for _, e := range events {
+		id := uint16(e.Robot)
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		emit(fmt.Sprintf(`{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":"robot %d"}}`, id, id))
+		emit(fmt.Sprintf(`{"ph":"M","name":"thread_name","pid":%d,"tid":1,"args":{"name":"protocol"}}`, id))
+		emit(fmt.Sprintf(`{"ph":"M","name":"thread_name","pid":%d,"tid":2,"args":{"name":"radio"}}`, id))
+	}
+
+	// Pair round starts with their completion/abandonment per robot.
+	openRound := make(map[uint16]Event)
+	for _, e := range events {
+		id := uint16(e.Robot)
+		tid := 1
+		if e.Kind.FramePlane() {
+			tid = 2
+		}
+		ts := m.Micros(uint64(e.Tick))
+		switch e.Kind {
+		case EvAuditRoundStart:
+			openRound[id] = e
+		case EvAuditRoundComplete, EvAuditRoundAbandoned:
+			start, ok := openRound[id]
+			if !ok {
+				emit(fmt.Sprintf(`{"ph":"i","name":%s,"pid":%d,"tid":%d,"ts":%s,"s":"t","args":{"value":%d}}`,
+					jsonString(e.Kind.String()), id, tid, jsonFloat(ts), e.Value))
+				continue
+			}
+			delete(openRound, id)
+			startTS := m.Micros(uint64(start.Tick))
+			name := "audit-round"
+			if e.Kind == EvAuditRoundAbandoned {
+				name = "audit-round (abandoned)"
+			}
+			emit(fmt.Sprintf(`{"ph":"X","name":%s,"pid":%d,"tid":1,"ts":%s,"dur":%s,"args":{"segment_bytes":%d,"tokens":%d}}`,
+				jsonString(name), id, jsonFloat(startTS), jsonFloat(ts-startTS), start.Value, e.Value))
+		default:
+			args := fmt.Sprintf(`{"value":%d`, e.Value)
+			if e.Peer != 0 {
+				args += fmt.Sprintf(`,"peer":%d`, uint16(e.Peer))
+			}
+			if e.Cause != CauseNone {
+				args += `,"cause":` + jsonString(e.Cause.String())
+			}
+			if e.Detail != "" {
+				args += `,"detail":` + jsonString(e.Detail)
+			}
+			args += "}"
+			emit(fmt.Sprintf(`{"ph":"i","name":%s,"pid":%d,"tid":%d,"ts":%s,"s":"t","args":%s}`,
+				jsonString(e.Kind.String()), id, tid, jsonFloat(ts), args))
+		}
+	}
+
+	// Rounds still open at end of trace render as instants so no data
+	// is silently dropped.
+	for _, e := range events {
+		id := uint16(e.Robot)
+		if open, ok := openRound[id]; ok && open == e {
+			emit(fmt.Sprintf(`{"ph":"i","name":"audit-round (open)","pid":%d,"tid":1,"ts":%s,"s":"t","args":{"segment_bytes":%d}}`,
+				id, jsonFloat(m.Micros(uint64(open.Tick))), open.Value))
+			delete(openRound, id)
+		}
+	}
+
+	b.WriteString("\n]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

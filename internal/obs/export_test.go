@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+var exportFixture = []Event{
+	{Tick: 4, Robot: 1, Kind: EvCheckpointFlush},
+	{Tick: 4, Robot: 1, Kind: EvAuditRoundStart, Value: 210},
+	{Tick: 4, Robot: 1, Kind: EvFrameTx, Peer: 2, Value: 96},
+	{Tick: 5, Robot: 2, Kind: EvFrameRx, Peer: 1, Value: 96},
+	{Tick: 5, Robot: 3, Kind: EvFrameDropped, Peer: 1, Cause: CauseLoss, Value: 96},
+	{Tick: 6, Robot: 1, Kind: EvTokenGranted, Peer: 2, Value: 1},
+	{Tick: 6, Robot: 1, Kind: EvAuditRoundComplete, Value: 2},
+	{Tick: 9, Robot: 3, Kind: EvInvariantViolation, Detail: "bti: overdue"},
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, exportFixture); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(exportFixture) {
+		t.Fatalf("%d lines, want %d", len(lines), len(exportFixture))
+	}
+	// Every line is valid standalone JSON.
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d invalid JSON: %v\n%s", i, err, line)
+		}
+	}
+	// Spot-check field presence/omission.
+	if want := `{"tick":4,"robot":1,"kind":"checkpoint-flush"}`; lines[0] != want {
+		t.Fatalf("line 0 = %s, want %s", lines[0], want)
+	}
+	if want := `{"tick":5,"robot":3,"kind":"frame-dropped","peer":1,"cause":"loss","value":96}`; lines[4] != want {
+		t.Fatalf("line 4 = %s, want %s", lines[4], want)
+	}
+	if !strings.Contains(lines[7], `"detail":"bti: overdue"`) {
+		t.Fatalf("line 7 missing detail: %s", lines[7])
+	}
+	// Byte-identical across runs.
+	var buf2 bytes.Buffer
+	if err := WriteNDJSON(&buf2, exportFixture); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("NDJSON output not byte-identical across writes")
+	}
+}
+
+func TestTickMapping(t *testing.T) {
+	m := TickMapping{TicksPerSecond: 4}
+	if got := m.Micros(0); got != 0 {
+		t.Fatalf("Micros(0) = %v", got)
+	}
+	if got := m.Micros(4); got != 1e6 {
+		t.Fatalf("Micros(4) = %v, want 1e6 (one second of ticks)", got)
+	}
+	if got := m.Micros(1); got != 250000 {
+		t.Fatalf("Micros(1) = %v, want 250000", got)
+	}
+	// Zero tick rate degrades to 1 tick = 1 second rather than NaN.
+	z := TickMapping{}
+	if got := z.Micros(2); got != 2e6 {
+		t.Fatalf("zero-rate Micros(2) = %v, want 2e6", got)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, exportFixture, TickMapping{TicksPerSecond: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("chrome trace is not valid JSON:\n%s", buf.String())
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var sawRoundSlice, sawDropInstant, sawMeta bool
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			if ev["name"] == "audit-round" {
+				sawRoundSlice = true
+				// 4 ticks @4tps start, 2-tick duration = 500000 µs.
+				if ev["ts"].(float64) != 1e6 || ev["dur"].(float64) != 500000 {
+					t.Fatalf("round slice ts/dur = %v/%v", ev["ts"], ev["dur"])
+				}
+			}
+		case "i":
+			if ev["name"] == "frame-dropped" {
+				sawDropInstant = true
+			}
+		case "M":
+			sawMeta = true
+		}
+	}
+	if !sawRoundSlice || !sawDropInstant || !sawMeta {
+		t.Fatalf("missing trace shapes: slice=%v drop=%v meta=%v",
+			sawRoundSlice, sawDropInstant, sawMeta)
+	}
+}
+
+func TestWriteChromeTraceOpenRound(t *testing.T) {
+	events := []Event{{Tick: 2, Robot: 1, Kind: EvAuditRoundStart, Value: 100}}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events, TickMapping{TicksPerSecond: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "audit-round (open)") {
+		t.Fatalf("unterminated round not rendered:\n%s", buf.String())
+	}
+}
+
+func TestWriteMetricsJSON(t *testing.T) {
+	snap := []Sample{{"a.count", 3}, {"b.ratio", 0.5}}
+	var buf bytes.Buffer
+	if err := WriteMetricsJSON(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("metrics snapshot is not valid JSON:\n%s", buf.String())
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["a.count"] != 3 || m["b.ratio"] != 0.5 {
+		t.Fatalf("round-trip mismatch: %v", m)
+	}
+	// Empty snapshot still valid.
+	buf.Reset()
+	if err := WriteMetricsJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("empty snapshot invalid:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Registry is the single home for the harness's metrics: named
+// counters, gauges, and histograms whose Snapshot is a sorted-by-name
+// sample list, so two runs of the same (config, seed) serialize the
+// same metrics byte-for-byte.
+//
+// A nil *Registry is valid and means "metrics disabled": every
+// constructor on it returns a nil instrument, and nil instruments
+// accept updates as no-ops. Call sites therefore never need to guard.
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	gaugeFuncs map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		gaugeFuncs: make(map[string]func() float64),
+	}
+}
+
+// Counter is a monotonically increasing tally. The zero of a nil
+// *Counter is usable: Add/Inc on nil are no-ops and Value is 0.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) {
+	if c != nil {
+		c.v += delta
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-write-wins value. Nil-safe like Counter.
+type Gauge struct{ v float64 }
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the last set value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram tallies observations into fixed buckets (upper-bound
+// inclusive, with an implicit +Inf overflow bucket) and tracks count
+// and sum. Nil-safe like Counter.
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is overflow
+	count  uint64
+	sum    float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Counter returns (registering if needed) the named counter. On a nil
+// registry it returns nil, which is a valid no-op counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering if needed) the named gauge; nil on a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (registering if needed) the named histogram with
+// the given ascending upper bounds; nil on a nil registry. Bounds are
+// fixed at first registration.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.histograms[name]
+	if h == nil {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// RegisterGaugeFunc registers a gauge whose value is read at snapshot
+// time — used to mirror externally-owned tallies (e.g. the radio's
+// per-robot byte counters) into the registry without double-writing.
+// No-op on a nil registry.
+func (r *Registry) RegisterGaugeFunc(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.gaugeFuncs[name] = fn
+}
+
+// Sample is one named metric value in a snapshot.
+type Sample struct {
+	Name  string
+	Value float64
+}
+
+// Snapshot returns every registered metric as Samples sorted by name.
+// Histograms expand into `<name>.bucket.<le>`, `<name>.bucket.+inf`,
+// `<name>.count`, and `<name>.sum` samples. Nil registries snapshot
+// empty.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0,
+		len(r.counters)+len(r.gauges)+len(r.gaugeFuncs)+len(r.histograms))
+	kinds := make(map[string]byte, cap(names))
+	for name := range r.counters {
+		names = append(names, name)
+		kinds[name] = 'c'
+	}
+	for name := range r.gauges {
+		names = append(names, name)
+		kinds[name] = 'g'
+	}
+	for name := range r.gaugeFuncs {
+		names = append(names, name)
+		kinds[name] = 'f'
+	}
+	for name := range r.histograms {
+		names = append(names, name)
+		kinds[name] = 'h'
+	}
+	sort.Strings(names)
+	var out []Sample
+	for _, name := range names {
+		switch kinds[name] {
+		case 'c':
+			out = append(out, Sample{name, float64(r.counters[name].Value())})
+		case 'g':
+			out = append(out, Sample{name, r.gauges[name].Value()})
+		case 'f':
+			out = append(out, Sample{name, r.gaugeFuncs[name]()})
+		case 'h':
+			h := r.histograms[name]
+			for i, b := range h.bounds {
+				out = append(out, Sample{
+					fmt.Sprintf("%s.bucket.%g", name, b),
+					float64(h.counts[i]),
+				})
+			}
+			out = append(out, Sample{name + ".bucket.+inf", float64(h.counts[len(h.bounds)])})
+			out = append(out, Sample{name + ".count", float64(h.count)})
+			out = append(out, Sample{name + ".sum", h.sum})
+		}
+	}
+	// Histogram expansion appends derived names ("+inf" sorts before
+	// digits), so re-sort the flattened list to keep the contract
+	// strict: snapshots are sorted by sample name, full stop.
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MergeSnapshots sums samples by name across snapshots (used by the
+// chaos matrix to aggregate per-cell registries) and returns the
+// merged set sorted by name.
+func MergeSnapshots(snaps ...[]Sample) []Sample {
+	totals := make(map[string]float64)
+	names := make([]string, 0)
+	for _, snap := range snaps {
+		for _, s := range snap {
+			if _, seen := totals[s.Name]; !seen {
+				names = append(names, s.Name)
+			}
+			totals[s.Name] += s.Value
+		}
+	}
+	sort.Strings(names)
+	out := make([]Sample, len(names))
+	for i, name := range names {
+		out[i] = Sample{name, totals[name]}
+	}
+	return out
+}

@@ -8,10 +8,12 @@
 package radio
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
 	"roborebound/internal/geom"
+	"roborebound/internal/obs"
 	"roborebound/internal/prng"
 	"roborebound/internal/wire"
 )
@@ -156,6 +158,11 @@ type Medium struct {
 	nextMsgID    map[wire.RobotID]uint16
 	reassemblers map[wire.RobotID]*Reassembler
 	deliverTick  wire.Tick // logical clock for reassembly expiry
+
+	// Observability (see SetObs). trace receives one event per frame
+	// tx/rx/drop; metrics mirrors the byte counters as gauge funcs.
+	trace   obs.Tracer
+	metrics *obs.Registry
 }
 
 // NewMedium creates a medium. seed drives only the optional loss
@@ -191,6 +198,44 @@ func (m *Medium) SetTxDelay(d TxDelay) { m.delay = d }
 // Params returns the link parameters.
 func (m *Medium) Params() Params { return m.params }
 
+// SetObs attaches the observability layer: tr (nil = disabled)
+// receives one tick-stamped event per frame transmitted, received,
+// or dropped; reg (nil = disabled) mirrors each robot's byte
+// counters as radio.robot.<id>.* gauges read at snapshot time, so
+// the accounting is never double-written. Tracing is observation
+// only — the frame schedule, loss draws, and delivery order are
+// untouched.
+func (m *Medium) SetObs(tr obs.Tracer, reg *obs.Registry) {
+	m.trace = tr
+	m.metrics = reg
+	// Robots that already have counters (registered before SetObs)
+	// get their gauges now; later robots register on first use.
+	ids := make([]wire.RobotID, 0, len(m.counters))
+	for id := range m.counters {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		m.registerCounterGauges(id, m.counters[id])
+	}
+}
+
+// registerCounterGauges mirrors one robot's byte counters into the
+// metrics registry (no-op when metrics are disabled).
+func (m *Medium) registerCounterGauges(id wire.RobotID, c *ByteCounters) {
+	if m.metrics == nil {
+		return
+	}
+	prefix := fmt.Sprintf("radio.robot.%d.", id)
+	m.metrics.RegisterGaugeFunc(prefix+"tx_app_bytes", func() float64 { return float64(c.TxApp) })
+	m.metrics.RegisterGaugeFunc(prefix+"tx_audit_bytes", func() float64 { return float64(c.TxAudit) })
+	m.metrics.RegisterGaugeFunc(prefix+"rx_app_bytes", func() float64 { return float64(c.RxApp) })
+	m.metrics.RegisterGaugeFunc(prefix+"rx_audit_bytes", func() float64 { return float64(c.RxAudit) })
+	m.metrics.RegisterGaugeFunc(prefix+"tx_frames", func() float64 { return float64(c.TxFrames) })
+	m.metrics.RegisterGaugeFunc(prefix+"rx_frames", func() float64 { return float64(c.RxFrames) })
+	m.metrics.RegisterGaugeFunc(prefix+"dropped_frames", func() float64 { return float64(c.Dropped) })
+}
+
 // Counters returns the byte counters for a robot, creating them on
 // first use.
 func (m *Medium) Counters(id wire.RobotID) *ByteCounters {
@@ -198,6 +243,7 @@ func (m *Medium) Counters(id wire.RobotID) *ByteCounters {
 	if c == nil {
 		c = &ByteCounters{}
 		m.counters[id] = c
+		m.registerCounterGauges(id, c)
 	}
 	return c
 }
@@ -221,6 +267,10 @@ func (m *Medium) Send(from wire.RobotID, f wire.Frame) {
 			c.TxAudit += uint64(size)
 		} else {
 			c.TxApp += uint64(size)
+		}
+		if m.trace != nil {
+			m.trace.Emit(obs.Event{Tick: m.deliverTick, Robot: from,
+				Kind: obs.EvFrameTx, Peer: fr.Dst, Value: int64(size)})
 		}
 		q := queuedFrame{frame: fr, from: from, seq: m.seq, size: size, readyAt: m.deliverTick}
 		if m.delay != nil {
@@ -287,10 +337,20 @@ func (m *Medium) Deliver(ids []wire.RobotID) []Delivery {
 			}
 			if m.filter != nil && m.filter(q.from, id, q.frame) {
 				m.Counters(id).Dropped++
+				if m.trace != nil {
+					m.trace.Emit(obs.Event{Tick: m.deliverTick, Robot: id,
+						Kind: obs.EvFrameDropped, Peer: q.from,
+						Cause: obs.CauseLinkFilter, Value: int64(q.size)})
+				}
 				continue
 			}
 			if m.loss != nil && m.loss.Drop(q.from, id, m.rng.Float64()) {
 				m.Counters(id).Dropped++
+				if m.trace != nil {
+					m.trace.Emit(obs.Event{Tick: m.deliverTick, Robot: id,
+						Kind: obs.EvFrameDropped, Peer: q.from,
+						Cause: obs.CauseLoss, Value: int64(q.size)})
+				}
 				continue
 			}
 			c := m.Counters(id)
@@ -299,6 +359,10 @@ func (m *Medium) Deliver(ids []wire.RobotID) []Delivery {
 				c.RxAudit += uint64(q.size)
 			} else {
 				c.RxApp += uint64(q.size)
+			}
+			if m.trace != nil {
+				m.trace.Emit(obs.Event{Tick: m.deliverTick, Robot: id,
+					Kind: obs.EvFrameRx, Peer: q.from, Value: int64(q.size)})
 			}
 			frame := q.frame
 			if m.params.MTUBytes > 0 {

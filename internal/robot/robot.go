@@ -8,6 +8,7 @@ import (
 	"roborebound/internal/control"
 	"roborebound/internal/core"
 	"roborebound/internal/geom"
+	"roborebound/internal/obs"
 	"roborebound/internal/radio"
 	"roborebound/internal/sim"
 	"roborebound/internal/trusted"
@@ -39,6 +40,16 @@ type Config struct {
 	// way the paper's analysis assumes: only through the robot's own
 	// protocol behavior.
 	TrustedClock func() wire.Tick //rebound:clock trusted
+	// Trace receives the robot's protocol events (nil = disabled).
+	// The trusted nodes never see it — the TCB import surface stays
+	// stdlib-only — so trusted-node transitions (Safe Mode, token
+	// expiry) are observed from this layer: Safe Mode via the a-node's
+	// kill-switch callback, expiry by polling ValidTokenCount on the
+	// hardware timer.
+	Trace obs.Tracer
+	// Metrics, when non-nil, rebinds the engine's protocol tallies to
+	// registry counters (see core.Engine.Instrument).
+	Metrics *obs.Registry
 }
 
 // Robot is a sim.Actor. All robots — protected, unprotected, and the
@@ -62,6 +73,9 @@ type Robot struct {
 
 	safeModeAt wire.Tick //rebound:clock engine
 	inSafeMode bool
+
+	trace       obs.Tracer
+	validTokens int // last ValidTokenCount seen (expiry-event polling; tracing only)
 }
 
 // New wires up a robot. body must already be placed in the world;
@@ -69,7 +83,7 @@ type Robot struct {
 //
 //rebound:clock clock=engine
 func New(cfg Config, body *sim.Body, medium *radio.Medium, clock func() wire.Tick) *Robot {
-	r := &Robot{id: cfg.ID, cfg: cfg, body: body, medium: medium, clock: clock}
+	r := &Robot{id: cfg.ID, cfg: cfg, body: body, medium: medium, clock: clock, trace: cfg.Trace}
 	if !cfg.Protected {
 		r.ctrl = cfg.Factory.New(cfg.ID)
 		return r
@@ -90,6 +104,10 @@ func New(cfg Config, body *sim.Body, medium *radio.Medium, clock func() wire.Tic
 			r.body.Disabled = true
 			r.inSafeMode = true
 			r.safeModeAt = clock()
+			if r.trace != nil {
+				r.trace.Emit(obs.Event{Tick: r.safeModeAt, Robot: r.id,
+					Kind: obs.EvSafeModeEntered})
+			}
 		},
 	)
 	r.snode.LoadMasterKey(cfg.Master, cfg.ID)
@@ -97,6 +115,7 @@ func New(cfg Config, body *sim.Body, medium *radio.Medium, clock func() wire.Tic
 	r.snode.LoadMissionKey(cfg.Sealed)
 	r.anode.LoadMissionKey(cfg.Sealed)
 	r.engine = core.NewEngine(cfg.ID, cfg.Core, cfg.Factory, r.snode, r.anode, r.anode.SendWireless)
+	r.engine.Instrument(cfg.Trace, cfg.Metrics)
 	return r
 }
 
@@ -186,9 +205,23 @@ func (r *Robot) reading(now wire.Tick) wire.SensorReading {
 // attack package calls it even when the attacker has abandoned the
 // protocol.
 func (r *Robot) HardwareTick() {
-	if r.anode != nil {
-		r.anode.CheckTokens()
+	if r.anode == nil {
+		return
 	}
+	r.anode.CheckTokens()
+	if r.trace == nil {
+		return
+	}
+	// Token-expiry events are observed by polling here rather than
+	// from inside the a-node: the TCB must not import obs. A drop in
+	// the fresh-token count on the hardware timer IS the expiry, on
+	// the same clock the a-node itself uses.
+	n := r.anode.ValidTokenCount()
+	if n < r.validTokens {
+		r.trace.Emit(obs.Event{Tick: r.pclock(), Robot: r.id,
+			Kind: obs.EvTokenExpired, Value: int64(n)})
+	}
+	r.validTokens = n
 }
 
 // Tick implements sim.Actor: poll sensors, step the control loop, run

@@ -31,6 +31,7 @@ import (
 	"roborebound/internal/core"
 	"roborebound/internal/faultinject"
 	"roborebound/internal/geom"
+	"roborebound/internal/obs"
 	"roborebound/internal/radio"
 	"roborebound/internal/robot"
 	"roborebound/internal/sim"
@@ -62,6 +63,14 @@ type SimConfig struct {
 	// internal/faultinject — so a faulted run is exactly as
 	// deterministic as a clean one.
 	Faults *faultinject.Schedule
+	// Trace, when non-nil, receives every protocol and frame event
+	// (see internal/obs). Tracing is observation only: a traced run is
+	// byte-identical to an untraced one. nil disables at zero cost.
+	Trace obs.Tracer
+	// Metrics, when non-nil, collects the engines' protocol counters
+	// and the radio's per-robot byte accounting into one registry with
+	// deterministic snapshots.
+	Metrics *obs.Registry
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -115,6 +124,9 @@ func NewSim(cfg SimConfig) *Sim {
 		compromised: make(map[wire.RobotID]*attack.Compromised),
 		sealed:      trusted.SealMissionKey(cfg.Master, mission, cfg.Seed|1, 1),
 	}
+	if cfg.Trace != nil || cfg.Metrics != nil {
+		medium.SetObs(cfg.Trace, cfg.Metrics)
+	}
 	if f := cfg.Faults; f != nil {
 		f.BaseLoss = cfg.Radio.LossRate
 		if lm := f.LossModel(s.Engine.Now); lm != nil {
@@ -149,6 +161,8 @@ func (s *Sim) newRobot(id wire.RobotID, pos geom.Vec2, factory control.Factory, 
 		Factory:   factory,
 		Master:    s.Cfg.Master,
 		Sealed:    s.sealed,
+		Trace:     s.Cfg.Trace,
+		Metrics:   s.Cfg.Metrics,
 	}
 	if s.Cfg.Faults != nil {
 		rcfg.TrustedClock = s.Cfg.Faults.Clock(id, s.Engine.Now)

@@ -8,6 +8,7 @@ import (
 	"roborebound/internal/faultinject"
 	"roborebound/internal/flocking"
 	"roborebound/internal/geom"
+	"roborebound/internal/obs"
 	"roborebound/internal/prng"
 	"roborebound/internal/sim"
 	"roborebound/internal/wire"
@@ -97,6 +98,9 @@ type FlockScenario struct {
 	// Faults, when non-nil, is the fault-injection schedule threaded
 	// through to SimConfig.Faults.
 	Faults *faultinject.Schedule
+	// Trace / Metrics are threaded through to SimConfig (see there).
+	Trace   obs.Tracer
+	Metrics *obs.Registry
 	// Tune, if non-nil, adjusts the flocking parameters after the
 	// defaults are applied (used by ablations).
 	Tune func(*flocking.Params)
@@ -132,6 +136,8 @@ func (fs FlockScenario) Build() *Sim {
 		Core:           &cc,
 		World:          &world,
 		Faults:         fs.Faults,
+		Trace:          fs.Trace,
+		Metrics:        fs.Metrics,
 	})
 
 	params := flocking.DefaultParams(tps, fs.Spacing, fs.Goal)
