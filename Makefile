@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race ci bench bench-all fmt-check cover chaos-smoke fuzz-smoke
+.PHONY: all build vet lint test race ci bench bench-all bench-scale bench-gate fmt-check cover chaos-smoke scale-smoke fuzz-smoke
 
 all: ci
 
@@ -53,6 +53,27 @@ bench:
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
+# The swarm-scale hot-path suite (radio delivery and collision
+# detection at 100-500 robots, brute vs indexed, plus the end-to-end
+# N=300 sim pair), recorded to the committed BENCH_scale.json.
+bench-scale:
+	@$(GO) test -run '^$$' -bench 'BenchmarkScale_' -benchmem -timeout 30m . \
+	  | $(GO) run ./cmd/benchjson -o BENCH_scale.json
+	@cat BENCH_scale.json
+
+# Re-run the hot-path pairs and enforce the speedup contract: the
+# spatially indexed Deliver and collision paths must stay >=5x faster
+# than brute force at N=500. Ratios compare two numbers from the same
+# run on the same machine, so the gate holds on any runner; the
+# committed-baseline comparison is a coarse backstop (generous
+# tolerance) against order-of-magnitude regressions slipping through.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkScale_(Deliver|Collision)' -benchmem -timeout 30m . \
+	  | $(GO) run ./cmd/benchjson -o /dev/null \
+	      -baseline BENCH_scale.json -tolerance 3.0 \
+	      -minratio 'BenchmarkScale_Deliver_Brute_N500/BenchmarkScale_Deliver_Indexed_N500>=5' \
+	      -minratio 'BenchmarkScale_Collision_Brute_N500/BenchmarkScale_Collision_Indexed_N500>=5'
+
 # Coverage over every package, with a per-function summary and an HTML
 # report CI uploads as an artifact.
 cover:
@@ -71,6 +92,13 @@ chaos-smoke:
 	  -metrics obs-chaos-metrics.json -events obs-chaos-violations.ndjson chaos
 	$(GO) run ./cmd/roborebound -quick -progress=false \
 	  -events obs-events.ndjson -perfetto obs-trace.json -metrics obs-metrics.json trace flocking
+
+# The swarm-scale differential smoke: one 300-robot cell run twice,
+# brute-force and spatially indexed, asserting byte-identical chaos
+# fingerprints and metrics snapshots (and no invariant violations).
+# Exits nonzero on any divergence.
+scale-smoke:
+	$(GO) run ./cmd/roborebound -quick -progress=false scale
 
 # Short fuzz pass over each fuzz target (seed corpora always run as
 # part of `make test`; this explores beyond them).

@@ -14,6 +14,7 @@ import (
 	"roborebound/internal/faultinject"
 	"roborebound/internal/geom"
 	"roborebound/internal/obs"
+	"roborebound/internal/radio"
 	"roborebound/internal/runner"
 	"roborebound/internal/wire"
 )
@@ -68,6 +69,19 @@ type ChaosConfig struct {
 	// lands in ChaosResult.MetricsSnapshot. Same matrix caveat as
 	// Trace.
 	Metrics *obs.Registry
+	// SpatialIndex runs the cell with the uniform-grid spatial index
+	// (radio delivery + collision detection). The fingerprint, traces,
+	// and metrics must be byte-identical either way; the differential
+	// suite sweeps cells with this toggled to prove it.
+	SpatialIndex bool
+	// SpacingM overrides the flocking grid pitch (default 20 m; the
+	// scale sweep widens it so 500-robot swarms aren't one collapsed
+	// blob). Ignored by patrol/warehouse, whose layouts are fixed.
+	SpacingM float64
+	// MTUBytes, when positive, caps the encoded size of one on-air
+	// frame, engaging the radio's fragmentation/reassembly path (loss
+	// is then drawn per fragment). 0 keeps the default link model.
+	MTUBytes int
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -106,12 +120,22 @@ func (c ChaosConfig) withDefaults() ChaosConfig {
 	if c.AttackAtSec == 0 {
 		c.AttackAtSec = 20
 	}
+	if c.SpacingM == 0 {
+		c.SpacingM = 20
+	}
 	return c
 }
 
 // Label names the cell in progress output and test failures.
 func (c ChaosConfig) Label() string {
-	return fmt.Sprintf("chaos %s/%s seed=%d", c.Controller, c.Profile, c.Seed)
+	s := fmt.Sprintf("chaos %s/%s seed=%d", c.Controller, c.Profile, c.Seed)
+	if c.MTUBytes > 0 {
+		s += fmt.Sprintf(" mtu=%d", c.MTUBytes)
+	}
+	if c.SpatialIndex {
+		s += " [indexed]"
+	}
+	return s
 }
 
 // ChaosMetrics are the deterministic outcomes of one cell.
@@ -169,6 +193,15 @@ func buildChaosSim(cfg ChaosConfig, cc core.Config, sched *faultinject.Schedule)
 	}
 	crashes := sched.CrashTargets()
 
+	// MTUBytes engages fragmentation by overriding the link model; nil
+	// leaves SimConfig's default (radio.DefaultParams) in place.
+	var radioParams *radio.Params
+	if cfg.MTUBytes > 0 {
+		p := radio.DefaultParams()
+		p.MTUBytes = cfg.MTUBytes
+		radioParams = &p
+	}
+
 	switch cfg.Controller {
 	case "patrol":
 		route := []geom.Vec2{
@@ -178,7 +211,8 @@ func buildChaosSim(cfg ChaosConfig, cc core.Config, sched *faultinject.Schedule)
 		params := control.DefaultPatrolParams(tps, route)
 		params.RingGapM = 3
 		factory := control.PatrolFactory{Params: params}
-		s := NewSim(SimConfig{Seed: cfg.Seed, Core: &cc, Faults: sched, Trace: cfg.Trace, Metrics: cfg.Metrics})
+		s := NewSim(SimConfig{Seed: cfg.Seed, Core: &cc, Radio: radioParams, Faults: sched,
+			Trace: cfg.Trace, Metrics: cfg.Metrics, SpatialIndex: cfg.SpatialIndex})
 		for i := 0; i < cfg.N; i++ {
 			id := wire.RobotID(i + 1)
 			pos := route[int(id)%len(route)]
@@ -201,7 +235,8 @@ func buildChaosSim(cfg ChaosConfig, cc core.Config, sched *faultinject.Schedule)
 		}
 		params := control.DefaultWarehouseParams(tps, pickups, dropoffs)
 		factory := control.WarehouseFactory{Params: params}
-		s := NewSim(SimConfig{Seed: cfg.Seed, Core: &cc, Faults: sched, Trace: cfg.Trace, Metrics: cfg.Metrics})
+		s := NewSim(SimConfig{Seed: cfg.Seed, Core: &cc, Radio: radioParams, Faults: sched,
+			Trace: cfg.Trace, Metrics: cfg.Metrics, SpatialIndex: cfg.SpatialIndex})
 		for i := 0; i < cfg.N; i++ {
 			id := wire.RobotID(i + 1)
 			pos := pickups[i].Add(geom.V(2, 0))
@@ -222,15 +257,17 @@ func buildChaosSim(cfg ChaosConfig, cc core.Config, sched *faultinject.Schedule)
 	default: // flocking
 		goal := geom.V(220, 220)
 		fs := FlockScenario{
-			N:         cfg.N,
-			Spacing:   20,
-			Goal:      goal,
-			Protected: true,
-			Seed:      cfg.Seed,
-			Fmax:      cfg.Fmax,
-			Faults:    sched,
-			Trace:     cfg.Trace,
-			Metrics:   cfg.Metrics,
+			N:            cfg.N,
+			Spacing:      cfg.SpacingM,
+			Goal:         goal,
+			Protected:    true,
+			Seed:         cfg.Seed,
+			Fmax:         cfg.Fmax,
+			Radio:        radioParams,
+			Faults:       sched,
+			Trace:        cfg.Trace,
+			Metrics:      cfg.Metrics,
+			SpatialIndex: cfg.SpatialIndex,
 		}
 		for _, aid := range attackerIDs {
 			slot := int(aid) - 1

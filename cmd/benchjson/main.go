@@ -9,6 +9,19 @@
 // Usage:
 //
 //	go test -bench . -benchmem ./... | benchjson -o BENCH_obs.json
+//
+// It doubles as the CI bench gate. With -baseline it compares the
+// fresh numbers on stdin against a committed report and fails when a
+// shared benchmark's ns/op regressed past -tolerance. With -minratio
+// (repeatable) it asserts within-run speedup ratios — e.g.
+//
+//	-minratio 'BenchmarkScale_Deliver_Brute_N500/BenchmarkScale_Deliver_Indexed_N500>=5'
+//
+// requires the indexed path to stay ≥5× faster than brute force.
+// Ratio gates compare two numbers from the same run on the same
+// machine, so they hold on any runner; the baseline check is a
+// coarse backstop against order-of-magnitude regressions and should
+// be given a generous tolerance in CI.
 package main
 
 import (
@@ -18,11 +31,111 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-var output = flag.String("o", "", "write the JSON report to this file instead of stdout")
+var (
+	output = flag.String("o", "", "write the JSON report to this file instead of stdout")
+
+	baseline = flag.String("baseline", "",
+		"committed benchjson report to compare against; any benchmark present in both whose ns/op exceeds (1+tolerance)×baseline fails the gate")
+	tolerance = flag.Float64("tolerance", 0.25,
+		"allowed relative ns/op regression against -baseline (0.25 = 25% slower)")
+	minRatios gateFlags
+)
+
+func init() {
+	flag.Var(&minRatios, "minratio",
+		"speedup gate 'BenchA/BenchB>=X': ns/op of A divided by ns/op of B must be at least X; repeatable")
+}
+
+// gateFlags collects repeated -minratio values.
+type gateFlags []string
+
+func (g *gateFlags) String() string     { return strings.Join(*g, ", ") }
+func (g *gateFlags) Set(s string) error { *g = append(*g, s); return nil }
+
+// checkBaseline compares fresh ns/op numbers against a committed
+// report, returning one error per regression past tol. Benchmarks
+// present on only one side are skipped: the baseline is recorded by
+// `make bench-scale` on whatever machine last refreshed it, and CI
+// must not fail because a runner ran a different subset.
+func checkBaseline(cur, base map[string]map[string]float64, tol float64) []error {
+	var errs []error
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, ok := base[name]
+		if !ok {
+			continue
+		}
+		curNs, haveCur := cur[name]["ns/op"]
+		baseNs, haveBase := b["ns/op"]
+		if !haveCur || !haveBase || baseNs <= 0 {
+			continue
+		}
+		if curNs > baseNs*(1+tol) {
+			errs = append(errs, fmt.Errorf(
+				"%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx, tolerance %.2fx)",
+				name, curNs, baseNs, curNs/baseNs, 1+tol))
+		}
+	}
+	return errs
+}
+
+// checkRatios enforces 'A/B>=X' speedup gates against the fresh
+// numbers. Unlike the baseline check, a missing benchmark is an error:
+// a gate that silently stops measuring is worse than a failing one.
+func checkRatios(cur map[string]map[string]float64, gates []string) []error {
+	var errs []error
+	for _, gate := range gates {
+		lhs, minStr, ok := strings.Cut(gate, ">=")
+		if !ok {
+			errs = append(errs, fmt.Errorf("minratio %q: want 'BenchA/BenchB>=X'", gate))
+			continue
+		}
+		slow, fast, ok := strings.Cut(lhs, "/")
+		if !ok || strings.Contains(fast, "/") {
+			errs = append(errs, fmt.Errorf("minratio %q: want exactly one '/' between benchmark names", gate))
+			continue
+		}
+		minRatio, err := strconv.ParseFloat(strings.TrimSpace(minStr), 64)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("minratio %q: bad threshold: %v", gate, err))
+			continue
+		}
+		slowNs, okS := cur[strings.TrimSpace(slow)]["ns/op"]
+		fastNs, okF := cur[strings.TrimSpace(fast)]["ns/op"]
+		switch {
+		case !okS:
+			errs = append(errs, fmt.Errorf("minratio %q: %s not in the bench run", gate, slow))
+		case !okF:
+			errs = append(errs, fmt.Errorf("minratio %q: %s not in the bench run", gate, fast))
+		case !(slowNs/fastNs >= minRatio):
+			errs = append(errs, fmt.Errorf("minratio %q: %.0f/%.0f = %.2fx, want >= %.2fx",
+				gate, slowNs, fastNs, slowNs/fastNs, minRatio))
+		}
+	}
+	return errs
+}
+
+// loadReport reads a committed benchjson JSON report.
+func loadReport(path string) (map[string]map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var report map[string]map[string]float64
+	if err := json.Unmarshal(data, &report); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return report, nil
+}
 
 // stripProcs removes the trailing -N GOMAXPROCS suffix go test adds
 // to benchmark names ("BenchmarkFoo-8" → "BenchmarkFoo").
@@ -69,21 +182,21 @@ func parse(r io.Reader) (map[string]map[string]float64, error) {
 	return results, sc.Err()
 }
 
-func run(r io.Reader, w io.Writer) error {
+func run(r io.Reader, w io.Writer) (map[string]map[string]float64, error) {
 	results, err := parse(r)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if len(results) == 0 {
-		return fmt.Errorf("no benchmark result lines on input")
+		return nil, fmt.Errorf("no benchmark result lines on input")
 	}
 	// json.Marshal sorts map keys, giving the stable ordering for free.
 	b, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	_, err = fmt.Fprintf(w, "%s\n", b)
-	return err
+	return results, err
 }
 
 func main() {
@@ -98,8 +211,29 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := run(os.Stdin, w); err != nil {
+	results, err := run(os.Stdin, w)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	var errs []error
+	if *baseline != "" {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		errs = append(errs, checkBaseline(results, base, *tolerance)...)
+	}
+	errs = append(errs, checkRatios(results, minRatios)...)
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "bench gate FAIL:", e)
+	}
+	if len(errs) > 0 {
+		os.Exit(1)
+	}
+	if *baseline != "" || len(minRatios) > 0 {
+		fmt.Fprintln(os.Stderr, "bench gates passed")
 	}
 }

@@ -21,7 +21,7 @@ ok  	roborebound	1.234s
 
 func TestRun(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(strings.NewReader(sample), &buf); err != nil {
+	if _, err := run(strings.NewReader(sample), &buf); err != nil {
 		t.Fatal(err)
 	}
 	var got map[string]map[string]float64
@@ -53,7 +53,7 @@ func TestRun(t *testing.T) {
 
 	// Byte-identical on rerun: the report is sorted throughout.
 	var buf2 bytes.Buffer
-	if err := run(strings.NewReader(sample), &buf2); err != nil {
+	if _, err := run(strings.NewReader(sample), &buf2); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
@@ -63,7 +63,7 @@ func TestRun(t *testing.T) {
 
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(strings.NewReader("PASS\nok x 0.1s\n"), &buf); err == nil {
+	if _, err := run(strings.NewReader("PASS\nok x 0.1s\n"), &buf); err == nil {
 		t.Error("no benchmark lines should be an error, got none")
 	}
 }
@@ -79,6 +79,48 @@ func TestStripProcs(t *testing.T) {
 	for in, want := range cases {
 		if got := stripProcs(in); got != want {
 			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func report(pairs map[string]float64) map[string]map[string]float64 {
+	out := make(map[string]map[string]float64, len(pairs))
+	for name, ns := range pairs {
+		out[name] = map[string]float64{"ns/op": ns}
+	}
+	return out
+}
+
+func TestCheckBaseline(t *testing.T) {
+	base := report(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 1000})
+	// Within tolerance, faster, and baseline-only benchmarks all pass.
+	cur := report(map[string]float64{"BenchmarkA": 120, "BenchmarkOnlyHere": 9e9})
+	if errs := checkBaseline(cur, base, 0.25); len(errs) != 0 {
+		t.Fatalf("unexpected failures: %v", errs)
+	}
+	// Past tolerance fails, and only the regressed benchmark is named.
+	cur = report(map[string]float64{"BenchmarkA": 126, "BenchmarkB": 900})
+	errs := checkBaseline(cur, base, 0.25)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "BenchmarkA") {
+		t.Fatalf("want one BenchmarkA failure, got %v", errs)
+	}
+}
+
+func TestCheckRatios(t *testing.T) {
+	cur := report(map[string]float64{"BenchmarkBrute": 1000, "BenchmarkIndexed": 150})
+	if errs := checkRatios(cur, []string{"BenchmarkBrute/BenchmarkIndexed>=5"}); len(errs) != 0 {
+		t.Fatalf("6.7x should satisfy >=5: %v", errs)
+	}
+	for _, gate := range []string{
+		"BenchmarkBrute/BenchmarkIndexed>=7",  // ratio too low
+		"BenchmarkBrute/BenchmarkMissing>=2",  // unknown benchmark
+		"BenchmarkBrute>=2",                   // no '/'
+		"BenchmarkBrute/BenchmarkIndexed",     // no '>='
+		"BenchmarkBrute/BenchmarkIndexed>=xx", // bad threshold
+		"A/B/C>=2",                            // ambiguous name split
+	} {
+		if errs := checkRatios(cur, []string{gate}); len(errs) != 1 {
+			t.Errorf("gate %q: want exactly one error, got %v", gate, errs)
 		}
 	}
 }

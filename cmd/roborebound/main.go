@@ -33,6 +33,8 @@ var (
 	parallel = flag.Int("parallel", 0,
 		"worker count for experiment sweeps: 0 = all cores, 1 = serial (results are identical either way)")
 	progress = flag.Bool("progress", true, "print per-cell sweep progress and timing to stderr")
+	spatial  = flag.Bool("spatial", false,
+		"run chaos/trace cells with the uniform-grid spatial index (results are byte-identical either way; scale always runs both)")
 )
 
 // sweepOpts threads -parallel and -progress into a sweep call.
@@ -93,6 +95,7 @@ func main() {
 		"table2": table2,
 		"chaos":  chaos,
 		"trace":  traceCmd,
+		"scale":  scaleCmd,
 	}
 	stopProfiles, err := startProfiles()
 	if err != nil {
@@ -133,6 +136,9 @@ subcommands:
   fig8     example attack, baseline + undefended (§5.3 Fig. 8)
   fig9     example attack with RoboRebound (§5.3 Fig. 9)
   chaos    cross-seed fault-injection soak with invariant checking
+  scale    swarm-scale sweep (100-500 robots), each size run brute-force
+           and spatially indexed; verifies byte-identical fingerprints
+           and reports the speedup (-quick: one 300-robot smoke cell)
   trace    run one scenario fully instrumented and export its protocol
            event log / Perfetto trace / metrics (see -events, -perfetto,
            -metrics); scenarios: flocking (default), patrol, warehouse
@@ -366,7 +372,8 @@ func chaos() {
 	for s := uint64(0); s < nseeds; s++ {
 		seeds = append(seeds, *seed+s)
 	}
-	cfgs := rr.ChaosMatrix(controllers, profiles, seeds, rr.ChaosConfig{DurationSec: 60})
+	cfgs := rr.ChaosMatrix(controllers, profiles, seeds,
+		rr.ChaosConfig{DurationSec: 60, SpatialIndex: *spatial})
 
 	var results []rr.ChaosResult
 	timed("chaos matrix", func() int {

@@ -53,6 +53,24 @@ func TestFig6QuickSmoke(t *testing.T) {
 	}
 }
 
+func TestScaleQuickSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("300-robot differential cell is too heavy for -short")
+	}
+	got := capture(t, true, scaleCmd)
+	if chaosFailed {
+		t.Fatalf("quick scale sweep failed:\n%s", got)
+	}
+	for _, want := range []string{"Swarm-scale sweep", "speedup", "verdict", "identical", "byte-identical"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("scale output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "FAIL") || strings.Contains(got, "VIOLATION") {
+		t.Errorf("scale output reports failures:\n%s", got)
+	}
+}
+
 func TestChaosQuickSmoke(t *testing.T) {
 	got := capture(t, true, chaos)
 	if chaosFailed {

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"fmt"
+
+	rr "roborebound"
+)
+
+// scaleCmd runs the swarm-scale sweep: each size executes twice —
+// brute-force and spatially indexed — so the command is simultaneously
+// the performance headline (speedup per size) and a production-scale
+// differential check (the two runs must produce byte-identical chaos
+// fingerprints and metrics snapshots). Any mismatch or invariant
+// violation makes the process exit nonzero, so CI gates on it.
+func scaleCmd() {
+	cfg := rr.ScaleConfig{
+		Seed:         *seed,
+		Differential: true,
+		Workers:      *parallel,
+	}
+	if *quick {
+		cfg.Sizes = []int{300}
+		cfg.DurationSec = 8
+	}
+	opts := sweepOpts()
+	cfg.Progress = opts.Progress
+
+	var pts []rr.ScalePoint
+	timed("scale sweep", func() int {
+		pts = rr.RunScaleSweep(cfg)
+		return len(pts)
+	})
+	cmps := rr.CompareScalePoints(pts)
+
+	c0 := pts[0].Result.Config // defaults applied by the sweep
+	fmt.Fprintf(out, "Swarm-scale sweep — %s/%s, spacing %.0fm, %.0fs per cell\n\n",
+		c0.Controller, c0.Profile, c0.SpacingM, c0.DurationSec)
+	fmt.Fprintf(out, "%6s | %10s %10s %8s | %s\n", "N", "brute s", "indexed s", "speedup", "verdict")
+	for _, c := range cmps {
+		verdict := "identical"
+		switch {
+		case !c.FingerprintMatch:
+			verdict = "FAIL: fingerprints diverge"
+			chaosFailed = true
+		case !c.MetricsMatch:
+			verdict = "FAIL: metrics snapshots diverge"
+			chaosFailed = true
+		}
+		fmt.Fprintf(out, "%6d | %10.2f %10.2f %7.1fx | %s\n",
+			c.N, c.BruteElapsed.Seconds(), c.IndexedElapsed.Seconds(), c.Speedup, verdict)
+	}
+	for _, p := range pts {
+		if v := p.Result.Violation; v != nil {
+			fmt.Fprintf(out, "  N=%d indexed=%v VIOLATION: %s\n", p.N, p.Indexed, v.Error())
+			chaosFailed = true
+		}
+	}
+	if !chaosFailed {
+		fmt.Fprintf(out, "\nscale: all %d sizes byte-identical with the index on and off\n", len(cmps))
+	}
+}

@@ -67,11 +67,12 @@ func traceCmd() {
 	}
 	col := obs.NewCollector()
 	res := rr.RunChaos(rr.ChaosConfig{
-		Controller:  scenario,
-		Profile:     faultinject.ProfileNone,
-		Seed:        *seed,
-		DurationSec: durSec,
-		Trace:       col,
+		Controller:   scenario,
+		Profile:      faultinject.ProfileNone,
+		Seed:         *seed,
+		DurationSec:  durSec,
+		Trace:        col,
+		SpatialIndex: *spatial,
 	})
 
 	byKind := make(map[obs.EventKind]int)

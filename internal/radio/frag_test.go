@@ -2,6 +2,7 @@ package radio
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -231,5 +232,118 @@ func TestMediumMTULossDropsWholeFrame(t *testing.T) {
 	}
 	if delivered > trials/4 {
 		t.Errorf("delivered %d/%d large frames at 30%% fragment loss; compounding missing", delivered, trials)
+	}
+}
+
+// roundTrip fragments f at mtu and reassembles, failing the test on
+// any mismatch. It returns the fragment count.
+func roundTrip(t *testing.T, orig wire.Frame, mtu int) int {
+	t.Helper()
+	frags := FragmentFrame(orig, mtu, 7)
+	if len(frags) > 1 {
+		for i, fr := range frags {
+			if enc := fr.Encode(); len(enc) > mtu {
+				t.Fatalf("mtu %d: fragment %d encodes to %d bytes", mtu, i, len(enc))
+			}
+			if fr.Flags&wire.FlagFragment == 0 {
+				t.Fatalf("mtu %d: fragment %d missing FlagFragment", mtu, i)
+			}
+		}
+	}
+	r := NewReassembler(0)
+	for i, fr := range frags {
+		got, ok := r.Add(orig.Src, fr, 0)
+		if !ok {
+			continue
+		}
+		if i != len(frags)-1 {
+			t.Fatalf("mtu %d: completed at fragment %d of %d", mtu, i+1, len(frags))
+		}
+		if got.Src != orig.Src || got.Dst != orig.Dst || got.Flags != orig.Flags ||
+			!bytes.Equal(got.Payload, orig.Payload) {
+			t.Fatalf("mtu %d: round trip mismatch", mtu)
+		}
+		return len(frags)
+	}
+	t.Fatalf("mtu %d: never reassembled from %d fragments", mtu, len(frags))
+	return 0
+}
+
+// TestFragmentBoundaryMTUs walks the bottom of the MTU domain — from
+// 12 (a single payload byte per fragment) upward — with encoding
+// lengths that sit exactly on, one under, and one over a multiple of
+// the chunk size, checking the fragment-count arithmetic and the
+// round trip at every edge. The off-by-ones FragmentFrame could get
+// wrong (ceil division, last-chunk clamp, the exact-fit case) all
+// live in this corner.
+func TestFragmentBoundaryMTUs(t *testing.T) {
+	const minMTU = wire.FrameHeaderSize + FragHeaderSize + 1 // chunk = 1
+	for mtu := minMTU; mtu <= minMTU+20; mtu++ {
+		chunk := mtu - wire.FrameHeaderSize - FragHeaderSize
+		for _, k := range []int{1, 2, 3, 7} {
+			for _, off := range []int{-1, 0, 1} {
+				encLen := k*chunk + off
+				n := encLen - wire.FrameHeaderSize
+				if n < 0 || encLen > 255*chunk {
+					continue
+				}
+				orig := bigFrame(n)
+				got := roundTrip(t, orig, mtu)
+				want := 1 // fits: returned unchanged
+				if encLen > mtu {
+					want = (encLen + chunk - 1) / chunk
+				}
+				if got != want {
+					t.Fatalf("mtu %d encLen %d: %d fragments, want %d", mtu, encLen, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFragmentExactFitUnchanged pins the fits/doesn't-fit boundary:
+// a frame whose encoding is exactly mtu bytes is returned as-is (no
+// fragment flag, no header overhead), and one byte less of MTU
+// splits it.
+func TestFragmentExactFitUnchanged(t *testing.T) {
+	orig := bigFrame(50)
+	encLen := len(orig.Encode())
+	frags := FragmentFrame(orig, encLen, 1)
+	if len(frags) != 1 || frags[0].Flags&wire.FlagFragment != 0 ||
+		!bytes.Equal(frags[0].Payload, orig.Payload) {
+		t.Fatalf("exact-fit frame not returned unchanged: %d frags, flags %x",
+			len(frags), frags[0].Flags)
+	}
+	if n := roundTrip(t, orig, encLen-1); n < 2 {
+		t.Fatalf("mtu one under the encoding should fragment, got %d frames", n)
+	}
+}
+
+// TestFragmentPanics pins the documented panics: an MTU with no room
+// for a single payload byte after both headers, and a frame needing
+// more than 255 fragments. mtu <= 0 is "no MTU" and must not panic.
+func TestFragmentPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	big := bigFrame(100)
+	for _, mtu := range []int{1, 5, wire.FrameHeaderSize + FragHeaderSize} {
+		mtu := mtu
+		mustPanic(fmt.Sprintf("mtu=%d", mtu), func() { FragmentFrame(big, mtu, 1) })
+	}
+	// chunk = 1 caps the encoding at 255 bytes; one more must refuse
+	// rather than truncate.
+	huge := bigFrame(255 - wire.FrameHeaderSize + 1)
+	mustPanic("256 fragments", func() { FragmentFrame(huge, wire.FrameHeaderSize+FragHeaderSize+1, 1) })
+	for _, mtu := range []int{0, -3} {
+		if frags := FragmentFrame(big, mtu, 1); len(frags) != 1 || !bytes.Equal(frags[0].Payload, big.Payload) {
+			t.Errorf("mtu=%d: want the frame back unchanged", mtu)
+		}
 	}
 }

@@ -16,13 +16,27 @@ func FuzzFragmentRoundTrip(f *testing.F) {
 	f.Add(uint16(1), uint16(2), uint8(0), []byte("hello"), 16, uint16(7))
 	f.Add(uint16(3), uint16(0xFFFF), uint8(wire.FlagAudit), bytes.Repeat([]byte{0xAB}, 900), 66, uint16(0))
 	f.Add(uint16(9), uint16(4), uint8(0), []byte{}, 12, uint16(65535))
+	// The bottom of the domain: one payload byte per fragment, and an
+	// encoding that is an exact multiple of the chunk size.
+	f.Add(uint16(2), uint16(3), uint8(0), bytes.Repeat([]byte{0x5C}, 40), 12, uint16(1))
+	f.Add(uint16(2), uint16(3), uint8(0), bytes.Repeat([]byte{0x5D}, 13), 17, uint16(2))
 	f.Fuzz(func(t *testing.T, src, dst uint16, flags uint8, payload []byte, mtu int, msgID uint16) {
-		const minChunk = 16
+		// Clamp into the documented domain rather than filtering: any
+		// MTU with room for at least one payload byte per fragment is
+		// valid, and the payload cap keeps the fragment count under
+		// the 255 ceiling at that chunk size.
+		const minChunk = 1
 		if mtu < wire.FrameHeaderSize+FragHeaderSize+minChunk {
 			mtu = wire.FrameHeaderSize + FragHeaderSize + minChunk
 		}
-		if len(payload) > 2000 {
-			payload = payload[:2000]
+		if len(payload) > 1<<16 {
+			payload = payload[:1<<16]
+		}
+		// The chunk < 1<<16 guard keeps 200*chunk from overflowing on a
+		// fuzzer-chosen huge MTU; a chunk that large can't need more
+		// than two fragments for a <=1<<16-byte payload anyway.
+		if chunk := mtu - wire.FrameHeaderSize - FragHeaderSize; chunk < 1<<16 && len(payload) > 200*chunk {
+			payload = payload[:200*chunk]
 		}
 		orig := wire.Frame{
 			Src: wire.RobotID(src), Dst: wire.RobotID(dst),

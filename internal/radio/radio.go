@@ -10,9 +10,11 @@ package radio
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"roborebound/internal/geom"
+	"roborebound/internal/geom/spatial"
 	"roborebound/internal/obs"
 	"roborebound/internal/prng"
 	"roborebound/internal/wire"
@@ -43,6 +45,13 @@ type Params struct {
 	// fragment, so large transfers suffer compounded loss — as they
 	// would in reality.
 	MTUBytes int
+	// SpatialIndex routes Deliver's receiver scan through a uniform
+	// grid over robot positions instead of testing every robot per
+	// frame. Purely an accelerator: delivery order, loss draws, byte
+	// accounting, and traces are byte-identical either way (the
+	// differential tests at the repository root prove it); false keeps
+	// the brute-force scan.
+	SpatialIndex bool
 }
 
 // DefaultParams returns the paper's link model. The resulting
@@ -163,6 +172,25 @@ type Medium struct {
 	// tx/rx/drop; metrics mirrors the byte counters as gauge funcs.
 	trace   obs.Tracer
 	metrics *obs.Registry
+
+	// Spatial-index state (params.SpatialIndex): the grid is rebuilt
+	// once per Deliver round from the same positions the brute path
+	// reads; the buffers amortize to zero allocations per round.
+	grid    spatial.Grid
+	gridBuf []spatial.Member
+
+	// Deliver-round scratch, reused across rounds on both paths:
+	// sortedBuf holds the deduped ascending roster; ctrBuf caches each
+	// receiver's counters by roster rank (one map lookup per robot per
+	// round instead of one per delivery); outBuf collects deliveries in
+	// walk order and resultBuf receives them in sorted order (resultBuf
+	// backs Deliver's return value — see the ownership note there);
+	// countBuf is the counting sort's per-rank histogram.
+	sortedBuf []wire.RobotID
+	ctrBuf    []*ByteCounters
+	outBuf    []Delivery
+	resultBuf []Delivery
+	countBuf  []int32
 }
 
 // NewMedium creates a medium. seed drives only the optional loss
@@ -253,32 +281,123 @@ func (m *Medium) Counters(id wire.RobotID) *ByteCounters {
 // transmitter is recorded separately from the frame's claimed source:
 // radios can spoof header fields but not their own antenna position.
 func (m *Medium) Send(from wire.RobotID, f wire.Frame) {
-	frames := []wire.Frame{f}
+	c := m.Counters(from)
 	if m.params.MTUBytes > 0 {
 		msgID := m.nextMsgID[from]
 		m.nextMsgID[from]++
-		frames = FragmentFrame(f, m.params.MTUBytes, msgID)
-	}
-	c := m.Counters(from)
-	for _, fr := range frames {
-		size := len(fr.Encode())
-		c.TxFrames++
-		if fr.IsAudit() {
-			c.TxAudit += uint64(size)
-		} else {
-			c.TxApp += uint64(size)
+		for _, fr := range FragmentFrame(f, m.params.MTUBytes, msgID) {
+			m.enqueue(c, from, fr)
 		}
+		return
+	}
+	m.enqueue(c, from, f)
+}
+
+// enqueue accounts for and queues one on-air frame. Sizes come from
+// Frame.EncodedSize — arithmetic, not a measurement Encode — so the
+// unfragmented Send path allocates nothing at steady state (pinned by
+// TestSendSteadyStateAllocations).
+func (m *Medium) enqueue(c *ByteCounters, from wire.RobotID, fr wire.Frame) {
+	size := fr.EncodedSize()
+	c.TxFrames++
+	if fr.IsAudit() {
+		c.TxAudit += uint64(size)
+	} else {
+		c.TxApp += uint64(size)
+	}
+	if m.trace != nil {
+		m.trace.Emit(obs.Event{Tick: m.deliverTick, Robot: from,
+			Kind: obs.EvFrameTx, Peer: fr.Dst, Value: int64(size)})
+	}
+	q := queuedFrame{frame: fr, from: from, seq: m.seq, size: size, readyAt: m.deliverTick}
+	if m.delay != nil {
+		q.readyAt += m.delay(from, fr)
+	}
+	m.queue = append(m.queue, q)
+	m.seq++
+}
+
+// rangeSlack pads the spatial query radius past Params.RangeM, in
+// meters. The grid prefilters on squared distance while the delivery
+// pipeline decides on the log-domain power check; near the range
+// boundary the two computations round differently by at most ~1e-12 m,
+// so a micrometer of slack guarantees the candidate set is a strict
+// superset of the decodable set. The pipeline's own power check —
+// identical code on both paths — then makes the final call, so the
+// slack can only add candidates that are rejected exactly as the brute
+// scan would reject them.
+const rangeSlack = 1e-6
+
+// counterAt returns the receiver's byte counters via the per-round
+// rank cache, creating them through Counters on first touch — so
+// counter (and gauge) creation order stays exactly the order the
+// delivery pipeline first touches each robot, identical on both paths.
+func (m *Medium) counterAt(rank int32, id wire.RobotID) *ByteCounters {
+	if c := m.ctrBuf[rank]; c != nil {
+		return c
+	}
+	c := m.Counters(id)
+	m.ctrBuf[rank] = c
+	return c
+}
+
+// deliverTo runs the per-candidate delivery pipeline for one queued
+// frame and one potential receiver at position dst: power check, link
+// filter, loss draw, byte accounting, reassembly. rank is the
+// receiver's index in the round's sorted roster. Both the brute scan
+// and the spatial-index path funnel through it, with identical check
+// order, so the two paths are distinguishable only by how many
+// out-of-range robots they never looked at.
+func (m *Medium) deliverTo(q queuedFrame, rank int32, id wire.RobotID, src, dst geom.Vec2, out []Delivery) []Delivery {
+	if m.params.RxPowerDBm(src.Dist(dst)) < m.params.RxSensitivityDBm {
+		return out
+	}
+	if m.filter != nil && m.filter(q.from, id, q.frame) {
+		m.counterAt(rank, id).Dropped++
 		if m.trace != nil {
-			m.trace.Emit(obs.Event{Tick: m.deliverTick, Robot: from,
-				Kind: obs.EvFrameTx, Peer: fr.Dst, Value: int64(size)})
+			m.trace.Emit(obs.Event{Tick: m.deliverTick, Robot: id,
+				Kind: obs.EvFrameDropped, Peer: q.from,
+				Cause: obs.CauseLinkFilter, Value: int64(q.size)})
 		}
-		q := queuedFrame{frame: fr, from: from, seq: m.seq, size: size, readyAt: m.deliverTick}
-		if m.delay != nil {
-			q.readyAt += m.delay(from, fr)
-		}
-		m.queue = append(m.queue, q)
-		m.seq++
+		return out
 	}
+	if m.loss != nil && m.loss.Drop(q.from, id, m.rng.Float64()) {
+		m.counterAt(rank, id).Dropped++
+		if m.trace != nil {
+			m.trace.Emit(obs.Event{Tick: m.deliverTick, Robot: id,
+				Kind: obs.EvFrameDropped, Peer: q.from,
+				Cause: obs.CauseLoss, Value: int64(q.size)})
+		}
+		return out
+	}
+	c := m.counterAt(rank, id)
+	c.RxFrames++
+	if q.frame.IsAudit() {
+		c.RxAudit += uint64(q.size)
+	} else {
+		c.RxApp += uint64(q.size)
+	}
+	if m.trace != nil {
+		m.trace.Emit(obs.Event{Tick: m.deliverTick, Robot: id,
+			Kind: obs.EvFrameRx, Peer: q.from, Value: int64(q.size)})
+	}
+	frame := q.frame
+	if m.params.MTUBytes > 0 {
+		reasm := m.reassemblers[id]
+		if reasm == nil {
+			// Generous expiry: fragments of one frame all arrive in
+			// the same delivery round, so a handful of rounds is
+			// plenty.
+			reasm = NewReassembler(16)
+			m.reassemblers[id] = reasm
+		}
+		complete, ok := reasm.Add(q.from, frame, m.deliverTick)
+		if !ok {
+			return out // waiting for more fragments (or junk)
+		}
+		frame = complete
+	}
+	return append(out, Delivery{To: id, Frame: frame, seq: q.seq, rank: rank})
 }
 
 // Delivery is one frame arriving at one robot.
@@ -286,7 +405,8 @@ type Delivery struct {
 	To    wire.RobotID
 	Frame wire.Frame
 
-	seq uint64 // transmit sequence, for the (receiver, queue-order) sort
+	seq  uint64 // transmit sequence, for the (receiver, queue-order) sort
+	rank int32  // receiver's index in the round's roster (counting-sort key)
 }
 
 // Deliver computes which robots receive each queued frame and clears
@@ -303,14 +423,55 @@ type Delivery struct {
 // order; across receivers it is receiver-major, so every robot's
 // inbound frame sequence is independent of how other receivers
 // interleave.
+//
+// ids is treated as a set (duplicates are ignored). The returned slice
+// is owned by the Medium and overwritten by the next Deliver call;
+// callers that retain deliveries past the round must copy them.
+// Delivery values themselves are safe to keep — only the backing array
+// is reused.
 func (m *Medium) Deliver(ids []wire.RobotID) []Delivery {
 	if len(m.queue) == 0 {
 		return nil
 	}
-	sorted := append([]wire.RobotID(nil), ids...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sorted := append(m.sortedBuf[:0], ids...)
+	slices.Sort(sorted)
+	sorted = slices.Compact(sorted)
+	m.sortedBuf = sorted
+	if cap(m.ctrBuf) < len(sorted) {
+		m.ctrBuf = make([]*ByteCounters, len(sorted))
+	}
+	m.ctrBuf = m.ctrBuf[:len(sorted)]
+	clear(m.ctrBuf)
 
-	var out []Delivery
+	// With the spatial index on, candidate receivers per frame come
+	// from a uniform grid over this round's positions instead of a
+	// scan of every robot. Members carry the receiver's roster rank;
+	// candidates arrive ascending by rank — which orders exactly as ID
+	// in the deduped ascending roster, i.e. the order the brute scan
+	// visits — and form a superset of the decodable set (see
+	// rangeSlack), so the pipeline below sees the identical check
+	// sequence, consumes identical loss draws, and emits identical
+	// traces on both paths.
+	indexed := m.params.SpatialIndex
+	var queryR float64
+	if indexed {
+		r := m.params.RangeM()
+		cell := r / 2
+		if !(cell > 0) || math.IsInf(cell, 0) {
+			indexed = false // degenerate link model: keep the brute scan
+		} else {
+			queryR = r + rangeSlack
+			m.grid.Reset(cell)
+			for rank, id := range sorted {
+				if p, ok := m.pos(id); ok {
+					m.grid.Add(int32(rank), p)
+				}
+			}
+			m.grid.Build()
+		}
+	}
+
+	out := m.outBuf[:0]
 	held := m.queue[:0]
 	for _, q := range m.queue {
 		if q.readyAt > m.deliverTick {
@@ -321,7 +482,21 @@ func (m *Medium) Deliver(ids []wire.RobotID) []Delivery {
 		if !ok {
 			continue
 		}
-		for _, id := range sorted {
+		if indexed {
+			m.gridBuf = m.grid.Within(src, queryR, m.gridBuf)
+			for _, cand := range m.gridBuf {
+				id := sorted[cand.ID]
+				if id == q.from {
+					continue
+				}
+				if q.frame.Dst != wire.Broadcast && q.frame.Dst != id {
+					continue
+				}
+				out = m.deliverTo(q, cand.ID, id, src, cand.Pos, out)
+			}
+			continue
+		}
+		for rank, id := range sorted {
 			if id == q.from {
 				continue
 			}
@@ -332,67 +507,20 @@ func (m *Medium) Deliver(ids []wire.RobotID) []Delivery {
 			if !ok {
 				continue
 			}
-			if m.params.RxPowerDBm(src.Dist(dst)) < m.params.RxSensitivityDBm {
-				continue
-			}
-			if m.filter != nil && m.filter(q.from, id, q.frame) {
-				m.Counters(id).Dropped++
-				if m.trace != nil {
-					m.trace.Emit(obs.Event{Tick: m.deliverTick, Robot: id,
-						Kind: obs.EvFrameDropped, Peer: q.from,
-						Cause: obs.CauseLinkFilter, Value: int64(q.size)})
-				}
-				continue
-			}
-			if m.loss != nil && m.loss.Drop(q.from, id, m.rng.Float64()) {
-				m.Counters(id).Dropped++
-				if m.trace != nil {
-					m.trace.Emit(obs.Event{Tick: m.deliverTick, Robot: id,
-						Kind: obs.EvFrameDropped, Peer: q.from,
-						Cause: obs.CauseLoss, Value: int64(q.size)})
-				}
-				continue
-			}
-			c := m.Counters(id)
-			c.RxFrames++
-			if q.frame.IsAudit() {
-				c.RxAudit += uint64(q.size)
-			} else {
-				c.RxApp += uint64(q.size)
-			}
-			if m.trace != nil {
-				m.trace.Emit(obs.Event{Tick: m.deliverTick, Robot: id,
-					Kind: obs.EvFrameRx, Peer: q.from, Value: int64(q.size)})
-			}
-			frame := q.frame
-			if m.params.MTUBytes > 0 {
-				reasm := m.reassemblers[id]
-				if reasm == nil {
-					// Generous expiry: fragments of one frame all
-					// arrive in the same delivery round, so a handful
-					// of rounds is plenty.
-					reasm = NewReassembler(16)
-					m.reassemblers[id] = reasm
-				}
-				complete, ok := reasm.Add(q.from, frame, m.deliverTick)
-				if !ok {
-					continue // waiting for more fragments (or junk)
-				}
-				frame = complete
-			}
-			out = append(out, Delivery{To: id, Frame: frame, seq: q.seq})
+			out = m.deliverTo(q, int32(rank), id, src, dst, out)
 		}
 	}
+	m.outBuf = out
 	// The loop above walks frame-major (preserving the loss model's
 	// per-(frame, receiver) RNG draw order across versions); the
-	// documented contract is receiver-major, so sort. (To, seq) pairs
-	// are unique — one frame reaches one receiver at most once.
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].To != out[j].To {
-			return out[i].To < out[j].To
-		}
-		return out[i].seq < out[j].seq
-	})
+	// documented contract is receiver-major. The queue is ascending in
+	// transmit seq — held frames keep their prefix positions, new sends
+	// append with larger seqs — so each receiver's deliveries were
+	// already appended in seq order, and a stable counting sort on
+	// roster rank produces the exact (To, seq) order a comparison sort
+	// of the unique (To, seq) keys would, in linear time and without
+	// the struct-compare traffic that used to dominate swarm rounds.
+	out = m.sortByRank(out, len(sorted))
 	m.queue = held
 	m.deliverTick++
 	if m.params.MTUBytes > 0 && m.deliverTick%32 == 0 {
@@ -408,6 +536,37 @@ func (m *Medium) Deliver(ids []wire.RobotID) []Delivery {
 		}
 	}
 	return out
+}
+
+// sortByRank stable counting sorts one round's deliveries by receiver
+// roster rank into m.resultBuf and returns it (nil when empty, like
+// the walk's nil result before this sort existed). nRanks is the
+// roster length; every Delivery.rank is in [0, nRanks).
+func (m *Medium) sortByRank(out []Delivery, nRanks int) []Delivery {
+	if len(out) == 0 {
+		return nil
+	}
+	if cap(m.countBuf) < nRanks {
+		m.countBuf = make([]int32, nRanks)
+	}
+	counts := m.countBuf[:nRanks]
+	clear(counts)
+	for i := range out {
+		counts[out[i].rank]++
+	}
+	var sum int32
+	for r := range counts {
+		counts[r], sum = sum, sum+counts[r]
+	}
+	if cap(m.resultBuf) < len(out) {
+		m.resultBuf = make([]Delivery, len(out))
+	}
+	res := m.resultBuf[:len(out)]
+	for _, d := range out {
+		res[counts[d.rank]] = d
+		counts[d.rank]++
+	}
+	return res
 }
 
 // InRange reports whether two robots can currently hear each other.

@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"roborebound/internal/geom"
+	"roborebound/internal/prng"
+	"roborebound/internal/wire"
+)
+
+// Differential tests for WorldConfig.SpatialIndex: the grid-indexed
+// crash detection must produce bit-identical crash events and body
+// state evolution to the brute-force all-pairs scan, including on the
+// adversarial geometry the index could plausibly get wrong — bodies at
+// identical positions, pairs at exactly the crash radius, and contact
+// exactly on grid cell boundaries.
+
+func assertWorldsEqual(t *testing.T, step int, brute, indexed *World) {
+	t.Helper()
+	bc, ic := brute.Crashes(), indexed.Crashes()
+	if len(bc) != len(ic) {
+		t.Fatalf("step %d: brute has %d crash events, indexed %d\nbrute:   %+v\nindexed: %+v",
+			step, len(bc), len(ic), bc, ic)
+	}
+	for i := range bc {
+		if bc[i] != ic[i] {
+			t.Fatalf("step %d: crash event %d diverges: brute %+v, indexed %+v", step, i, bc[i], ic[i])
+		}
+	}
+	bb, ib := brute.Bodies(), indexed.Bodies()
+	if len(bb) != len(ib) {
+		t.Fatalf("step %d: body count diverges", step)
+	}
+	for i := range bb {
+		a, b := bb[i], ib[i]
+		if a.ID != b.ID || a.Crashed != b.Crashed || a.Disabled != b.Disabled ||
+			math.Float64bits(a.Pos.X) != math.Float64bits(b.Pos.X) ||
+			math.Float64bits(a.Pos.Y) != math.Float64bits(b.Pos.Y) ||
+			math.Float64bits(a.Vel.X) != math.Float64bits(b.Vel.X) ||
+			math.Float64bits(a.Vel.Y) != math.Float64bits(b.Vel.Y) {
+			t.Fatalf("step %d: body %d diverges:\nbrute:   %+v\nindexed: %+v", step, a.ID, a, b)
+		}
+	}
+}
+
+// newWorldPair builds the same scenario with the index off and on.
+func newWorldPair(cfg WorldConfig, setup func(*World)) (brute, indexed *World) {
+	bcfg, icfg := cfg, cfg
+	bcfg.SpatialIndex = false
+	icfg.SpatialIndex = true
+	brute, indexed = NewWorld(bcfg), NewWorld(icfg)
+	setup(brute)
+	setup(indexed)
+	return brute, indexed
+}
+
+func stepPair(t *testing.T, brute, indexed *World, steps int) {
+	t.Helper()
+	for i := 0; i < steps; i++ {
+		brute.Step(wire.Tick(i))
+		indexed.Step(wire.Tick(i))
+		assertWorldsEqual(t, i, brute, indexed)
+	}
+}
+
+// TestCrashDetectionIndexedMatchesBruteRandom packs a dense random
+// swarm (guaranteeing many collisions, including chains where the
+// `a.Crashed && b.Crashed` skip matters) among a field of sphere
+// obstacles and a wall, and steps both worlds in lockstep, comparing
+// crash sequences and full body state bit-for-bit each tick.
+func TestCrashDetectionIndexedMatchesBruteRandom(t *testing.T) {
+	iters := 20
+	if testing.Short() {
+		iters = 5
+	}
+	for iter := 0; iter < iters; iter++ {
+		rng := prng.New(0xC0DE + uint64(iter))
+		cfg := DefaultWorldConfig() // crash radius 0.5 → grid cell 2
+		cfg.Obstacles = []geom.Obstacle{
+			geom.NewWall(geom.V(-40, 0), geom.V(1, 0)),
+			geom.SphereObstacle{C: geom.V(0, 0), R: 1.5},
+			geom.SphereObstacle{C: geom.V(6, 6), R: 0.75},
+			geom.SphereObstacle{C: geom.V(-8, 4), R: 2.5},
+			geom.SphereObstacle{C: geom.V(2, -10), R: 0}, // degenerate: contains nothing
+		}
+		n := 60
+		seed := rng.Uint64()
+		brute, indexed := newWorldPair(cfg, func(w *World) {
+			r := prng.New(seed) // same placement stream for both worlds
+			for i := 0; i < n; i++ {
+				var pos geom.Vec2
+				switch r.Intn(10) {
+				case 0: // exact grid-cell boundaries (cell = 4·CrashRadius = 2)
+					pos = geom.V(float64(r.Intn(11)-5)*2, float64(r.Intn(11)-5)*2)
+				case 1: // stacked exactly on an earlier robot's start
+					pos = geom.V(4, 4)
+				default:
+					pos = geom.V(r.Range(-20, 20), r.Range(-20, 20))
+				}
+				b := w.AddBody(wire.RobotID(i+1), pos)
+				b.Vel = geom.V(r.Range(-4, 4), r.Range(-4, 4))
+				b.Acc = geom.V(r.Range(-5, 5), r.Range(-5, 5))
+			}
+			// One robot with a garbage (NaN) position: it must be
+			// uncrashable on both paths (NaN distances fail `< r2`).
+			w.AddBody(wire.RobotID(n+1), geom.V(math.NaN(), math.NaN()))
+		})
+		stepPair(t, brute, indexed, 40)
+		if len(brute.Crashes()) == 0 {
+			t.Fatalf("iter %d: scenario produced no crashes — test is vacuous", iter)
+		}
+	}
+}
+
+// TestIdenticalPositionsBothCrash: two bodies at exactly the same
+// point have distance 0 < r², so both must crash, on both paths, in
+// the same single event.
+func TestIdenticalPositionsBothCrash(t *testing.T) {
+	brute, indexed := newWorldPair(DefaultWorldConfig(), func(w *World) {
+		w.AddBody(1, geom.V(3, -2))
+		w.AddBody(2, geom.V(3, -2))
+		w.AddBody(3, geom.V(50, 50)) // bystander
+	})
+	stepPair(t, brute, indexed, 1)
+	ev := brute.Crashes()
+	if len(ev) != 1 || ev[0].A != 1 || ev[0].B != 2 {
+		t.Fatalf("crash events %+v, want exactly one (1,2)", ev)
+	}
+	if brute.Body(3).Crashed {
+		t.Fatal("bystander crashed")
+	}
+}
+
+// TestExactCrashRadiusIsNotACrash: the predicate is strictly `<`, so
+// bodies at exactly CrashRadius apart must NOT crash — and one ulp
+// closer must. Both paths, both outcomes. One body sits exactly on a
+// grid cell corner (the origin).
+func TestExactCrashRadiusIsNotACrash(t *testing.T) {
+	cfg := DefaultWorldConfig()
+	r := cfg.CrashRadius
+
+	brute, indexed := newWorldPair(cfg, func(w *World) {
+		w.AddBody(1, geom.V(0, 0)) // origin is a grid cell corner
+		w.AddBody(2, geom.V(r, 0))
+	})
+	stepPair(t, brute, indexed, 1)
+	if len(brute.Crashes()) != 0 {
+		t.Fatalf("bodies exactly CrashRadius apart crashed: %+v", brute.Crashes())
+	}
+
+	brute, indexed = newWorldPair(cfg, func(w *World) {
+		w.AddBody(1, geom.V(0, 0))
+		w.AddBody(2, geom.V(math.Nextafter(r, 0), 0))
+	})
+	stepPair(t, brute, indexed, 1)
+	if len(brute.Crashes()) != 1 {
+		t.Fatalf("bodies one ulp inside CrashRadius did not crash: %+v", brute.Crashes())
+	}
+}
+
+// TestObstacleContactAtCellBoundaries: bodies exactly on the sphere
+// surface (strict Contains says outside), one ulp inside, and on the
+// obstacle grid's cell corners. Both paths must agree everywhere.
+func TestObstacleContactAtCellBoundaries(t *testing.T) {
+	sph := geom.SphereObstacle{C: geom.V(10, 10), R: 2}
+	cfg := DefaultWorldConfig()
+	cfg.CrashRadius = 0 // isolate obstacle detection
+	cfg.Obstacles = []geom.Obstacle{sph}
+	// Obstacle grid cell = 2·maxR = 4; the sphere center sits mid-cell
+	// and its surface crosses cell lines at x = 8 and x = 12.
+	cases := []struct {
+		name  string
+		pos   geom.Vec2
+		crash bool
+	}{
+		{"exactly on surface", geom.V(12, 10), false},
+		{"ulp inside surface", geom.V(math.Nextafter(12, 10), 10), true},
+		{"ulp outside surface", geom.V(math.Nextafter(12, 13), 10), false},
+		{"surface on cell line", geom.V(8, 10), false},
+		{"inside at cell line", geom.V(math.Nextafter(8, 10), 10), true},
+		{"center", geom.V(10, 10), true},
+		{"cell corner far", geom.V(4, 4), false},
+		{"NaN body", geom.V(math.NaN(), 10), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			brute, indexed := newWorldPair(cfg, func(w *World) {
+				w.AddBody(1, tc.pos)
+			})
+			stepPair(t, brute, indexed, 1)
+			if got := brute.Body(1).Crashed; got != tc.crash {
+				t.Fatalf("crashed=%v, want %v", got, tc.crash)
+			}
+		})
+	}
+}
+
+// TestWallsStayLinear: non-sphere obstacles can't be grid-indexed;
+// the indexed world must still detect wall crashes identically.
+func TestWallsStayLinear(t *testing.T) {
+	cfg := DefaultWorldConfig()
+	cfg.CrashRadius = 0
+	cfg.Obstacles = []geom.Obstacle{geom.NewWall(geom.V(5, 0), geom.V(-1, 0))}
+	brute, indexed := newWorldPair(cfg, func(w *World) {
+		b := w.AddBody(1, geom.V(0, 0))
+		b.Vel = geom.V(8, 0)
+	})
+	stepPair(t, brute, indexed, 8)
+	if !brute.Body(1).Crashed {
+		t.Fatal("robot drove through the wall")
+	}
+}

@@ -6,9 +6,12 @@
 package sim
 
 import (
+	"math"
+	"slices"
 	"sort"
 
 	"roborebound/internal/geom"
+	"roborebound/internal/geom/spatial"
 	"roborebound/internal/wire"
 )
 
@@ -32,6 +35,13 @@ type WorldConfig struct {
 	CrashRadius float64
 	// Obstacles are solid regions; entering one is a crash.
 	Obstacles []geom.Obstacle
+	// SpatialIndex accelerates crash detection with a uniform-grid
+	// index over body positions (and sphere obstacles) instead of the
+	// quadratic all-pairs scan. Purely an accelerator: the crash events,
+	// their order, and every body's state evolution are byte-identical
+	// either way — the differential tests at the repository root hold
+	// both paths to that. False keeps the brute-force scan.
+	SpatialIndex bool
 }
 
 // DefaultWorldConfig returns the paper-matched physics at 4 ticks/s.
@@ -72,11 +82,63 @@ type World struct {
 	index  map[wire.RobotID]*Body
 
 	crashes []CrashEvent
+
+	// Spatial-index state, used only when cfg.SpatialIndex. The body
+	// grid is rebuilt each detectCrashes (bodies move every tick); its
+	// backing arrays and queryBuf amortize to zero allocations. The
+	// sphere-obstacle grid is built once — obstacles are static.
+	grid     spatial.Grid
+	queryBuf []spatial.Member
+	pairBuf  [][2]int32
+
+	sphereObs     []geom.SphereObstacle // indexed obstacles (slice pos = grid ID)
+	otherObs      []geom.Obstacle       // walls etc.: scanned linearly
+	sphereGrid    spatial.Grid
+	sphereMaxR    float64
+	sphereIndexed bool
 }
 
 // NewWorld creates an empty world.
 func NewWorld(cfg WorldConfig) *World {
-	return &World{cfg: cfg, index: make(map[wire.RobotID]*Body)}
+	w := &World{cfg: cfg, index: make(map[wire.RobotID]*Body)}
+	if cfg.SpatialIndex {
+		w.buildObstacleIndex()
+	}
+	return w
+}
+
+// buildObstacleIndex splits the static obstacle set into grid-indexed
+// spheres and a linear-scan remainder (walls are infinite; degenerate
+// spheres are not worth cells). Containment is an existence test whose
+// single observable outcome is crash(b, b), so checking spheres out of
+// slice order cannot change any run's byte output.
+func (w *World) buildObstacleIndex() {
+	maxR := 0.0
+	for _, o := range w.cfg.Obstacles {
+		s, ok := o.(geom.SphereObstacle)
+		if !ok || !s.C.IsFinite() || !(s.R > 0) || math.IsInf(s.R, 0) {
+			w.otherObs = append(w.otherObs, o)
+			continue
+		}
+		w.sphereObs = append(w.sphereObs, s)
+		if s.R > maxR {
+			maxR = s.R
+		}
+	}
+	if len(w.sphereObs) == 0 {
+		return
+	}
+	// Any point inside a sphere is within maxR of its center under the
+	// very same DistSq both Contains and the grid predicate use, so a
+	// Within(pos, maxR) query over centers is a strict candidate
+	// superset; Contains then makes the exact call.
+	w.sphereMaxR = maxR
+	w.sphereGrid.Reset(2 * maxR)
+	for i, s := range w.sphereObs {
+		w.sphereGrid.Add(int32(i), s.C)
+	}
+	w.sphereGrid.Build()
+	w.sphereIndexed = true
 }
 
 // AddBody places a robot. Panics on duplicate IDs (a scenario bug).
@@ -158,21 +220,20 @@ func (w *World) crash(now wire.Tick, a, b *Body) {
 }
 
 func (w *World) detectCrashes(now wire.Tick) {
-	for _, b := range w.bodies {
-		if b.Crashed {
-			continue
-		}
-		for _, o := range w.cfg.Obstacles {
-			if o.Contains(b.Pos) {
-				w.crash(now, b, b)
-				break
-			}
-		}
-	}
+	w.detectObstacleCrashes(now)
 	if w.cfg.CrashRadius <= 0 {
 		return
 	}
 	r2 := w.cfg.CrashRadius * w.cfg.CrashRadius
+	if w.cfg.SpatialIndex {
+		// Cells a few crash radii wide keep the ±1-ring query box to a
+		// handful of cells while staying far smaller than the swarm
+		// footprint. Guard the degenerate radii the grid would reject.
+		if cell := 4 * w.cfg.CrashRadius; cell > 0 && !math.IsInf(cell, 0) {
+			w.detectPairCrashesIndexed(now, r2, cell)
+			return
+		}
+	}
 	for i, a := range w.bodies {
 		for _, b := range w.bodies[i+1:] {
 			if a.Crashed && b.Crashed {
@@ -181,6 +242,94 @@ func (w *World) detectCrashes(now wire.Tick) {
 			if a.Pos.DistSq(b.Pos) < r2 {
 				w.crash(now, a, b)
 			}
+		}
+	}
+}
+
+// detectObstacleCrashes marks bodies inside any obstacle. The indexed
+// branch reorders which obstacle is found first, never whether one is.
+func (w *World) detectObstacleCrashes(now wire.Tick) {
+	if !w.sphereIndexed {
+		for _, b := range w.bodies {
+			if b.Crashed {
+				continue
+			}
+			for _, o := range w.cfg.Obstacles {
+				if o.Contains(b.Pos) {
+					w.crash(now, b, b)
+					break
+				}
+			}
+		}
+		return
+	}
+	for _, b := range w.bodies {
+		if b.Crashed {
+			continue
+		}
+		hit := false
+		for _, o := range w.otherObs {
+			if o.Contains(b.Pos) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			w.queryBuf = w.sphereGrid.Within(b.Pos, w.sphereMaxR, w.queryBuf)
+			for _, cand := range w.queryBuf {
+				if w.sphereObs[cand.ID].Contains(b.Pos) {
+					hit = true
+					break
+				}
+			}
+		}
+		if hit {
+			w.crash(now, b, b)
+		}
+	}
+}
+
+// detectPairCrashesIndexed is the grid replacement for the all-pairs
+// scan. Bodies are indexed by slice position (= ID order); NearPairs
+// returns a superset of every pair with DistSq < r² (the cell size is
+// 4·CrashRadius, so its 2·maxDist ≤ cell precondition holds with
+// double margin, and bodies at non-finite positions — which brute
+// force also never crashes, their DistSq being NaN or +Inf — are
+// rightly absent). Sorting the candidates lexicographically and then
+// applying brute force's own tests in order reproduces its exact
+// crash() call sequence: positions don't change during detection, so
+// the `< r2` outcomes are order-free, and the state the `a.Crashed &&
+// b.Crashed` skip reads is mutated by the same prefix of crash calls
+// at every step.
+func (w *World) detectPairCrashesIndexed(now wire.Tick, r2, cell float64) {
+	w.grid.Reset(cell)
+	for i, b := range w.bodies {
+		w.grid.Add(int32(i), b.Pos)
+	}
+	w.grid.Build()
+	w.pairBuf = w.grid.NearPairs(w.cfg.CrashRadius, w.pairBuf)
+	slices.SortFunc(w.pairBuf, func(a, b [2]int32) int {
+		if a[0] != b[0] {
+			if a[0] < b[0] {
+				return -1
+			}
+			return 1
+		}
+		switch {
+		case a[1] < b[1]:
+			return -1
+		case a[1] > b[1]:
+			return 1
+		}
+		return 0
+	})
+	for _, pr := range w.pairBuf {
+		a, b := w.bodies[pr[0]], w.bodies[pr[1]]
+		if a.Crashed && b.Crashed {
+			continue
+		}
+		if a.Pos.DistSq(b.Pos) < r2 {
+			w.crash(now, a, b)
 		}
 	}
 }

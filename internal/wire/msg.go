@@ -58,6 +58,12 @@ type Frame struct {
 // IsAudit reports whether the audit type bit is set.
 func (f *Frame) IsAudit() bool { return f.Flags&FlagAudit != 0 }
 
+// EncodedSize returns len(f.Encode()) without allocating the
+// encoding. The radio measures every transmitted frame for the byte
+// accounting; a size-only Encode call there would dominate the Send
+// path's allocations.
+func (f *Frame) EncodedSize() int { return FrameHeaderSize + len(f.Payload) }
+
 // Encode serializes the frame.
 func (f *Frame) Encode() []byte {
 	w := NewWriter(FrameHeaderSize + len(f.Payload))

@@ -119,6 +119,19 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 }
 
+func TestFrameEncodedSize(t *testing.T) {
+	f := func(src, dst uint16, flags uint8, payload []byte) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		fr := Frame{Src: RobotID(src), Dst: RobotID(dst), Flags: flags, Payload: payload}
+		return fr.EncodedSize() == len(fr.Encode())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestFrameAuditFlag(t *testing.T) {
 	fr := Frame{Flags: FlagAudit}
 	if !fr.IsAudit() {

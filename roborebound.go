@@ -71,6 +71,12 @@ type SimConfig struct {
 	// and the radio's per-robot byte accounting into one registry with
 	// deterministic snapshots.
 	Metrics *obs.Registry
+	// SpatialIndex turns on the uniform-grid spatial index for both
+	// radio delivery and collision detection (see internal/geom/spatial).
+	// Purely an accelerator: runs are byte-identical with it on or off,
+	// which the differential tests at the repository root enforce.
+	// Explicit World/Radio overrides may also set their own flags.
+	SpatialIndex bool
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -92,6 +98,10 @@ func (c SimConfig) withDefaults() SimConfig {
 	}
 	if c.Master == nil {
 		c.Master = []byte("roborebound-default-master-key")
+	}
+	if c.SpatialIndex {
+		c.World.SpatialIndex = true
+		c.Radio.SpatialIndex = true
 	}
 	return c
 }

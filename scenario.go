@@ -10,6 +10,7 @@ import (
 	"roborebound/internal/geom"
 	"roborebound/internal/obs"
 	"roborebound/internal/prng"
+	"roborebound/internal/radio"
 	"roborebound/internal/sim"
 	"roborebound/internal/wire"
 )
@@ -95,12 +96,20 @@ type FlockScenario struct {
 	MaxSpeedMS float64
 	// Compromised marks attacker slots.
 	Compromised []CompromisedSpec
+	// Radio, when non-nil, overrides the link model threaded through
+	// to SimConfig.Radio (e.g. a small MTUBytes to engage
+	// fragmentation). nil keeps radio.DefaultParams.
+	Radio *radio.Params
 	// Faults, when non-nil, is the fault-injection schedule threaded
 	// through to SimConfig.Faults.
 	Faults *faultinject.Schedule
 	// Trace / Metrics are threaded through to SimConfig (see there).
 	Trace   obs.Tracer
 	Metrics *obs.Registry
+	// SpatialIndex threads through to SimConfig.SpatialIndex: grid
+	// acceleration for radio delivery and collision detection, with
+	// byte-identical results either way.
+	SpatialIndex bool
 	// Tune, if non-nil, adjusts the flocking parameters after the
 	// defaults are applied (used by ablations).
 	Tune func(*flocking.Params)
@@ -135,9 +144,11 @@ func (fs FlockScenario) Build() *Sim {
 		TicksPerSecond: tps,
 		Core:           &cc,
 		World:          &world,
+		Radio:          fs.Radio,
 		Faults:         fs.Faults,
 		Trace:          fs.Trace,
 		Metrics:        fs.Metrics,
+		SpatialIndex:   fs.SpatialIndex,
 	})
 
 	params := flocking.DefaultParams(tps, fs.Spacing, fs.Goal)
