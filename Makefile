@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race ci bench bench-all bench-scale bench-gate fmt-check cover chaos-smoke scale-smoke fuzz-smoke
+.PHONY: all build vet lint test race ci bench bench-all bench-scale bench-swarm bench-gate fmt-check cover chaos-smoke scale-smoke swarm-smoke fuzz-smoke
 
 all: ci
 
@@ -61,18 +61,36 @@ bench-scale:
 	  | $(GO) run ./cmd/benchjson -o BENCH_scale.json
 	@cat BENCH_scale.json
 
-# Re-run the hot-path pairs and enforce the speedup contract: the
+# The protocol-plane swarm suite: the audit-serve pair (where the
+# >=5x contract lives), the loopback protocol pair, the chain
+# append/flush micro pair, and the end-to-end N=1000 sim trio
+# (reference / fast / fast-sharded), recorded to the committed
+# BENCH_swarm.json.
+bench-swarm:
+	@$(GO) test -run '^$$' -bench 'BenchmarkSwarm_' -benchmem -timeout 30m . \
+	  | $(GO) run ./cmd/benchjson -o BENCH_swarm.json
+	@cat BENCH_swarm.json
+
+# Re-run the hot-path pairs and enforce the speedup contracts: the
 # spatially indexed Deliver and collision paths must stay >=5x faster
-# than brute force at N=500. Ratios compare two numbers from the same
-# run on the same machine, so the gate holds on any runner; the
-# committed-baseline comparison is a coarse backstop (generous
-# tolerance) against order-of-magnitude regressions slipping through.
+# than brute force at N=500, the fast protocol plane must serve an
+# audit round >=5x faster than the reference plane, and the streaming
+# chain must beat the buffered reference. Ratios compare two numbers
+# from the same run on the same machine, so the gates hold on any
+# runner; the committed-baseline comparisons are a coarse backstop
+# (generous tolerance) against order-of-magnitude regressions
+# slipping through.
 bench-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkScale_(Deliver|Collision)' -benchmem -timeout 30m . \
 	  | $(GO) run ./cmd/benchjson -o /dev/null \
 	      -baseline BENCH_scale.json -tolerance 3.0 \
 	      -minratio 'BenchmarkScale_Deliver_Brute_N500/BenchmarkScale_Deliver_Indexed_N500>=5' \
 	      -minratio 'BenchmarkScale_Collision_Brute_N500/BenchmarkScale_Collision_Indexed_N500>=5'
+	$(GO) test -run '^$$' -bench 'BenchmarkSwarm_(Audit|Chain)' -benchmem -timeout 30m . \
+	  | $(GO) run ./cmd/benchjson -o /dev/null \
+	      -baseline BENCH_swarm.json -tolerance 3.0 \
+	      -minratio 'BenchmarkSwarm_Audit_Reference/BenchmarkSwarm_Audit_Fast>=5' \
+	      -minratio 'BenchmarkSwarm_Chain_Buffered/BenchmarkSwarm_Chain_Streaming>=1.5'
 
 # Coverage over every package, with a per-function summary and an HTML
 # report CI uploads as an artifact.
@@ -99,6 +117,13 @@ chaos-smoke:
 # Exits nonzero on any divergence.
 scale-smoke:
 	$(GO) run ./cmd/roborebound -quick -progress=false scale
+
+# The protocol-plane differential smoke: one 1000-robot chaos cell run
+# on the reference, fast, and fast-sharded planes, asserting
+# byte-identical chaos fingerprints and metrics snapshots (and no
+# invariant violations). Exits nonzero on any divergence.
+swarm-smoke:
+	$(GO) run ./cmd/roborebound -quick -progress=false swarm
 
 # Short fuzz pass over each fuzz target (seed corpora always run as
 # part of `make test`; this explores beyond them).

@@ -82,6 +82,14 @@ type ChaosConfig struct {
 	// frame, engaging the radio's fragmentation/reassembly path (loss
 	// is then drawn per fragment). 0 keeps the default link model.
 	MTUBytes int
+	// TickShards runs the cell with the tick phase sharded across this
+	// many goroutines (see SimConfig.TickShards). Byte-identical to
+	// serial; the swarm differential suite sweeps cells with this
+	// toggled to prove it.
+	TickShards int
+	// ReferencePlane runs the cell on the reference protocol plane
+	// (see SimConfig.ReferencePlane) — the differential oracle.
+	ReferencePlane bool
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -134,6 +142,12 @@ func (c ChaosConfig) Label() string {
 	}
 	if c.SpatialIndex {
 		s += " [indexed]"
+	}
+	if c.TickShards > 1 {
+		s += fmt.Sprintf(" [shards=%d]", c.TickShards)
+	}
+	if c.ReferencePlane {
+		s += " [reference]"
 	}
 	return s
 }
@@ -212,7 +226,8 @@ func buildChaosSim(cfg ChaosConfig, cc core.Config, sched *faultinject.Schedule)
 		params.RingGapM = 3
 		factory := control.PatrolFactory{Params: params}
 		s := NewSim(SimConfig{Seed: cfg.Seed, Core: &cc, Radio: radioParams, Faults: sched,
-			Trace: cfg.Trace, Metrics: cfg.Metrics, SpatialIndex: cfg.SpatialIndex})
+			Trace: cfg.Trace, Metrics: cfg.Metrics, SpatialIndex: cfg.SpatialIndex,
+			TickShards: cfg.TickShards, ReferencePlane: cfg.ReferencePlane})
 		for i := 0; i < cfg.N; i++ {
 			id := wire.RobotID(i + 1)
 			pos := route[int(id)%len(route)]
@@ -236,7 +251,8 @@ func buildChaosSim(cfg ChaosConfig, cc core.Config, sched *faultinject.Schedule)
 		params := control.DefaultWarehouseParams(tps, pickups, dropoffs)
 		factory := control.WarehouseFactory{Params: params}
 		s := NewSim(SimConfig{Seed: cfg.Seed, Core: &cc, Radio: radioParams, Faults: sched,
-			Trace: cfg.Trace, Metrics: cfg.Metrics, SpatialIndex: cfg.SpatialIndex})
+			Trace: cfg.Trace, Metrics: cfg.Metrics, SpatialIndex: cfg.SpatialIndex,
+			TickShards: cfg.TickShards, ReferencePlane: cfg.ReferencePlane})
 		for i := 0; i < cfg.N; i++ {
 			id := wire.RobotID(i + 1)
 			pos := pickups[i].Add(geom.V(2, 0))
@@ -257,17 +273,19 @@ func buildChaosSim(cfg ChaosConfig, cc core.Config, sched *faultinject.Schedule)
 	default: // flocking
 		goal := geom.V(220, 220)
 		fs := FlockScenario{
-			N:            cfg.N,
-			Spacing:      cfg.SpacingM,
-			Goal:         goal,
-			Protected:    true,
-			Seed:         cfg.Seed,
-			Fmax:         cfg.Fmax,
-			Radio:        radioParams,
-			Faults:       sched,
-			Trace:        cfg.Trace,
-			Metrics:      cfg.Metrics,
-			SpatialIndex: cfg.SpatialIndex,
+			N:              cfg.N,
+			Spacing:        cfg.SpacingM,
+			Goal:           goal,
+			Protected:      true,
+			Seed:           cfg.Seed,
+			Fmax:           cfg.Fmax,
+			Radio:          radioParams,
+			Faults:         sched,
+			Trace:          cfg.Trace,
+			Metrics:        cfg.Metrics,
+			SpatialIndex:   cfg.SpatialIndex,
+			TickShards:     cfg.TickShards,
+			ReferencePlane: cfg.ReferencePlane,
 		}
 		for _, aid := range attackerIDs {
 			slot := int(aid) - 1

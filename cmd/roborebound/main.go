@@ -96,6 +96,7 @@ func main() {
 		"chaos":  chaos,
 		"trace":  traceCmd,
 		"scale":  scaleCmd,
+		"swarm":  swarmCmd,
 	}
 	stopProfiles, err := startProfiles()
 	if err != nil {
@@ -139,6 +140,10 @@ subcommands:
   scale    swarm-scale sweep (100-500 robots), each size run brute-force
            and spatially indexed; verifies byte-identical fingerprints
            and reports the speedup (-quick: one 300-robot smoke cell)
+  swarm    protocol-plane sweep (1000+ robots), each size run on the
+           reference plane, the fast plane, and the fast plane with
+           sharded ticks; verifies byte-identical fingerprints/metrics
+           and reports the speedup (-quick: one short 1000-robot cell)
   trace    run one scenario fully instrumented and export its protocol
            event log / Perfetto trace / metrics (see -events, -perfetto,
            -metrics); scenarios: flocking (default), patrol, warehouse

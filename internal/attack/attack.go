@@ -51,6 +51,17 @@ type Strategy interface {
 	Act(ctx *Ctx)
 }
 
+// SharedStateStrategy marks strategies whose Act touches state shared
+// with other actors (the Colluder ring's side channel). Compromised
+// robots running one must tick serially under the sharded tick loop —
+// see sim.SerialTicker.
+type SharedStateStrategy interface {
+	Strategy
+	// SharesTickState reports whether Act reads or writes cross-actor
+	// state.
+	SharesTickState() bool
+}
+
 // Compromised is a robot whose c-node turns malicious at CompromiseAt.
 type Compromised struct {
 	*robot.Robot
@@ -94,6 +105,16 @@ func NewCompromised(r *robot.Robot, at wire.Tick, strat Strategy, keepProtocol b
 
 // Active reports whether the compromise has taken effect.
 func (c *Compromised) Active() bool { return c.active }
+
+// NeedsSerialTick implements sim.SerialTicker: a compromised robot
+// whose strategy coordinates through shared state (colluder rings)
+// must tick in the sharded loop's serial post-pass. All other
+// strategies act only through the robot's own trusted nodes and the
+// staged radio, so they shard freely.
+func (c *Compromised) NeedsSerialTick() bool {
+	s, ok := c.Strat.(SharedStateStrategy)
+	return ok && s.SharesTickState()
+}
 
 // FirstMisbehaviorAt returns the tick of the attacker's first
 // malicious output (frame or actuator command actually emitted) — the

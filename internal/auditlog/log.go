@@ -26,11 +26,24 @@ type pendingCheckpoint struct {
 // maintains the §3.6 invariant: the retained entries always start
 // either at boot or at a token-covered checkpoint, and everything
 // before the most recent covered checkpoint has been discarded.
+//
+// Alongside the decoded entries the log keeps their concatenated wire
+// encoding, maintained incrementally: Append extends it, MarkCovered
+// truncates it. Audit requests ship the encoded segment every round,
+// so materializing it once at Append time replaces a per-round
+// re-encode of the whole window (the protocol engine reads it through
+// Segment.Encoded).
 type Log struct {
 	fromBoot bool
 	start    *CoveredCheckpoint // nil ⇔ fromBoot
 	entries  []wire.LogEntry
 	pending  []pendingCheckpoint
+
+	// encoded is the concatenation of the retained entries' encodings;
+	// offsets[i] is the byte position of entries[i] within it, so any
+	// checkpoint-aligned prefix is a slice, not an encode.
+	encoded []byte
+	offsets []int
 
 	entryBytes int
 	// truncations counts MarkCovered-driven discards, for tests.
@@ -45,6 +58,8 @@ func New() *Log {
 // Append records one input/output entry.
 func (l *Log) Append(e wire.LogEntry) {
 	l.entries = append(l.entries, e)
+	l.offsets = append(l.offsets, len(l.encoded))
+	l.encoded = wire.AppendLogEntry(l.encoded, &e)
 	l.entryBytes += e.EncodedSize()
 }
 
@@ -63,6 +78,15 @@ func (l *Log) AddCheckpoint(cp Checkpoint) {
 // checkpoint.
 var ErrUnknownCheckpoint = errors.New("auditlog: unknown checkpoint")
 
+// offsetAt returns the byte position of entry i within the encoded
+// window (i == len(entries) addresses its end).
+func (l *Log) offsetAt(i int) int {
+	if i < len(l.offsets) {
+		return l.offsets[i]
+	}
+	return len(l.encoded)
+}
+
 // MarkCovered installs the tokens covering the checkpoint with the
 // given hash and truncates: entries before that checkpoint and all
 // earlier checkpoints are discarded. This is what keeps c-node storage
@@ -72,16 +96,20 @@ func (l *Log) MarkCovered(hash cryptolite.ChainHash, tokens []wire.Token) error 
 		if p.hash != hash {
 			continue
 		}
-		l.entryBytes = 0
+		cut := l.offsetAt(p.index)
 		l.entries = append([]wire.LogEntry(nil), l.entries[p.index:]...)
-		for _, e := range l.entries {
-			l.entryBytes += e.EncodedSize()
+		l.encoded = append([]byte(nil), l.encoded[cut:]...)
+		tail := l.pending[i+1:]
+		offs := l.offsets[p.index:]
+		l.offsets = make([]int, len(offs))
+		for j, o := range offs {
+			l.offsets[j] = o - cut
 		}
-		rest := l.pending[i+1:]
-		for j := range rest {
-			rest[j].index -= p.index
+		l.entryBytes = len(l.encoded)
+		for j := range tail {
+			tail[j].index -= p.index
 		}
-		l.pending = append([]pendingCheckpoint(nil), rest...)
+		l.pending = append([]pendingCheckpoint(nil), tail...)
 		l.start = &CoveredCheckpoint{CP: p.cp, Tokens: append([]wire.Token(nil), tokens...)}
 		l.fromBoot = false
 		l.truncations++
@@ -98,11 +126,16 @@ type Segment struct {
 	End      Checkpoint
 	EndHash  cryptolite.ChainHash
 	Entries  []wire.LogEntry
+	// Encoded is the entries' concatenated wire encoding, equal to
+	// wire.EncodeLogEntries(Entries) but maintained incrementally by
+	// the log (no per-round re-encode).
+	Encoded []byte
 }
 
 // SegmentTo builds the segment ending at the pending checkpoint with
-// the given hash. The returned entries alias the log's storage; the
-// caller encodes them before the log mutates further.
+// the given hash. The returned entries and encoding alias the log's
+// storage; the caller copies what it keeps before the log mutates
+// further.
 func (l *Log) SegmentTo(hash cryptolite.ChainHash) (Segment, error) {
 	for _, p := range l.pending {
 		if p.hash != hash {
@@ -114,6 +147,7 @@ func (l *Log) SegmentTo(hash cryptolite.ChainHash) (Segment, error) {
 			End:      p.cp,
 			EndHash:  p.hash,
 			Entries:  l.entries[:p.index],
+			Encoded:  l.encoded[:l.offsetAt(p.index)],
 		}, nil
 	}
 	return Segment{}, ErrUnknownCheckpoint
@@ -147,17 +181,27 @@ func (l *Log) Truncations() int { return l.truncations }
 // accounting against a full recount of the retained entries. A nil
 // return means log growth matches the sum of entry sizes; a non-nil
 // error describes the mismatch. The fault-injection invariant checker
-// calls this every tick — Append and MarkCovered both mutate
-// entryBytes incrementally, and this is the conservation check that
-// keeps them honest.
+// calls this every tick — Append and MarkCovered mutate entryBytes,
+// the encoded window, and its offsets incrementally, and this is the
+// conservation check that keeps them honest.
 func (l *Log) AccountingError() error {
 	n := 0
 	for i := range l.entries {
+		if o := l.offsetAt(i); o != n {
+			return fmt.Errorf("auditlog: entry %d recorded at offset %d, expected %d", i, o, n)
+		}
 		n += l.entries[i].EncodedSize()
 	}
 	if n != l.entryBytes {
 		return fmt.Errorf("auditlog: entryBytes=%d but %d retained entries re-encode to %d bytes",
 			l.entryBytes, len(l.entries), n)
+	}
+	if n != len(l.encoded) {
+		return fmt.Errorf("auditlog: encoded window holds %d bytes, entries re-encode to %d",
+			len(l.encoded), n)
+	}
+	if len(l.offsets) != len(l.entries) {
+		return fmt.Errorf("auditlog: %d offsets for %d entries", len(l.offsets), len(l.entries))
 	}
 	return nil
 }

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"roborebound/internal/cryptolite"
+	"roborebound/internal/wire"
+)
+
+func cacheKeyOf(t *testing.T, a *wire.AuditRequest) [32]byte {
+	t.Helper()
+	head, tail, err := wire.SplitAuditRequest(a.Encode())
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	return auditKey(head.Auditee, head.Req.T, tail)
+}
+
+func testAuditRequest() wire.AuditRequest {
+	a := wire.AuditRequest{
+		Auditee:         7,
+		Auditor:         3,
+		Req:             wire.TokenRequest{Auditee: 7, Auditor: 3, T: 512},
+		StartCheckpoint: []byte("ckpt-start"),
+		StartTokens:     []wire.Token{{Auditor: 2, Auditee: 7, T: 300}},
+		EndCheckpoint:   []byte("ckpt-end"),
+		Segment:         []byte("segment-entries"),
+	}
+	for i := range a.Req.Mac {
+		a.Req.Mac[i] = byte(i)
+	}
+	return a
+}
+
+func TestAuditCacheStoreLookup(t *testing.T) {
+	c := NewAuditCache(4)
+	var h cryptolite.ChainHash
+	for i := range h {
+		h[i] = byte(i * 3)
+	}
+	key := cacheKeyOf(t, &wire.AuditRequest{Auditee: 1, Req: wire.TokenRequest{T: 9}})
+
+	if _, ok := c.Lookup(key); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Store(key, AuditVerdict{OK: true, HCkpt: h})
+	v, ok := c.Lookup(key)
+	if !ok || !v.OK || v.HCkpt != h {
+		t.Fatalf("lookup = %+v, %v; want stored verdict", v, ok)
+	}
+	if hits, misses := c.HitsMisses(); hits != 1 || misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", hits, misses)
+	}
+	// Overwriting an existing key updates in place without eviction.
+	c.Store(key, AuditVerdict{OK: false})
+	if v, ok := c.Lookup(key); !ok || v.OK {
+		t.Error("overwrite did not update verdict")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestAuditCacheFIFOEviction(t *testing.T) {
+	c := NewAuditCache(2)
+	keys := make([][32]byte, 3)
+	for i := range keys {
+		keys[i] = auditKey(wire.RobotID(i+1), 0, nil)
+		c.Store(keys[i], AuditVerdict{OK: true})
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want cap 2", c.Len())
+	}
+	if _, ok := c.Lookup(keys[0]); ok {
+		t.Error("oldest entry not evicted")
+	}
+	for _, k := range keys[1:] {
+		if _, ok := c.Lookup(k); !ok {
+			t.Error("young entry evicted")
+		}
+	}
+}
+
+// TestAuditKeyIgnoresAuditorHead: the verdict is auditor-independent,
+// so the f_max+1 per-auditor copies of one round's request — which
+// differ only in the auditor ID and the token request addressed to it
+// — must share one cache entry.
+func TestAuditKeyIgnoresAuditorHead(t *testing.T) {
+	a := testAuditRequest()
+	b := testAuditRequest()
+	b.Auditor = 4
+	b.Req.Auditor = 4
+	for i := range b.Req.Mac {
+		b.Req.Mac[i] = byte(100 + i) // per-auditor MAC differs too
+	}
+	if cacheKeyOf(t, &a) != cacheKeyOf(t, &b) {
+		t.Error("same round, different auditor: keys differ")
+	}
+}
+
+// TestAuditKeyDiscriminates: every verdict-relevant field must change
+// the key — a collision here would let one request reuse another's
+// verdict.
+func TestAuditKeyDiscriminates(t *testing.T) {
+	base := testAuditRequest()
+	baseKey := cacheKeyOf(t, &base)
+
+	mutate := map[string]func(*wire.AuditRequest){
+		"auditee":     func(a *wire.AuditRequest) { a.Auditee = 8; a.Req.Auditee = 8 },
+		"reqT":        func(a *wire.AuditRequest) { a.Req.T++ },
+		"fromBoot":    func(a *wire.AuditRequest) { a.FromBoot = true; a.StartCheckpoint = nil; a.StartTokens = nil },
+		"start-ckpt":  func(a *wire.AuditRequest) { a.StartCheckpoint[0] ^= 1 },
+		"start-token": func(a *wire.AuditRequest) { a.StartTokens[0].Mac[0] ^= 1 },
+		"end-ckpt":    func(a *wire.AuditRequest) { a.EndCheckpoint[0] ^= 1 },
+		"segment":     func(a *wire.AuditRequest) { a.Segment[len(a.Segment)-1] ^= 1 },
+	}
+	for name, mut := range mutate {
+		a := testAuditRequest()
+		mut(&a)
+		if cacheKeyOf(t, &a) == baseKey {
+			t.Errorf("%s: mutation did not change the cache key", name)
+		}
+	}
+}

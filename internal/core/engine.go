@@ -26,13 +26,19 @@ type Engine struct {
 	anode *trusted.ANode
 	log   *auditlog.Log
 
-	send func(wire.Frame) bool // a-node's SendWireless
+	// send is the a-node's SendWirelessEnc: it returns the frame
+	// encoding the a-node's chain witnessed (nil for audit frames) so
+	// the engine logs exactly those bytes without re-encoding.
+	send func(wire.Frame) ([]byte, bool)
 
 	heard map[wire.RobotID]wire.Tick // last tick each peer was heard
 	now   wire.Tick                  //rebound:clock trusted
 
 	round  *auditRound
+	rounds int         // audit rounds started; drives auditor rotation (see solicit)
 	served []wire.Tick // timestamps of recently served audits (ServeLimit window)
+
+	acache *AuditCache // shared replay-verdict cache; nil on the reference plane
 
 	stats        statsCounters
 	trace        obs.Tracer
@@ -77,6 +83,10 @@ type auditRound struct {
 	startTok []wire.Token
 	encEnd   []byte
 	segment  []byte
+	// reqTail is the request's encoded tail (checkpoints, tokens,
+	// segment) — identical for every auditor this round, so it is built
+	// once on first ask and shared (streaming plane only).
+	reqTail []byte
 
 	tokens  map[wire.RobotID]wire.Token
 	asked   map[wire.RobotID]bool
@@ -85,8 +95,10 @@ type auditRound struct {
 
 // NewEngine constructs the protocol engine for one robot. The caller
 // provisions the trusted nodes (master + mission keys) separately.
+// send is the a-node's SendWirelessEnc (or an equivalent hook that
+// returns the chained frame encoding, nil for audit frames).
 func NewEngine(id wire.RobotID, cfg Config, factory control.Factory,
-	snode *trusted.SNode, anode *trusted.ANode, send func(wire.Frame) bool) *Engine {
+	snode *trusted.SNode, anode *trusted.ANode, send func(wire.Frame) ([]byte, bool)) *Engine {
 	return &Engine{
 		id:      id,
 		cfg:     cfg,
@@ -118,6 +130,12 @@ func (e *Engine) Instrument(tr obs.Tracer, reg *obs.Registry) {
 	e.roundLatency = reg.Histogram(prefix+"round_latency_ticks",
 		[]float64{1, 2, 4, 8, 16, 32, 64})
 }
+
+// SetAuditCache attaches a shared replay-verdict cache (see
+// AuditCache). Pass the same cache to every engine of a swarm; nil
+// (the default) replays every request. The reference plane never sets
+// one.
+func (e *Engine) SetAuditCache(c *AuditCache) { e.acache = c }
 
 // Controller exposes the live controller (the robot reads it for
 // metrics; the engine owns its lifecycle).
@@ -154,17 +172,24 @@ func (e *Engine) CurrentRoundHash() (cryptolite.ChainHash, bool) {
 // steps the controller, and routes the outputs through the a-node,
 // logging exactly what the a-node forwards.
 func (e *Engine) OnSensorReading(reading wire.SensorReading) {
-	e.log.Append(wire.LogEntry{Kind: wire.EntrySensor, Payload: reading.Encode()})
+	e.OnSensorReadingEnc(reading, reading.Encode())
+}
+
+// OnSensorReadingEnc is OnSensorReading with the reading's encoding
+// already in hand — the s-node chained those exact bytes (see
+// SNode.PollSensorsEnc), so the log takes them as-is.
+func (e *Engine) OnSensorReadingEnc(reading wire.SensorReading, enc []byte) {
+	e.log.Append(wire.LogEntry{Kind: wire.EntrySensor, Payload: enc})
 	out := e.ctrl.OnSensor(reading)
 	if out.Broadcast != nil {
 		f := wire.Frame{Src: e.id, Dst: wire.Broadcast, Payload: out.Broadcast}
-		if e.send(f) {
-			e.log.Append(wire.LogEntry{Kind: wire.EntrySend, Payload: f.Encode()})
+		if encF, ok := e.send(f); ok {
+			e.log.Append(wire.LogEntry{Kind: wire.EntrySend, Payload: encF})
 		}
 	}
 	if out.Cmd != nil {
-		if e.anode.ActuatorCmd(*out.Cmd) {
-			e.log.Append(wire.LogEntry{Kind: wire.EntryActuator, Payload: out.Cmd.Encode()})
+		if encC, ok := e.anode.ActuatorCmdEnc(*out.Cmd); ok {
+			e.log.Append(wire.LogEntry{Kind: wire.EntryActuator, Payload: encC})
 		}
 	}
 }
@@ -172,18 +197,24 @@ func (e *Engine) OnSensorReading(reading wire.SensorReading) {
 // OnFrame handles a frame the a-node forwarded up. Application frames
 // are logged and fed to the controller; audit-flagged frames drive the
 // audit protocol and are never logged (§3.4).
-func (e *Engine) OnFrame(f wire.Frame) {
+func (e *Engine) OnFrame(f wire.Frame) { e.OnFrameEnc(f, nil) }
+
+// OnFrameEnc is OnFrame with the frame encoding the a-node's chain
+// witnessed (nil for audit frames, or when the caller has no encoding
+// — the engine then encodes once itself).
+func (e *Engine) OnFrameEnc(f wire.Frame, enc []byte) {
 	e.heard[f.Src] = e.now
 	if !f.IsAudit() {
-		e.log.Append(wire.LogEntry{Kind: wire.EntryRecv, Payload: f.Encode()})
+		if enc == nil {
+			enc = f.Encode()
+		}
+		e.log.Append(wire.LogEntry{Kind: wire.EntryRecv, Payload: enc})
 		e.ctrl.OnMessage(f.Payload)
 		return
 	}
 	switch wire.PayloadKind(f.Payload) {
 	case wire.KindAuditRequest:
-		if req, err := wire.DecodeAuditRequest(f.Payload); err == nil {
-			e.onAuditRequest(req)
-		}
+		e.onAuditRequestEnc(f.Payload)
 	case wire.KindAuditResponse:
 		if resp, err := wire.DecodeAuditResponse(f.Payload); err == nil {
 			e.onAuditResponse(resp)
@@ -248,12 +279,24 @@ func (e *Engine) startRound(now wire.Tick) {
 	if err != nil {
 		return // unreachable: we just added the checkpoint
 	}
+	// The reference plane re-encodes the segment from its entries every
+	// round (the pre-optimization behavior); the streaming plane copies
+	// the log's incrementally maintained window (seg.Encoded aliases log
+	// storage, which mutates on the next Append, so the round owns a
+	// copy). Both yield identical bytes — pinned by auditlog's
+	// AccountingError and the swarm differential tests.
+	var segEnc []byte
+	if e.cfg.Reference {
+		segEnc = wire.EncodeLogEntries(seg.Entries)
+	} else {
+		segEnc = append([]byte(nil), seg.Encoded...)
+	}
 	round := &auditRound{
 		hash:     seg.EndHash,
 		startAt:  now,
 		fromBoot: seg.FromBoot,
 		encEnd:   cp.Encode(),
-		segment:  wire.EncodeLogEntries(seg.Entries),
+		segment:  segEnc,
 		tokens:   make(map[wire.RobotID]wire.Token),
 		asked:    make(map[wire.RobotID]bool),
 	}
@@ -262,6 +305,7 @@ func (e *Engine) startRound(now wire.Tick) {
 		round.startTok = seg.Start.Tokens
 	}
 	e.round = round
+	e.rounds++
 	e.stats.roundsStarted.Inc()
 	if e.trace != nil {
 		e.trace.Emit(obs.Event{Tick: now, Robot: e.id,
@@ -304,9 +348,13 @@ func (e *Engine) solicit(now wire.Tick) {
 	// load spreads evenly across neighbors. The per-robot term is
 	// load-bearing: rotating by round alone makes every auditee in a
 	// dense flock converge on the same few auditors each round, which
-	// saturates their serve budgets and starves the flock.
+	// saturates their serve budgets and starves the flock. The rotation
+	// is driven by e.rounds, a plain field — NOT the roundsStarted obs
+	// counter, which Instrument rebinds (discarding its count): a
+	// mid-run Instrument would silently reset the rotation phase and
+	// re-converge the flock on the same auditors.
 	if n := len(candidates); n > 1 {
-		off := (int(e.stats.roundsStarted.Value())*(1+e.cfg.Fmax) + int(e.id)*7) % n
+		off := (e.rounds*(1+e.cfg.Fmax) + int(e.id)*7) % n
 		candidates = append(candidates[off:], candidates[:off]...)
 	}
 	sent := 0
@@ -364,8 +412,24 @@ func (e *Engine) askOne(target wire.RobotID) bool {
 		EndCheckpoint:   r.encEnd,
 		Segment:         r.segment,
 	}
-	f := wire.Frame{Src: e.id, Dst: target, Flags: wire.FlagAudit, Payload: msg.Encode()}
-	if !e.send(f) {
+	// The head of the request (kind, IDs, the per-auditor token
+	// request) is a few dozen bytes; the tail (checkpoints, covering
+	// tokens, segment) can be kilobytes and is identical for every
+	// auditor this round. The streaming plane encodes the tail once per
+	// round; the reference plane re-encodes the whole request per
+	// auditor. Byte-identical either way — wire's TestAuditRequestTailSplit
+	// pins the split.
+	var payload []byte
+	if e.cfg.Reference {
+		payload = msg.Encode()
+	} else {
+		if r.reqTail == nil {
+			r.reqTail = msg.EncodeTail()
+		}
+		payload = msg.EncodeWithTail(r.reqTail)
+	}
+	f := wire.Frame{Src: e.id, Dst: target, Flags: wire.FlagAudit, Payload: payload}
+	if _, ok := e.send(f); !ok {
 		return false
 	}
 	e.stats.auditsRequested.Inc()
@@ -390,8 +454,61 @@ func (e *Engine) serveBudgetOK() bool {
 	return len(e.served) < e.cfg.ServeLimit
 }
 
-// onAuditRequest is the auditor role (§3.7). Any failure is a silent
-// ignore, as in the paper: no correct auditor will accept a bad
+// onAuditRequestEnc is the auditor role's entry point (§3.7), fed the
+// raw request payload. The expensive part — decode, token cover,
+// deterministic replay — has an auditor-independent outcome, so when a
+// shared AuditCache is attached the verdict (and the checkpoint hash
+// token minting binds to) is computed once per distinct request
+// swarm-wide; the remaining f_max auditors decode only the
+// per-auditor head, hash the raw tail, and skip straight to minting.
+// Everything auditor-local (identity checks, the serve budget,
+// IssueToken's own MAC verification of the per-auditor token request,
+// token minting) runs on every request, hit or miss.
+//
+// The cache is consulted only while this a-node holds the mission key:
+// a keyless auditor's verifySegment rejects everything (its MAC checks
+// all fail), and those key-dependent verdicts must not poison a cache
+// shared with keyed robots.
+func (e *Engine) onAuditRequestEnc(payload []byte) {
+	if e.acache == nil || !e.anode.HasKey() {
+		if a, err := wire.DecodeAuditRequest(payload); err == nil {
+			e.onAuditRequest(a)
+		}
+		return
+	}
+	head, tail, err := wire.SplitAuditRequest(payload)
+	if err != nil {
+		return
+	}
+	if head.Auditor != e.id || head.Req.Auditor != e.id ||
+		head.Req.Auditee != head.Auditee || head.Auditee == e.id || !e.serveBudgetOK() {
+		// Refusal accounting must stay byte-identical to the uncached
+		// plane, which decodes before checking anything — a request
+		// with a malformed tail is dropped silently there, not refused.
+		if _, err := wire.DecodeAuditRequest(payload); err == nil {
+			e.stats.auditsRefused.Inc()
+		}
+		return
+	}
+	key := auditKey(head.Auditee, head.Req.T, tail)
+	v, hit := e.acache.Lookup(key)
+	if !hit {
+		a, err := wire.DecodeAuditRequest(payload)
+		if err != nil {
+			return
+		}
+		v.OK = e.verifySegment(&a)
+		if v.OK {
+			v.HCkpt = cryptolite.SHA1(a.EndCheckpoint)
+		}
+		e.acache.Store(key, v)
+	}
+	e.finishAudit(head.Auditee, head.Req, v)
+}
+
+// onAuditRequest is the uncached (reference-plane or keyless) auditor
+// path: every request is fully decoded and replayed. Any failure is a
+// silent ignore, as in the paper: no correct auditor will accept a bad
 // request, so the requestor's tokens simply expire.
 func (e *Engine) onAuditRequest(a wire.AuditRequest) {
 	if a.Auditor != e.id || a.Req.Auditor != e.id || a.Req.Auditee != a.Auditee || a.Auditee == e.id {
@@ -402,10 +519,45 @@ func (e *Engine) onAuditRequest(a wire.AuditRequest) {
 		e.stats.auditsRefused.Inc()
 		return
 	}
-	end, err := auditlog.DecodeCheckpoint(a.EndCheckpoint)
-	if err != nil {
+	var v AuditVerdict
+	v.OK = e.verifySegment(&a)
+	if v.OK {
+		v.HCkpt = cryptolite.SHA1(a.EndCheckpoint)
+	}
+	e.finishAudit(a.Auditee, a.Req, v)
+}
+
+// finishAudit is the auditor-local epilogue shared by the cached and
+// uncached serve paths: mint and send the token on a positive verdict.
+// IssueToken re-verifies the per-auditor request MAC on the a-node, so
+// a cache hit never bypasses any trusted-node check.
+func (e *Engine) finishAudit(auditee wire.RobotID, req wire.TokenRequest, v AuditVerdict) {
+	if !v.OK {
 		e.stats.auditsRefused.Inc()
 		return
+	}
+	tok, ok := e.anode.IssueToken(req, v.HCkpt)
+	if !ok {
+		e.stats.auditsRefused.Inc()
+		return
+	}
+	resp := wire.AuditResponse{Auditor: e.id, Auditee: auditee, OK: true, Tok: tok}
+	e.send(wire.Frame{Src: e.id, Dst: auditee, Flags: wire.FlagAudit, Payload: resp.Encode()})
+	e.served = append(e.served, e.now)
+	e.stats.auditsServed.Inc()
+}
+
+// verifySegment runs the content checks of the auditor role: decode
+// the checkpoints and segment, validate the start-covering tokens, and
+// deterministically replay the segment. The verdict is a function of
+// the request content, the protocol parameters, and the shared mission
+// key only — never of which auditor runs it (the replica controller is
+// rebuilt from the request, and every MAC involved uses the
+// swarm-shared mission key) — which is what makes it cacheable.
+func (e *Engine) verifySegment(a *wire.AuditRequest) bool {
+	end, err := auditlog.DecodeCheckpoint(a.EndCheckpoint)
+	if err != nil {
+		return false
 	}
 	req := replay.Request{
 		Auditee:  a.Auditee,
@@ -416,43 +568,28 @@ func (e *Engine) onAuditRequest(a wire.AuditRequest) {
 	if !a.FromBoot {
 		start, err := auditlog.DecodeCheckpoint(a.StartCheckpoint)
 		if err != nil {
-			e.stats.auditsRefused.Inc()
-			return
+			return false
 		}
 		startHash := cryptolite.SHA1(a.StartCheckpoint)
 		if err := replay.TokensCoverStart(a.Auditee, startHash, a.StartTokens,
 			e.cfg.Fmax, e.anode.VerifyToken); err != nil {
-			e.stats.auditsRefused.Inc()
-			return
+			return false
 		}
 		req.Start = &start
 	}
 	entries, err := wire.DecodeLogEntries(a.Segment)
 	if err != nil {
-		e.stats.auditsRefused.Inc()
-		return
+		return false
 	}
 	req.Entries = entries
 
-	if err := replay.Verify(req, replay.Config{
+	return replay.Verify(req, replay.Config{
 		Factory:            e.factory,
 		BatchSize:          e.cfg.BatchSize,
 		AuthSlack:          e.cfg.AuthSlack,
 		CheckAuthenticator: e.anode.CheckAuthenticator,
-	}); err != nil {
-		e.stats.auditsRefused.Inc()
-		return
-	}
-
-	tok, ok := e.anode.IssueToken(a.Req, cryptolite.SHA1(a.EndCheckpoint))
-	if !ok {
-		e.stats.auditsRefused.Inc()
-		return
-	}
-	resp := wire.AuditResponse{Auditor: e.id, Auditee: a.Auditee, OK: true, Tok: tok}
-	e.send(wire.Frame{Src: e.id, Dst: a.Auditee, Flags: wire.FlagAudit, Payload: resp.Encode()})
-	e.served = append(e.served, e.now)
-	e.stats.auditsServed.Inc()
+		BufferedChains:     e.cfg.Reference,
+	}) == nil
 }
 
 // onAuditResponse is the auditee receiving a token. A compromised

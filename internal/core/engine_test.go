@@ -50,14 +50,14 @@ func newHarness(t *testing.T, cfg Config, ids ...wire.RobotID) *harness {
 		var eng *Engine
 		an := trusted.NewANode(cfg.ANodeConfig(), clock,
 			func(f wire.Frame) { h.queue = append(h.queue, f) },
-			func(f wire.Frame) { eng.OnFrame(f) },
+			func(f wire.Frame, enc []byte) { eng.OnFrameEnc(f, enc) },
 			nil, nil)
 		sn.LoadMasterKey(master, id)
 		an.LoadMasterKey(master, id)
 		if !sn.LoadMissionKey(sealedKey()) || !an.LoadMissionKey(sealedKey()) {
 			t.Fatal("mission key rejected")
 		}
-		eng = NewEngine(id, cfg, factory(), sn, an, an.SendWireless)
+		eng = NewEngine(id, cfg, factory(), sn, an, an.SendWirelessEnc)
 		h.engines[id] = eng
 		h.anodes[id] = an
 		h.snodes[id] = sn

@@ -1,0 +1,57 @@
+package cryptolite
+
+import (
+	//rebound:tcb-exempt keyless stdlib digest backing the streaming chain; bit-equality with the from-scratch SHA1Hasher is pinned by TestSHA1StreamMatchesReference
+	"crypto/sha1"
+	//rebound:tcb-exempt interface type of the stdlib digest above; no key material
+	"hash"
+)
+
+// SHA1Stream is an incremental SHA-1 for the hash-chain hot path. It
+// delegates to the standard library's digest (assembly/SHA-NI on most
+// platforms) instead of the from-scratch SHA1Hasher, because the
+// streaming chain feeds every log entry of every robot through it —
+// at swarm scale the pure-Go compression function dominates the
+// profile. The from-scratch implementation remains the reference:
+// TestSHA1StreamMatchesReference pins the two bit-identical over
+// arbitrary write splits, and the buffered reference Chain (which the
+// swarm differential tests prove byte-identical to the streaming one)
+// still runs on SHA1Hasher.
+//
+// The zero value is ready to use; Reset reuses the underlying digest,
+// so a long-lived stream allocates exactly once.
+type SHA1Stream struct {
+	h hash.Hash
+	// sum backs Sum's output: an out buffer declared on the caller's
+	// stack would escape through the hash.Hash interface and allocate
+	// per call; this field lives with the (heap-resident) stream.
+	sum [SHA1Size]byte
+}
+
+// Reset restarts the stream at the SHA-1 initial state.
+func (s *SHA1Stream) Reset() {
+	if s.h == nil {
+		s.h = sha1.New()
+		return
+	}
+	s.h.Reset()
+}
+
+// Write absorbs p into the running digest.
+func (s *SHA1Stream) Write(p []byte) {
+	if s.h == nil {
+		s.h = sha1.New()
+	}
+	s.h.Write(p)
+}
+
+// Sum returns the digest of everything written since the last Reset.
+// It does not disturb the stream (the standard digest finalizes a
+// copy), but chain code always Resets before reuse anyway.
+func (s *SHA1Stream) Sum() [SHA1Size]byte {
+	if s.h == nil {
+		s.h = sha1.New()
+	}
+	s.h.Sum(s.sum[:0])
+	return s.sum
+}

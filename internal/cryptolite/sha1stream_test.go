@@ -1,0 +1,60 @@
+package cryptolite
+
+import (
+	"testing"
+
+	"roborebound/internal/prng"
+)
+
+// TestSHA1StreamMatchesReference pins the stdlib-backed stream to the
+// from-scratch SHA1Hasher bit for bit, over lengths straddling every
+// block boundary and over arbitrary write splits. This is the license
+// for the streaming hash chain to use SHA1Stream: both implement FIPS
+// 180-1, and this test is where that claim is checked rather than
+// assumed.
+func TestSHA1StreamMatchesReference(t *testing.T) {
+	rng := prng.New(0x57EA)
+	msg := make([]byte, 4096)
+	for i := range msg {
+		msg[i] = byte(rng.Intn(256))
+	}
+	var s SHA1Stream
+	for _, n := range []int{0, 1, 55, 56, 63, 64, 65, 119, 120, 128, 1000, 4096} {
+		var ref SHA1Hasher
+		ref.Write(msg[:n])
+		want := ref.Sum()
+
+		// One-shot write.
+		s.Reset()
+		s.Write(msg[:n])
+		if got := s.Sum(); got != want {
+			t.Fatalf("len %d: stream %x != reference %x", n, got, want)
+		}
+
+		// Random splits.
+		s.Reset()
+		for off := 0; off < n; {
+			step := 1 + rng.Intn(n-off)
+			s.Write(msg[off : off+step])
+			off += step
+		}
+		if got := s.Sum(); got != want {
+			t.Fatalf("len %d (split writes): stream diverges from reference", n)
+		}
+	}
+}
+
+// TestSHA1StreamReuse checks Reset actually restarts the state: a
+// reused stream must hash exactly like a fresh one.
+func TestSHA1StreamReuse(t *testing.T) {
+	var a, b SHA1Stream
+	a.Reset()
+	a.Write([]byte("poison the state"))
+	a.Sum()
+	a.Reset()
+	a.Write([]byte("payload"))
+	b.Write([]byte("payload"))
+	if a.Sum() != b.Sum() {
+		t.Fatal("Reset did not restore the initial state")
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import "fmt"
+
+// ShardCapture is a Tracer front for the sharded tick phase. A serial
+// tick loop emits each robot's events interleaved in ascending actor
+// ID; a sharded loop emits them in whatever order the shards race to.
+// ShardCapture restores the serial order without locks: during a
+// capture window (Begin … Flush) each event parks in a per-robot
+// buffer — every event emitted from a robot's Tick carries that
+// robot's own ID, and a robot is ticked by exactly one shard, so no
+// two goroutines ever touch the same buffer — and Flush forwards the
+// buffers to the underlying sink in ascending robot ID, exactly the
+// serial interleaving. Outside a window it is a transparent
+// passthrough, so one ShardCapture can front a sim's tracer for its
+// whole lifetime.
+type ShardCapture struct {
+	sink   Tracer
+	active bool
+	bufs   [][]Event // indexed by raw robot ID
+}
+
+// NewShardCapture wraps sink (which must be non-nil; callers with no
+// tracer simply don't build a capture).
+func NewShardCapture(sink Tracer) *ShardCapture {
+	if sink == nil {
+		panic("obs: ShardCapture over nil sink")
+	}
+	return &ShardCapture{sink: sink}
+}
+
+// Begin opens a capture window for robots with IDs in [0, maxID].
+func (s *ShardCapture) Begin(maxID int) {
+	if s.active {
+		panic("obs: ShardCapture.Begin while already capturing")
+	}
+	if need := maxID + 1; len(s.bufs) < need {
+		grown := make([][]Event, need)
+		copy(grown, s.bufs)
+		s.bufs = grown
+	}
+	s.active = true
+}
+
+// Emit implements Tracer. Inside a capture window the event parks in
+// its robot's buffer; outside it forwards straight to the sink.
+func (s *ShardCapture) Emit(e Event) {
+	if !s.active {
+		s.sink.Emit(e)
+		return
+	}
+	id := int(e.Robot)
+	if id >= len(s.bufs) {
+		// An emit for a robot outside the declared window is a harness
+		// bug, not a recoverable condition: silently forwarding would
+		// scramble the serial order the capture exists to preserve.
+		panic(fmt.Sprintf("obs: ShardCapture got event for robot %d outside window of %d", id, len(s.bufs)))
+	}
+	s.bufs[id] = append(s.bufs[id], e)
+}
+
+// Flush closes the window, forwarding parked events to the sink in
+// ascending robot ID (per robot, in emission order).
+func (s *ShardCapture) Flush() {
+	if !s.active {
+		panic("obs: ShardCapture.Flush without Begin")
+	}
+	s.active = false
+	for id := range s.bufs {
+		for _, e := range s.bufs[id] {
+			s.sink.Emit(e)
+		}
+		s.bufs[id] = s.bufs[id][:0]
+	}
+}

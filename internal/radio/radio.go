@@ -156,6 +156,14 @@ type Medium struct {
 	seq      uint64
 	counters map[wire.RobotID]*ByteCounters
 
+	// Per-sender transmit state, behind a pointer so staged sends from
+	// different senders never write the shared map (see BeginStaged).
+	senders map[wire.RobotID]*senderState
+	// staged diverts Send into per-sender outboxes; stagedIDs is the
+	// ascending roster FlushStaged merges in.
+	staged    bool
+	stagedIDs []wire.RobotID
+
 	// Optional fault hooks (see SetLossModel / SetLinkFilter /
 	// SetTxDelay). loss defaults to UniformLoss when Params.LossRate
 	// is set; filter and delay default to nil (inactive).
@@ -164,7 +172,6 @@ type Medium struct {
 	delay  TxDelay
 
 	// Fragmentation state (only used when params.MTUBytes > 0).
-	nextMsgID    map[wire.RobotID]uint16
 	reassemblers map[wire.RobotID]*Reassembler
 	deliverTick  wire.Tick // logical clock for reassembly expiry
 
@@ -201,7 +208,7 @@ func NewMedium(params Params, pos Position, seed uint64) *Medium {
 		pos:          pos,
 		rng:          prng.New(seed),
 		counters:     make(map[wire.RobotID]*ByteCounters),
-		nextMsgID:    make(map[wire.RobotID]uint16),
+		senders:      make(map[wire.RobotID]*senderState),
 		reassemblers: make(map[wire.RobotID]*Reassembler),
 	}
 	if params.LossRate > 0 {
@@ -276,28 +283,66 @@ func (m *Medium) Counters(id wire.RobotID) *ByteCounters {
 	return c
 }
 
+// senderState is one transmitter's radio-side state: its fragment
+// message-ID counter and, in staged mode, its private outbox. It sits
+// behind a pointer so a staged Send mutates only the sender's own
+// struct, never the shared map.
+type senderState struct {
+	nextMsgID uint16
+	outbox    []queuedFrame // staged frames, seq unassigned until FlushStaged
+}
+
+// sender returns the per-sender state, creating it on first use.
+func (m *Medium) sender(id wire.RobotID) *senderState {
+	s := m.senders[id]
+	if s == nil {
+		s = &senderState{}
+		m.senders[id] = s
+	}
+	return s
+}
+
 // Send enqueues a frame transmitted by `from` for delivery next tick,
 // fragmenting it first when it exceeds the radio MTU. The physical
 // transmitter is recorded separately from the frame's claimed source:
 // radios can spoof header fields but not their own antenna position.
+//
+// In staged mode (between BeginStaged and FlushStaged) the frame parks
+// in the sender's private outbox instead of the shared queue; distinct
+// registered senders may then Send concurrently.
 func (m *Medium) Send(from wire.RobotID, f wire.Frame) {
-	c := m.Counters(from)
+	var c *ByteCounters
+	var s *senderState
+	if m.staged {
+		// No map inserts here: other senders may be inside Send right
+		// now. BeginStaged pre-registers every legal sender.
+		if c, s = m.counters[from], m.senders[from]; c == nil || s == nil {
+			panic(fmt.Sprintf("radio: staged Send from unregistered sender %d", from))
+		}
+	} else {
+		c, s = m.Counters(from), m.sender(from)
+	}
 	if m.params.MTUBytes > 0 {
-		msgID := m.nextMsgID[from]
-		m.nextMsgID[from]++
+		msgID := s.nextMsgID
+		s.nextMsgID++
 		for _, fr := range FragmentFrame(f, m.params.MTUBytes, msgID) {
-			m.enqueue(c, from, fr)
+			m.enqueue(c, s, from, fr)
 		}
 		return
 	}
-	m.enqueue(c, from, f)
+	m.enqueue(c, s, from, f)
 }
 
 // enqueue accounts for and queues one on-air frame. Sizes come from
 // Frame.EncodedSize — arithmetic, not a measurement Encode — so the
 // unfragmented Send path allocates nothing at steady state (pinned by
-// TestSendSteadyStateAllocations).
-func (m *Medium) enqueue(c *ByteCounters, from wire.RobotID, fr wire.Frame) {
+// TestSendSteadyStateAllocations). Everything it touches is either
+// read-only during a staged round (params, delay hook, deliverTick) or
+// owned by the sender (counters, outbox) — except the shared queue and
+// seq counter, which staged sends defer to FlushStaged. The trace emit
+// is shard-safe because the event carries the sender's own ID and the
+// staged tracer partitions by it (obs.ShardCapture).
+func (m *Medium) enqueue(c *ByteCounters, s *senderState, from wire.RobotID, fr wire.Frame) {
 	size := fr.EncodedSize()
 	c.TxFrames++
 	if fr.IsAudit() {
@@ -309,12 +354,64 @@ func (m *Medium) enqueue(c *ByteCounters, from wire.RobotID, fr wire.Frame) {
 		m.trace.Emit(obs.Event{Tick: m.deliverTick, Robot: from,
 			Kind: obs.EvFrameTx, Peer: fr.Dst, Value: int64(size)})
 	}
-	q := queuedFrame{frame: fr, from: from, seq: m.seq, size: size, readyAt: m.deliverTick}
+	q := queuedFrame{frame: fr, from: from, size: size, readyAt: m.deliverTick}
 	if m.delay != nil {
 		q.readyAt += m.delay(from, fr)
 	}
-	m.queue = append(m.queue, q)
+	if m.staged {
+		s.outbox = append(s.outbox, q)
+		return
+	}
+	q.seq = m.seq
 	m.seq++
+	m.queue = append(m.queue, q)
+}
+
+// BeginStaged enters staged-send mode for one tick round. ids is the
+// set of senders allowed to transmit this round; their counters and
+// sender states (and metrics gauges) are created NOW, in ascending ID
+// order, so the concurrent phase performs no map writes. After this
+// call, Sends from distinct senders may run on different goroutines.
+//
+// Staging exists for the sharded tick phase: a serial tick loop that
+// visits actors in ascending ID order assigns transmit sequence
+// numbers in exactly the order FlushStaged does, so a staged round is
+// byte-identical to a serial one (the swarm differential tests pin
+// this, fingerprints, traces, and metrics included).
+func (m *Medium) BeginStaged(ids []wire.RobotID) {
+	if m.staged {
+		panic("radio: BeginStaged while already staged")
+	}
+	m.stagedIDs = append(m.stagedIDs[:0], ids...)
+	slices.Sort(m.stagedIDs)
+	m.stagedIDs = slices.Compact(m.stagedIDs)
+	for _, id := range m.stagedIDs {
+		m.Counters(id)
+		m.sender(id)
+	}
+	m.staged = true
+}
+
+// FlushStaged leaves staged mode, draining every outbox into the
+// shared queue in ascending sender ID and assigning transmit sequence
+// numbers in that order. Per sender, outbox order is that sender's
+// send order — together giving the exact seq assignment of an
+// ascending-ID serial tick loop.
+func (m *Medium) FlushStaged() {
+	if !m.staged {
+		panic("radio: FlushStaged without BeginStaged")
+	}
+	m.staged = false
+	for _, id := range m.stagedIDs {
+		s := m.senders[id]
+		for i := range s.outbox {
+			q := s.outbox[i]
+			q.seq = m.seq
+			m.seq++
+			m.queue = append(m.queue, q)
+		}
+		s.outbox = s.outbox[:0]
+	}
 }
 
 // rangeSlack pads the spatial query radius past Params.RangeM, in

@@ -45,6 +45,12 @@ type Config struct {
 	// CheckAuthenticator verifies an authenticator MAC on the
 	// auditor's own trusted hardware.
 	CheckAuthenticator func(wire.Authenticator) bool
+	// BufferedChains runs the chain replicas on the buffered §3.8
+	// reference implementation instead of the streaming default. Set
+	// when the auditee's nodes run buffered (reference-plane runs), so
+	// the replica remains the same code as the node — though the two
+	// implementations are byte-identical anyway.
+	BufferedChains bool
 }
 
 // Failure describes why a replay was rejected. It implements error;
@@ -102,12 +108,16 @@ func Verify(req Request, cfg Config) error {
 	}
 
 	// --- controller replica and chain replicas -----------------------
+	newChain, newChainAt := trusted.NewChain, trusted.NewChainAt
+	if cfg.BufferedChains {
+		newChain, newChainAt = trusted.NewBufferedChain, trusted.NewBufferedChainAt
+	}
 	var ctrl control.Controller
 	var sChain, aChain *trusted.Chain
 	if req.FromBoot {
 		ctrl = cfg.Factory.New(req.Auditee)
-		sChain = trusted.NewChain(cfg.BatchSize)
-		aChain = trusted.NewChain(cfg.BatchSize)
+		sChain = newChain(cfg.BatchSize)
+		aChain = newChain(cfg.BatchSize)
 	} else {
 		if req.Start == nil {
 			return fail("checkpoint", -1, "no start checkpoint and not from boot")
@@ -117,8 +127,8 @@ func Verify(req Request, cfg Config) error {
 		if err != nil {
 			return fail("checkpoint", -1, "start state rejected: %v", err)
 		}
-		sChain = trusted.NewChainAt(req.Start.AuthS.Top, cfg.BatchSize)
-		aChain = trusted.NewChainAt(req.Start.AuthA.Top, cfg.BatchSize)
+		sChain = newChainAt(req.Start.AuthS.Top, cfg.BatchSize)
+		aChain = newChainAt(req.Start.AuthA.Top, cfg.BatchSize)
 	}
 
 	// --- replay -------------------------------------------------------
@@ -131,7 +141,7 @@ func Verify(req Request, cfg Config) error {
 			if len(expected) > 0 {
 				return fail("order", i, "input before prior outputs were logged")
 			}
-			sChain.Append(e.Encode())
+			sChain.AppendEntry(e.Kind, e.Payload)
 			reading, err := wire.DecodeSensorReading(e.Payload)
 			if err != nil {
 				return fail("decode", i, "bad sensor payload: %v", err)
@@ -149,7 +159,7 @@ func Verify(req Request, cfg Config) error {
 			if len(expected) > 0 {
 				return fail("order", i, "input before prior outputs were logged")
 			}
-			aChain.Append(e.Encode())
+			aChain.AppendEntry(e.Kind, e.Payload)
 			frame, err := wire.DecodeFrame(e.Payload)
 			if err != nil {
 				return fail("decode", i, "bad recv frame: %v", err)
@@ -175,7 +185,7 @@ func Verify(req Request, cfg Config) error {
 			if e.Kind != want.Kind || !bytes.Equal(e.Payload, want.Payload) {
 				return fail("output", i, "output diverges from controller (kind %d vs %d)", e.Kind, want.Kind)
 			}
-			aChain.Append(e.Encode())
+			aChain.AppendEntry(e.Kind, e.Payload)
 
 		default:
 			return fail("decode", i, "unknown entry kind 0x%02x", e.Kind)

@@ -50,6 +50,10 @@ type Config struct {
 	// Metrics, when non-nil, rebinds the engine's protocol tallies to
 	// registry counters (see core.Engine.Instrument).
 	Metrics *obs.Registry
+	// AuditCache, when non-nil, is the swarm-shared replay-verdict
+	// cache (see core.AuditCache). The facade passes one cache to every
+	// robot of a sim; the reference plane leaves it nil.
+	AuditCache *core.AuditCache
 }
 
 // Robot is a sim.Actor. All robots — protected, unprotected, and the
@@ -98,7 +102,7 @@ func New(cfg Config, body *sim.Body, medium *radio.Medium, clock func() wire.Tic
 	r.snode = trusted.NewSNode(cfg.Core.BatchSize, tclock)
 	r.anode = trusted.NewANode(cfg.Core.ANodeConfig(), tclock,
 		func(f wire.Frame) { medium.Send(cfg.ID, f) },
-		func(f wire.Frame) { r.engine.OnFrame(f) },
+		func(f wire.Frame, enc []byte) { r.engine.OnFrameEnc(f, enc) },
 		func(cmd wire.ActuatorCmd) { r.body.Acc = geom.V(cmd.AccX, cmd.AccY) },
 		func() {
 			r.body.Disabled = true
@@ -110,11 +114,19 @@ func New(cfg Config, body *sim.Body, medium *radio.Medium, clock func() wire.Tic
 			}
 		},
 	)
+	if cfg.Core.Reference {
+		// Reference plane: the trusted chains run the buffered §3.8
+		// implementation instead of the streaming default. Must happen
+		// before any entry is chained (i.e. before key load).
+		r.snode.UseBufferedChain()
+		r.anode.UseBufferedChain()
+	}
 	r.snode.LoadMasterKey(cfg.Master, cfg.ID)
 	r.anode.LoadMasterKey(cfg.Master, cfg.ID)
 	r.snode.LoadMissionKey(cfg.Sealed)
 	r.anode.LoadMissionKey(cfg.Sealed)
-	r.engine = core.NewEngine(cfg.ID, cfg.Core, cfg.Factory, r.snode, r.anode, r.anode.SendWireless)
+	r.engine = core.NewEngine(cfg.ID, cfg.Core, cfg.Factory, r.snode, r.anode, r.anode.SendWirelessEnc)
+	r.engine.SetAuditCache(cfg.AuditCache)
 	r.engine.Instrument(cfg.Trace, cfg.Metrics)
 	return r
 }
@@ -239,8 +251,8 @@ func (r *Robot) Tick(now wire.Tick) {
 		// timestamps, round scheduling, checkpoints, and token
 		// requests all agree even when that clock is skewed.
 		lnow := r.pclock()
-		if fwd, ok := r.snode.PollSensors(r.reading(lnow)); ok {
-			r.engine.OnSensorReading(fwd)
+		if fwd, enc, ok := r.snode.PollSensorsEnc(r.reading(lnow)); ok {
+			r.engine.OnSensorReadingEnc(fwd, enc)
 		}
 		r.engine.Tick(lnow)
 		return

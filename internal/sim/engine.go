@@ -3,7 +3,9 @@ package sim
 import (
 	"sort"
 
+	"roborebound/internal/obs"
 	"roborebound/internal/radio"
+	"roborebound/internal/runner"
 	"roborebound/internal/wire"
 )
 
@@ -19,6 +21,19 @@ type Actor interface {
 	Deliver(f wire.Frame)
 	// Tick advances the actor to local time now.
 	Tick(now wire.Tick)
+}
+
+// SerialTicker marks an actor whose Tick reads or writes state shared
+// with other actors (the attack package's colluders exchange
+// intelligence through a shared blackboard, for example). The sharded
+// tick phase skips such actors in its parallel span and ticks them in
+// a serial post-pass, in ID order. Actors without the marker must keep
+// Tick's cross-actor effects confined to Medium.Send and the tracer —
+// both of which the sharded loop stages and merges back into serial
+// order — and reads confined to their own state.
+type SerialTicker interface {
+	// NeedsSerialTick reports whether this actor must tick serially.
+	NeedsSerialTick() bool
 }
 
 // Engine owns the tick loop. Per tick, in fixed order:
@@ -42,6 +57,10 @@ type Engine struct {
 	now    wire.Tick //rebound:clock engine
 
 	observers []func(now wire.Tick)
+
+	// Sharded tick phase (SetTickShards): 0 or 1 keeps the serial loop.
+	tickShards int
+	capture    *obs.ShardCapture
 }
 
 // NewEngine wires a world and a medium together.
@@ -82,6 +101,27 @@ func (e *Engine) Now() wire.Tick { return e.now }
 // IDs returns all actor IDs in ascending order (do not mutate).
 func (e *Engine) IDs() []wire.RobotID { return e.ids }
 
+// SetTickShards splits the tick phase across n goroutines (0 or 1
+// restores the serial loop). capture must be the ShardCapture fronting
+// every tracer the actors and the medium emit into during Tick — nil
+// only when tracing is disabled — so parked events can be merged back
+// into serial order.
+//
+// Only the actor-Tick phase is sharded. Delivery, physics, and
+// observers stay serial: delivery fans one shared queue into actors,
+// and physics integrates the shared world. Actor ticks are
+// shard-independent by construction — each actor mutates only its own
+// robot (trusted nodes, engine, log, body.Acc), and its only
+// cross-actor effects go through Medium.Send (staged, merged in ID
+// order) and the tracer (captured, merged in ID order). Actors that
+// break this contract declare themselves via SerialTicker and run in
+// an ID-ordered serial post-pass. The swarm differential tests pin
+// sharded ≡ serial byte-for-byte: fingerprints, traces, and metrics.
+func (e *Engine) SetTickShards(n int, capture *obs.ShardCapture) {
+	e.tickShards = n
+	e.capture = capture
+}
+
 // StepOnce advances the simulation by one tick.
 func (e *Engine) StepOnce() {
 	for _, d := range e.Medium.Deliver(e.ids) {
@@ -89,14 +129,69 @@ func (e *Engine) StepOnce() {
 			a.Deliver(d.Frame)
 		}
 	}
-	for _, a := range e.actors {
-		a.Tick(e.now)
+	if n := e.shardCount(); n > 1 {
+		e.tickSharded(n)
+	} else {
+		for _, a := range e.actors {
+			a.Tick(e.now)
+		}
 	}
 	e.World.Step(e.now)
 	for _, f := range e.observers {
 		f(e.now)
 	}
 	e.now++
+}
+
+// shardCount clamps the configured shard count to the actor count.
+func (e *Engine) shardCount() int {
+	n := e.tickShards
+	if n > len(e.actors) {
+		n = len(e.actors)
+	}
+	return n
+}
+
+// tickSharded runs one tick phase across n goroutines; see
+// SetTickShards for the determinism argument.
+func (e *Engine) tickSharded(n int) {
+	e.Medium.BeginStaged(e.ids)
+	if e.capture != nil {
+		e.capture.Begin(int(e.ids[len(e.ids)-1]))
+	}
+	now := e.now
+	actors := e.actors
+	serial := false
+	for _, a := range actors {
+		if st, ok := a.(SerialTicker); ok && st.NeedsSerialTick() {
+			serial = true
+			break
+		}
+	}
+	runner.All(n, n, func(s int) struct{} {
+		lo, hi := len(actors)*s/n, len(actors)*(s+1)/n
+		for _, a := range actors[lo:hi] {
+			if st, ok := a.(SerialTicker); ok && st.NeedsSerialTick() {
+				continue
+			}
+			a.Tick(now)
+		}
+		return struct{}{}
+	})
+	if serial {
+		// ID-ordered post-pass for shared-state actors. Their sends and
+		// trace events still stage like everyone else's, so the final
+		// merge order is the same as a fully serial tick.
+		for _, a := range actors {
+			if st, ok := a.(SerialTicker); ok && st.NeedsSerialTick() {
+				a.Tick(now)
+			}
+		}
+	}
+	if e.capture != nil {
+		e.capture.Flush()
+	}
+	e.Medium.FlushStaged()
 }
 
 // Run advances the simulation for the given number of ticks.

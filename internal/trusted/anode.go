@@ -59,15 +59,18 @@ type ANode struct {
 	onSafeMode func()
 
 	toNIC      func(wire.Frame)
-	toCNode    func(wire.Frame)
+	toCNode    func(wire.Frame, []byte)
 	toActuator func(wire.ActuatorCmd)
 }
 
 // NewANode constructs an a-node. The three forwarding hooks model the
 // wiring of Fig. 3 (c-node ↔ radio, c-node ↔ motors); nil hooks drop.
-// onSafeMode is the kill-switch callback; it fires at most once.
+// The c-node hook also receives the received frame's encoding as the
+// chain committed it (nil for unchained audit frames) — see
+// RecvWireless. onSafeMode is the kill-switch callback; it fires at
+// most once.
 func NewANode(cfg ANodeConfig, clock Clock,
-	toNIC, toCNode func(wire.Frame), toActuator func(wire.ActuatorCmd),
+	toNIC func(wire.Frame), toCNode func(wire.Frame, []byte), toActuator func(wire.ActuatorCmd),
 	onSafeMode func()) *ANode {
 	if cfg.BatchSize == 0 {
 		cfg.BatchSize = DefaultBatchSize
@@ -154,7 +157,9 @@ func (a *ANode) CheckTokens() {
 
 // RecvWireless is triggered on packet reception (Algorithm 4): forward
 // to the c-node, and commit the frame to the chain unless it carries
-// the audit type bit.
+// the audit type bit. The c-node hook receives the exact frame
+// encoding the chain witnessed (nil for audit frames, which are never
+// chained) so it can log those bytes without re-encoding.
 func (a *ANode) RecvWireless(f wire.Frame) {
 	if !a.HasKey() {
 		return
@@ -162,11 +167,15 @@ func (a *ANode) RecvWireless(f wire.Frame) {
 	if !f.IsAudit() && len(f.Payload) > wire.MaxLoggedPayload {
 		return // unloggable frame: refuse to deliver rather than skip the chain
 	}
-	if a.toCNode != nil {
-		a.toCNode(f)
-	}
+	var enc []byte
 	if !f.IsAudit() {
-		a.appendToChain(wire.EntryRecv, f.Encode())
+		enc = f.Encode()
+	}
+	if a.toCNode != nil {
+		a.toCNode(f, enc)
+	}
+	if enc != nil {
+		a.appendToChain(wire.EntryRecv, enc)
 	}
 }
 
@@ -174,33 +183,52 @@ func (a *ANode) RecvWireless(f wire.Frame) {
 // committing it to the chain unless audit-flagged. Returns whether the
 // frame was forwarded.
 func (a *ANode) SendWireless(f wire.Frame) bool {
+	_, ok := a.SendWirelessEnc(f)
+	return ok
+}
+
+// SendWirelessEnc is SendWireless returning, additionally, the frame
+// encoding the a-node committed to its chain (nil for audit frames,
+// which are never chained). The c-node must log exactly the bytes the
+// chain witnessed, so handing them out avoids a second encode there.
+func (a *ANode) SendWirelessEnc(f wire.Frame) ([]byte, bool) {
 	if !a.HasKey() {
-		return false
+		return nil, false
 	}
 	if !f.IsAudit() && len(f.Payload) > wire.MaxLoggedPayload {
-		return false
+		return nil, false
 	}
 	if a.toNIC != nil {
 		a.toNIC(f)
 	}
-	if !f.IsAudit() {
-		a.appendToChain(wire.EntrySend, f.Encode())
+	if f.IsAudit() {
+		return nil, true
 	}
-	return true
+	enc := f.Encode()
+	a.appendToChain(wire.EntrySend, enc)
+	return enc, true
 }
 
 // ActuatorCmd forwards an actuator command and commits it to the
 // chain. Returns whether the command reached the motors — false once
 // in Safe Mode or before the mission key is installed.
 func (a *ANode) ActuatorCmd(cmd wire.ActuatorCmd) bool {
+	_, ok := a.ActuatorCmdEnc(cmd)
+	return ok
+}
+
+// ActuatorCmdEnc is ActuatorCmd returning the command encoding the
+// chain witnessed, for the c-node's log (see SendWirelessEnc).
+func (a *ANode) ActuatorCmdEnc(cmd wire.ActuatorCmd) ([]byte, bool) {
 	if !a.HasKey() {
-		return false
+		return nil, false
 	}
 	if a.toActuator != nil {
 		a.toActuator(cmd)
 	}
-	a.appendToChain(wire.EntryActuator, cmd.Encode())
-	return true
+	enc := cmd.Encode()
+	a.appendToChain(wire.EntryActuator, enc)
+	return enc, true
 }
 
 func treqMACInput(t wire.Tick, auditee, auditor wire.RobotID) []byte {
@@ -302,12 +330,26 @@ func (a *ANode) VerifyToken(tok wire.Token) bool {
 }
 
 // InstallToken validates and records a token (Algorithm 4):
-// tkMap[auditor] ← t. Returns whether the token was installed.
+// tkMap[auditor] ← max(tkMap[auditor], t). Returns whether the token
+// was installed (a stale duplicate still reports true — it is a valid
+// token — it just cannot regress freshness).
+//
+// The max is load-bearing for BTI: tokens are replayable by design
+// (they carry no nonce), so the network — or a griefing peer — can
+// re-deliver an auditor's *older* token after a newer one is already
+// installed. Freshness lives inside the TCB precisely so that the
+// untrusted c-node's round bookkeeping doesn't have to be right; a
+// blind overwrite would let a replayed stale token age out
+// tkMap[auditor] early and push a perfectly correct robot into Safe
+// Mode (a false positive, violating §3.10's "correct robots are never
+// disabled"). Timestamps only move forward.
 func (a *ANode) InstallToken(tok wire.Token) bool {
 	if !a.IsTokenValid(tok) {
 		return false
 	}
-	a.tkMap[tok.Auditor] = tok.T
+	if old, ok := a.tkMap[tok.Auditor]; !ok || tok.T > old {
+		a.tkMap[tok.Auditor] = tok.T
+	}
 	return true
 }
 

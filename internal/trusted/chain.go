@@ -1,6 +1,10 @@
 package trusted
 
-import "roborebound/internal/cryptolite"
+import (
+	"encoding/binary"
+
+	"roborebound/internal/cryptolite"
+)
 
 // DefaultBatchSize is the number of chain entries hashed per link
 // (§3.8: batching amortizes hashing cost on small MCUs; §5.1
@@ -13,15 +17,45 @@ const DefaultBatchSize = 10
 // segment (§3.7: "it can update the hash chains whenever the s-node or
 // a-node would have done so") — exporting the same code is how we
 // guarantee the replica never diverges from the node.
+//
+// Two implementations coexist behind one type:
+//
+//   - The streaming chain (default) feeds each entry straight into a
+//     running hasher at Append time — no per-entry copy, no batch
+//     buffer — and snapshots the digest at each flush boundary. Append
+//     is allocation-free (pinned by TestChainAppendDoesNotAllocate).
+//   - The buffered chain (§3.8 as literally written) copies entries
+//     into a [][]byte batch and hashes the whole batch at flush via
+//     cryptolite.ChainExtend on the from-scratch SHA1Hasher.
+//
+// Both produce the same hash input stream — top ‖ (len ‖ entry)… per
+// batch — so tops are byte-identical at every flush boundary; the
+// property test in chain_test.go and the swarm differential tests at
+// the repository root hold them together. The buffered form survives
+// as the reference implementation and as the pre-optimization side of
+// the protocol-plane benchmarks.
 type Chain struct {
 	top       cryptolite.ChainHash
-	buf       [][]byte
 	batchSize int
+
+	// Streaming state: the running hasher holds top ‖ entries-so-far
+	// whenever pending > 0.
+	h       cryptolite.SHA1Stream
+	pending int
+	// scratch backs the per-entry length prefix and header writes.
+	// Stack arrays would escape through the hash.Hash interface call
+	// and heap-allocate on every append; a field on the (already
+	// heap-resident) chain does not.
+	scratch [6]byte
+
+	// Buffered reference state.
+	buffered bool
+	buf      [][]byte
 }
 
-// NewChain returns a chain starting at h₀ = 0 with the given batch
-// size. A batchSize of 1 disables batching (the ablation benches sweep
-// this).
+// NewChain returns a streaming chain starting at h₀ = 0 with the given
+// batch size. A batchSize of 1 disables batching (the ablation benches
+// sweep this).
 func NewChain(batchSize int) *Chain {
 	if batchSize < 1 {
 		batchSize = 1
@@ -29,23 +63,108 @@ func NewChain(batchSize int) *Chain {
 	return &Chain{batchSize: batchSize}
 }
 
-// NewChainAt returns a chain replica positioned at an arbitrary top
-// value with an empty buffer — the auditor's starting point, since
-// authenticators are only ever produced at flush boundaries.
+// NewBufferedChain returns the §3.8 reference implementation: entries
+// are buffered and hashed batch-at-a-time with the from-scratch
+// hasher. Reference/benchmark runs only; byte-identical to NewChain.
+func NewBufferedChain(batchSize int) *Chain {
+	c := NewChain(batchSize)
+	c.buffered = true
+	return c
+}
+
+// NewChainAt returns a streaming chain replica positioned at an
+// arbitrary top value with an empty buffer — the auditor's starting
+// point, since authenticators are only ever produced at flush
+// boundaries.
 func NewChainAt(top cryptolite.ChainHash, batchSize int) *Chain {
 	c := NewChain(batchSize)
 	c.top = top
 	return c
 }
 
-// Append adds one entry; when the buffer reaches the batch size it is
-// flushed into the chain.
+// NewBufferedChainAt is NewChainAt for the buffered reference
+// implementation.
+func NewBufferedChainAt(top cryptolite.ChainHash, batchSize int) *Chain {
+	c := NewChainAt(top, batchSize)
+	c.buffered = true
+	return c
+}
+
+// Fresh returns an empty chain at h₀ with the same batch size and
+// implementation, for power-cycle modeling (RAM state is lost, the
+// hardware is not swapped out).
+func (c *Chain) Fresh() *Chain {
+	if c.buffered {
+		return NewBufferedChain(c.batchSize)
+	}
+	return NewChain(c.batchSize)
+}
+
+// Buffered reports which implementation this chain runs.
+func (c *Chain) Buffered() bool { return c.buffered }
+
+// Append adds one entry; when the pending count reaches the batch size
+// the chain advances. The streaming path hashes the entry immediately
+// and retains nothing, so callers may reuse their buffers either way.
 func (c *Chain) Append(entry []byte) {
-	// The entry is retained until the flush; copy so that callers may
-	// reuse their buffers.
-	c.buf = append(c.buf, append([]byte(nil), entry...))
-	if len(c.buf) >= c.batchSize {
-		c.flush()
+	if c.buffered {
+		c.buf = append(c.buf, append([]byte(nil), entry...))
+		if len(c.buf) >= c.batchSize {
+			c.flushBuffered()
+		}
+		return
+	}
+	c.beginEntry(len(entry))
+	c.h.Write(entry)
+	c.endEntry()
+}
+
+// AppendEntry appends the log entry (kind, payload) without
+// materializing its wire encoding: the 2-byte entry header and the
+// payload bytes are streamed into the hash separately. The hashed
+// bytes are exactly wire.LogEntry{kind, payload}.Encode() —
+// TestChainAppendEntryMatchesEncode pins this — so nodes can commit an
+// entry and hand the (separately produced) encoding to the c-node
+// without an extra encode on the trusted side.
+func (c *Chain) AppendEntry(kind uint8, payload []byte) {
+	if len(payload) > 255 {
+		panic("trusted: log entry payload exceeds 255 bytes")
+	}
+	if c.buffered {
+		enc := make([]byte, 2+len(payload))
+		enc[0] = kind
+		enc[1] = uint8(len(payload))
+		copy(enc[2:], payload)
+		c.buf = append(c.buf, enc)
+		if len(c.buf) >= c.batchSize {
+			c.flushBuffered()
+		}
+		return
+	}
+	c.beginEntry(2 + len(payload))
+	c.scratch[4], c.scratch[5] = kind, uint8(len(payload))
+	c.h.Write(c.scratch[4:6])
+	c.h.Write(payload)
+	c.endEntry()
+}
+
+// beginEntry restarts the hasher at the current top when this is the
+// batch's first entry, then writes the entry's length prefix (entry
+// boundaries must be unambiguous inside the hash input — see
+// cryptolite.ChainExtend).
+func (c *Chain) beginEntry(size int) {
+	if c.pending == 0 {
+		c.h.Reset()
+		c.h.Write(c.top[:])
+	}
+	binary.BigEndian.PutUint32(c.scratch[0:4], uint32(size))
+	c.h.Write(c.scratch[0:4])
+}
+
+func (c *Chain) endEntry() {
+	c.pending++
+	if c.pending >= c.batchSize {
+		c.flushStream()
 	}
 }
 
@@ -53,8 +172,12 @@ func (c *Chain) Append(entry []byte) {
 // top. Called by MAKEAUTHENTICATOR so the authenticator always covers
 // everything appended so far.
 func (c *Chain) Flush() cryptolite.ChainHash {
-	if len(c.buf) > 0 {
-		c.flush()
+	if c.buffered {
+		if len(c.buf) > 0 {
+			c.flushBuffered()
+		}
+	} else if c.pending > 0 {
+		c.flushStream()
 	}
 	return c.top
 }
@@ -64,9 +187,19 @@ func (c *Chain) Flush() cryptolite.ChainHash {
 func (c *Chain) Top() cryptolite.ChainHash { return c.top }
 
 // Pending returns the number of buffered (unflushed) entries.
-func (c *Chain) Pending() int { return len(c.buf) }
+func (c *Chain) Pending() int {
+	if c.buffered {
+		return len(c.buf)
+	}
+	return c.pending
+}
 
-func (c *Chain) flush() {
+func (c *Chain) flushStream() {
+	c.top = c.h.Sum()
+	c.pending = 0
+}
+
+func (c *Chain) flushBuffered() {
 	c.top = cryptolite.ChainExtend(c.top, c.buf)
 	c.buf = c.buf[:0]
 }

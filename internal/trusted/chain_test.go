@@ -1,0 +1,65 @@
+package trusted
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestChainAppendDoesNotAllocate pins the tentpole's allocation
+// contract: the streaming chain hashes entries in place — no buffered
+// copy of the payload, no per-append heap work — on both Append and
+// AppendEntry, including the flush at each batch boundary.
+func TestChainAppendDoesNotAllocate(t *testing.T) {
+	c := NewChain(4)
+	entry := make([]byte, 32)
+	payload := make([]byte, 64)
+	allocs := testing.AllocsPerRun(500, func() {
+		c.Append(entry)
+		c.AppendEntry(3, payload)
+	})
+	if allocs != 0 {
+		t.Errorf("streaming append allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// TestChainStreamingMatchesBuffered is the chain differential: across
+// batch sizes, entry mixes, and interleaved flushes, the streaming
+// chain's top must equal the buffered reference chain's at every
+// observation point. (The buffered chain is the PR's reference plane;
+// byte-identical tops are what let the planes share wire artifacts.)
+func TestChainStreamingMatchesBuffered(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, batch := range []int{1, 2, 3, 7, 16} {
+		fast := NewChain(batch)
+		ref := NewBufferedChain(batch)
+		for step := 0; step < 300; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				b := make([]byte, rng.Intn(80))
+				rng.Read(b)
+				fast.Append(b)
+				ref.Append(b)
+			case 1:
+				kind := uint8(rng.Intn(7) + 1)
+				b := make([]byte, rng.Intn(120))
+				rng.Read(b)
+				fast.AppendEntry(kind, b)
+				ref.AppendEntry(kind, b)
+			case 2:
+				if fast.Flush() != ref.Flush() {
+					t.Fatalf("batch=%d step=%d: flush tops diverge", batch, step)
+				}
+			case 3:
+				if fast.Pending() != ref.Pending() {
+					t.Fatalf("batch=%d step=%d: pending counts diverge", batch, step)
+				}
+			}
+			if fast.Top() != ref.Top() {
+				t.Fatalf("batch=%d step=%d: tops diverge", batch, step)
+			}
+		}
+		if fast.Flush() != ref.Flush() {
+			t.Fatalf("batch=%d: final tops diverge", batch)
+		}
+	}
+}

@@ -71,10 +71,25 @@ func (n *nodeBase) HasKey() bool { return n.mac != nil }
 // powerCycle models removing and restoring power: RAM state (mission
 // key, chain buffer and top) is lost; flash state (master key, robot
 // ID, key sequence) persists — which is exactly what makes replaying a
-// previous mission's sealed key useless (§3.3).
+// previous mission's sealed key useless (§3.3). The chain restarts at
+// h₀ but keeps its implementation: cycling power does not swap the
+// hardware out.
 func (n *nodeBase) powerCycle() {
 	n.mac = nil
-	n.chain = NewChain(n.chain.batchSize)
+	n.chain = n.chain.Fresh()
+}
+
+// UseBufferedChain switches this node's chain to the buffered §3.8
+// reference implementation. It must be called before anything is
+// committed (the two implementations only agree from a common flush
+// boundary); reference/benchmark runs flip it right after
+// construction. Byte-identical to the default streaming chain — the
+// swarm differential tests at the repository root enforce that.
+func (n *nodeBase) UseBufferedChain() {
+	if n.chain.Pending() != 0 || n.chain.Top() != cryptolite.ZeroChain {
+		panic("trusted: UseBufferedChain after entries were committed")
+	}
+	n.chain = NewBufferedChain(n.chain.batchSize)
 }
 
 // ID returns the robot ID burned at provisioning time.
@@ -84,11 +99,13 @@ func (n *nodeBase) ID() wire.RobotID { return n.robID }
 // early ("key ← 0" in CHECKTOKENS).
 func (n *nodeBase) zeroKey() { n.mac = nil }
 
+// appendToChain commits one log entry. The chain streams the header
+// and payload directly into its hasher, so committing never encodes
+// or copies the entry; callers that also need the wire encoding (to
+// hand the identical bytes to the c-node) produce it themselves.
 func (n *nodeBase) appendToChain(kind uint8, payload []byte) {
-	e := wire.LogEntry{Kind: kind, Payload: payload}
-	enc := e.Encode()
-	n.hashedBytes += uint64(len(enc))
-	n.chain.Append(enc)
+	n.hashedBytes += uint64(2 + len(payload)) // header ‖ payload, see wire.LogEntry
+	n.chain.AppendEntry(kind, payload)
 }
 
 func authMACInput(kind uint8, t wire.Tick, top cryptolite.ChainHash, id wire.RobotID) []byte {

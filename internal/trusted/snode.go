@@ -22,11 +22,22 @@ func NewSNode(batchSize int, clock Clock) *SNode {
 // forwarding to the c-node. ok is false when no mission key is
 // installed yet (the reading is then withheld, as in Algorithm 3).
 func (s *SNode) PollSensors(reading wire.SensorReading) (wire.SensorReading, bool) {
+	fwd, _, ok := s.PollSensorsEnc(reading)
+	return fwd, ok
+}
+
+// PollSensorsEnc is PollSensors returning, additionally, the payload
+// encoding the s-node committed to its chain. The c-node must log the
+// exact bytes the chain witnessed or its audits fail; handing the
+// encoding out means it is produced once per reading instead of once
+// here and once in the engine.
+func (s *SNode) PollSensorsEnc(reading wire.SensorReading) (wire.SensorReading, []byte, bool) {
 	if !s.HasKey() {
-		return wire.SensorReading{}, false
+		return wire.SensorReading{}, nil, false
 	}
-	s.appendToChain(wire.EntrySensor, reading.Encode())
-	return reading, true
+	enc := reading.Encode()
+	s.appendToChain(wire.EntrySensor, enc)
+	return reading, enc, true
 }
 
 // PowerCycle models a power cycle (see nodeBase.powerCycle).

@@ -1,0 +1,99 @@
+package trusted
+
+import (
+	"testing"
+
+	"roborebound/internal/cryptolite"
+	"roborebound/internal/wire"
+)
+
+// TestInstallTokenReplayCannotDowngrade is the regression test for the
+// token-downgrade bug: InstallToken used to blindly overwrite the
+// per-auditor timestamp, so an attacker replaying a captured *older*
+// token from the same auditor (its MAC verifies forever) would roll
+// the auditee's freshness horizon backwards and shave real mission
+// time off T_val — pushing a correct robot toward Safe Mode. The fix
+// keeps the maximum timestamp per auditor; this test fails against the
+// blind-overwrite code.
+func TestInstallTokenReplayCannotDowngrade(t *testing.T) {
+	now := wire.Tick(0)
+	_, auditee := provisioned(t, 2, &now)
+	_, auditor := provisioned(t, 1, &now)
+	var h cryptolite.ChainHash
+
+	now = 4
+	reqOld, ok := auditee.MakeTokenRequest(1)
+	if !ok {
+		t.Fatal("token request refused")
+	}
+	tokOld, ok := auditor.IssueToken(reqOld, h)
+	if !ok {
+		t.Fatal("old token refused")
+	}
+
+	now = 20
+	reqNew, _ := auditee.MakeTokenRequest(1)
+	tokNew, ok := auditor.IssueToken(reqNew, h)
+	if !ok {
+		t.Fatal("new token refused")
+	}
+
+	if !auditee.InstallToken(tokNew) {
+		t.Fatal("fresh token rejected")
+	}
+	// The replayed token is genuine, so installation succeeds — it
+	// just must not move the freshness horizon backwards.
+	if !auditee.InstallToken(tokOld) {
+		t.Fatal("replayed genuine token rejected outright")
+	}
+
+	tval := auditee.cfg.TVal
+	// Past the old token's expiry, inside the new one's window: the
+	// auditor slot must still count as fresh.
+	now = tokOld.T + tval
+	if got := auditee.ValidTokenCount(); got != 1 {
+		t.Fatalf("replayed stale token downgraded freshness: ValidTokenCount = %d, want 1", got)
+	}
+	// Sanity: the slot expires when the *new* token does.
+	now = tokNew.T + tval
+	if got := auditee.ValidTokenCount(); got != 0 {
+		t.Fatalf("token outlived its window: ValidTokenCount = %d, want 0", got)
+	}
+}
+
+// TestTokenFreshnessExactBoundary pins the T_val edge everywhere the
+// a-node evaluates it: a token stamped t is fresh while now < t+TVal
+// and expired at exactly now == t+TVal — the strict inequality is what
+// makes T_val a hard bound on interaction time (§3.5).
+func TestTokenFreshnessExactBoundary(t *testing.T) {
+	now := wire.Tick(0)
+	clock := func() wire.Tick { return now }
+	cfg := DefaultANodeConfig(4)
+	cfg.Fmax = 0 // one fresh token keeps the robot alive
+	a := NewANode(cfg, clock, nil, nil, nil, nil)
+	a.LoadMasterKey(testMaster, 2)
+	if !a.LoadMissionKey(testSealed(1)) {
+		t.Fatal("mission key rejected")
+	}
+	a.graceUntil = 0 // boundary under test, not the boot grace window
+	const stamped = wire.Tick(100)
+	a.tkMap[9] = stamped
+
+	now = stamped + cfg.TVal - 1
+	if got := a.ValidTokenCount(); got != 1 {
+		t.Fatalf("token expired one tick early: count = %d", got)
+	}
+	a.CheckTokens()
+	if a.InSafeMode() {
+		t.Fatal("safe mode one tick before the token window closed")
+	}
+
+	now = stamped + cfg.TVal
+	if got := a.ValidTokenCount(); got != 0 {
+		t.Fatalf("token fresh at exactly t+TVal: count = %d", got)
+	}
+	a.CheckTokens()
+	if !a.InSafeMode() {
+		t.Fatal("safe mode did not trigger at exactly t+TVal")
+	}
+}

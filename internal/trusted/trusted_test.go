@@ -213,7 +213,7 @@ func TestOversizedNonAuditFrameRefused(t *testing.T) {
 		t.Error("unloggable frame forwarded")
 	}
 	delivered := false
-	a.toCNode = func(wire.Frame) { delivered = true }
+	a.toCNode = func(wire.Frame, []byte) { delivered = true }
 	a.RecvWireless(big)
 	if delivered {
 		t.Error("unloggable frame delivered to c-node")

@@ -91,13 +91,23 @@ func EncodeLogEntries(entries []LogEntry) []byte {
 	for i := range entries {
 		n += entries[i].EncodedSize()
 	}
-	w := NewWriter(n)
+	out := make([]byte, 0, n)
 	for i := range entries {
-		w.U8(entries[i].Kind)
-		w.U8(uint8(len(entries[i].Payload)))
-		w.Raw(entries[i].Payload)
+		out = AppendLogEntry(out, &entries[i])
 	}
-	return w.Bytes()
+	return out
+}
+
+// AppendLogEntry appends e's encoding to dst and returns the extended
+// slice (append-style, so callers accumulating many entries — the
+// audit log keeps its segment pre-encoded — pay no intermediate
+// allocation). Panics on oversized payloads exactly like Encode.
+func AppendLogEntry(dst []byte, e *LogEntry) []byte {
+	if len(e.Payload) > MaxLoggedPayload {
+		panic("wire: log entry payload exceeds 255 bytes")
+	}
+	dst = append(dst, e.Kind, uint8(len(e.Payload)))
+	return append(dst, e.Payload...)
 }
 
 // SensorReading is the payload of an EntrySensor entry: the robot's

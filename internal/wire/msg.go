@@ -361,6 +361,81 @@ func (a *AuditRequest) Encode() []byte {
 	return w.Bytes()
 }
 
+// auditRequestHeadSize is the per-auditor prefix of an encoded audit
+// request: kind, auditee, auditor, and the token-request body.
+const auditRequestHeadSize = 1 + 2 + 2 + (TokenRequestMsgSize - 1)
+
+// EncodeTail serializes the round-invariant tail of the request —
+// everything from the FromBoot flag on. An auditee asks f_max+1
+// auditors about the same checkpoint each round; only the head (kind,
+// IDs, the per-auditor token request) differs between those requests,
+// while the tail — dominated by the log segment — is identical. The
+// engine encodes the tail once per round and stitches each request
+// with EncodeWithTail, instead of re-serializing the segment per
+// auditor. Encode() == EncodeWithTail(EncodeTail()) by construction;
+// TestAuditRequestTailSplit pins it.
+func (a *AuditRequest) EncodeTail() []byte {
+	w := NewWriter(16 + len(a.StartCheckpoint) + len(a.EndCheckpoint) +
+		len(a.Segment) + len(a.StartTokens)*TokenSize)
+	if a.FromBoot {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+	w.Blob(a.StartCheckpoint)
+	w.U8(uint8(len(a.StartTokens)))
+	for i := range a.StartTokens {
+		a.StartTokens[i].encodeTo(w)
+	}
+	w.Blob(a.EndCheckpoint)
+	w.Blob(a.Segment)
+	return w.Bytes()
+}
+
+// EncodeWithTail serializes the request given its precomputed tail,
+// which must equal EncodeTail() for the same FromBoot/checkpoint/
+// token/segment fields.
+func (a *AuditRequest) EncodeWithTail(tail []byte) []byte {
+	w := NewWriter(auditRequestHeadSize + len(tail))
+	w.U8(KindAuditRequest)
+	w.U16(uint16(a.Auditee))
+	w.U16(uint16(a.Auditor))
+	a.Req.encodeTo(w)
+	w.Raw(tail)
+	return w.Bytes()
+}
+
+// AuditRequestHead is the per-auditor prefix of an audit request: the
+// only fields that differ between the f_max+1 copies of one round's
+// fan-out. SplitAuditRequest decodes it without parsing the tail.
+type AuditRequestHead struct {
+	Auditee RobotID
+	Auditor RobotID
+	Req     TokenRequest
+}
+
+// SplitAuditRequest decodes only the head of an encoded audit request
+// and returns the round-invariant tail bytes unparsed — the exact
+// bytes EncodeTail produced on the sender. Callers that key on request
+// content (the audit cache) hash the raw tail instead of re-framing
+// decoded fields, and defer the full DecodeAuditRequest until they
+// actually need them. SplitAuditRequest(a.Encode()) returns
+// a.EncodeTail() byte-for-byte; TestAuditRequestTailSplit pins it.
+func SplitAuditRequest(b []byte) (AuditRequestHead, []byte, error) {
+	r := NewReader(b)
+	if k := r.U8(); r.Err() == nil && k != KindAuditRequest {
+		return AuditRequestHead{}, nil, ErrBadKind
+	}
+	var h AuditRequestHead
+	h.Auditee = RobotID(r.U16())
+	h.Auditor = RobotID(r.U16())
+	h.Req = decodeTokenRequestBody(r)
+	if err := r.Err(); err != nil {
+		return AuditRequestHead{}, nil, fmt.Errorf("audit request head: %w", err)
+	}
+	return h, b[auditRequestHeadSize:], nil
+}
+
 // DecodeAuditRequest parses an encoded audit request.
 func DecodeAuditRequest(b []byte) (AuditRequest, error) {
 	r := NewReader(b)

@@ -77,6 +77,21 @@ type SimConfig struct {
 	// which the differential tests at the repository root enforce.
 	// Explicit World/Radio overrides may also set their own flags.
 	SpatialIndex bool
+	// TickShards splits each tick's actor phase across this many
+	// goroutines (0 or 1 = serial). Like SpatialIndex it is purely an
+	// accelerator: radio sends are staged and merged in sender-ID order
+	// and trace events are captured and merged likewise, so a sharded
+	// run is byte-identical to a serial one (fingerprints, traces, and
+	// metrics — the swarm differential tests enforce it).
+	TickShards int
+	// ReferencePlane runs the protocol on the straight-from-the-paper
+	// reference implementations: buffered hash chains, per-round
+	// segment re-encodes, per-auditor request encodes, and no audit
+	// verdict cache (see core.Config.Reference). The default fast plane
+	// is byte-identical and much faster at swarm scale; the reference
+	// plane exists as the oracle the differential tests and bench gate
+	// compare against.
+	ReferencePlane bool
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -103,6 +118,14 @@ func (c SimConfig) withDefaults() SimConfig {
 		c.World.SpatialIndex = true
 		c.Radio.SpatialIndex = true
 	}
+	if c.ReferencePlane && !c.Core.Reference {
+		// Copy before setting the flag: callers share *Core across the
+		// cells of a differential pair, and the fast cell must not
+		// inherit the reference plane.
+		cc := *c.Core
+		cc.Reference = true
+		c.Core = &cc
+	}
 	return c
 }
 
@@ -116,11 +139,21 @@ type Sim struct {
 	robots      map[wire.RobotID]*robot.Robot
 	compromised map[wire.RobotID]*attack.Compromised
 	sealed      trusted.SealedMissionKey
+	acache      *core.AuditCache
 }
 
 // NewSim builds an empty simulation; add robots, then Run.
 func NewSim(cfg SimConfig) *Sim {
 	cfg = cfg.withDefaults()
+	// Sharded ticks emit trace events from multiple goroutines, so the
+	// sink is fronted by a ShardCapture that parks per-robot and merges
+	// in serial order. The wrapped tracer replaces cfg.Trace for every
+	// downstream emitter (medium, robots, engines).
+	var capture *obs.ShardCapture
+	if cfg.TickShards > 1 && cfg.Trace != nil {
+		capture = obs.NewShardCapture(cfg.Trace)
+		cfg.Trace = capture
+	}
 	world := sim.NewWorld(*cfg.World)
 	medium := radio.NewMedium(*cfg.Radio, world.Position, cfg.Seed^0x5eed)
 	var mission [trusted.MissionKeySize]byte
@@ -134,6 +167,10 @@ func NewSim(cfg SimConfig) *Sim {
 		compromised: make(map[wire.RobotID]*attack.Compromised),
 		sealed:      trusted.SealMissionKey(cfg.Master, mission, cfg.Seed|1, 1),
 	}
+	if !cfg.ReferencePlane {
+		s.acache = core.NewAuditCache(0)
+	}
+	s.Engine.SetTickShards(cfg.TickShards, capture)
 	if cfg.Trace != nil || cfg.Metrics != nil {
 		medium.SetObs(cfg.Trace, cfg.Metrics)
 	}
@@ -165,14 +202,15 @@ func (s *Sim) Seconds(t wire.Tick) float64 {
 func (s *Sim) newRobot(id wire.RobotID, pos geom.Vec2, factory control.Factory, protected bool) *robot.Robot {
 	body := s.World.AddBody(id, pos)
 	rcfg := robot.Config{
-		ID:        id,
-		Protected: protected,
-		Core:      *s.Cfg.Core,
-		Factory:   factory,
-		Master:    s.Cfg.Master,
-		Sealed:    s.sealed,
-		Trace:     s.Cfg.Trace,
-		Metrics:   s.Cfg.Metrics,
+		ID:         id,
+		Protected:  protected,
+		Core:       *s.Cfg.Core,
+		Factory:    factory,
+		Master:     s.Cfg.Master,
+		Sealed:     s.sealed,
+		Trace:      s.Cfg.Trace,
+		Metrics:    s.Cfg.Metrics,
+		AuditCache: s.acache,
 	}
 	if s.Cfg.Faults != nil {
 		rcfg.TrustedClock = s.Cfg.Faults.Clock(id, s.Engine.Now)

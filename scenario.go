@@ -110,6 +110,12 @@ type FlockScenario struct {
 	// acceleration for radio delivery and collision detection, with
 	// byte-identical results either way.
 	SpatialIndex bool
+	// TickShards threads through to SimConfig.TickShards: intra-tick
+	// parallelism, byte-identical to serial.
+	TickShards int
+	// ReferencePlane threads through to SimConfig.ReferencePlane: run
+	// the protocol on the buffered/no-cache reference implementations.
+	ReferencePlane bool
 	// Tune, if non-nil, adjusts the flocking parameters after the
 	// defaults are applied (used by ablations).
 	Tune func(*flocking.Params)
@@ -149,6 +155,8 @@ func (fs FlockScenario) Build() *Sim {
 		Trace:          fs.Trace,
 		Metrics:        fs.Metrics,
 		SpatialIndex:   fs.SpatialIndex,
+		TickShards:     fs.TickShards,
+		ReferencePlane: fs.ReferencePlane,
 	})
 
 	params := flocking.DefaultParams(tps, fs.Spacing, fs.Goal)
