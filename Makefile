@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race ci bench bench-all bench-scale bench-swarm bench-gate fmt-check cover chaos-smoke scale-smoke swarm-smoke fuzz-smoke
+.PHONY: all build vet lint test race ci bench bench-all bench-scale bench-swarm bench-gate fmt-check cover chaos-smoke scale-smoke swarm-smoke snapshot-smoke fuzz-smoke
 
 all: ci
 
@@ -125,6 +125,19 @@ scale-smoke:
 swarm-smoke:
 	$(GO) run ./cmd/roborebound -quick -progress=false swarm
 
+# The snapshot/resume differential smoke: capture a 300-robot chaos
+# cell at its midpoint under the spatial index, then resume it on the
+# plain pipeline with -verify, which re-runs the cell uninterrupted
+# and exits nonzero unless fingerprints and metrics are
+# byte-identical. One command covers the envelope codecs, the config
+# echo, and cross-accelerator resume at production scale.
+snapshot-smoke:
+	$(GO) run ./cmd/roborebound -progress=false -spatial \
+	  -controller flocking -profile mixed -n 300 -duration 20 \
+	  -o snapshot-cell.rbsn snapshot
+	$(GO) run ./cmd/roborebound -progress=false \
+	  -from snapshot-cell.rbsn -verify resume
+
 # Short fuzz pass over each fuzz target (seed corpora always run as
 # part of `make test`; this explores beyond them).
 fuzz-smoke:
@@ -133,3 +146,4 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzFragmentRoundTrip -fuzztime=20s ./internal/radio
 	$(GO) test -run=NONE -fuzz=FuzzReassembler -fuzztime=20s ./internal/radio
 	$(GO) test -run=NONE -fuzz=FuzzDecodeCheckpoint -fuzztime=20s ./internal/auditlog
+	$(GO) test -run=NONE -fuzz=FuzzSnapshotDecode -fuzztime=20s ./internal/snapshot

@@ -90,6 +90,25 @@ type ChaosConfig struct {
 	// ReferencePlane runs the cell on the reference protocol plane
 	// (see SimConfig.ReferencePlane) — the differential oracle.
 	ReferencePlane bool
+	// SnapshotAtTicks captures a full-state snapshot at each listed
+	// tick boundary (state as of BEFORE that tick runs; the run's
+	// final tick count is a legal boundary too). Results land in
+	// ChaosResult.Snapshots. Capturing is observation only: a run with
+	// snapshots enabled is byte-identical to one without.
+	SnapshotAtTicks []wire.Tick
+	// SnapshotEvery additionally captures every N ticks (N, 2N, ...,
+	// offset from the resume point when resuming). 0 disables.
+	SnapshotEvery wire.Tick
+	// ResumeFrom, when non-nil, resumes the run from these snapshot
+	// bytes instead of tick 0. The config must match the snapshot's
+	// origin cell (accelerator toggles and observability excepted);
+	// mismatches land in ChaosResult.ResumeError.
+	ResumeFrom []byte
+	// ViolationRewind keeps a small ring of periodic snapshots (every
+	// N ticks) and, when the checker latches a violation, freezes it so
+	// ChaosResult.PreViolation holds a snapshot from ~N ticks before
+	// the breach — a resumable forensic starting point. 0 disables.
+	ViolationRewind wire.Tick
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -189,6 +208,20 @@ type ChaosResult struct {
 	// MetricsSnapshot is the cell's final registry snapshot (sorted by
 	// name): per-robot protocol counters and radio byte accounting.
 	MetricsSnapshot []obs.Sample
+	// Snapshots holds the captures requested via SnapshotAtTicks /
+	// SnapshotEvery, in capture order.
+	Snapshots []ChaosSnapshot
+	// PreViolation is the frozen rewind-ring snapshot (see
+	// ChaosConfig.ViolationRewind); nil when no violation latched or
+	// rewinding was off.
+	PreViolation *ChaosSnapshot
+	// ResumeError reports a failed ResumeFrom (corrupt bytes, config
+	// mismatch). The run did not execute; every other result field is
+	// meaningless.
+	ResumeError error
+	// SnapshotError reports the first failed capture, if any. The run
+	// itself completed normally.
+	SnapshotError error
 }
 
 // buildChaosSim constructs the cell's simulation with the schedule's
@@ -382,13 +415,15 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 		checker.Check(now, snaps)
 	})
 
-	s.RunSeconds(cfg.DurationSec)
-
 	res := ChaosResult{
-		Config:    cfg,
-		Schedule:  sched.Strings(),
-		Violation: checker.Violation(),
+		Config:   cfg,
+		Schedule: sched.Strings(),
 	}
+	runChaosTicks(s, cfg, checker, total, &res)
+	if res.ResumeError != nil {
+		return res
+	}
+	res.Violation = checker.Violation()
 	m := &res.Metrics
 	m.Robots = cfg.N
 	m.Attackers = len(attackerIDs)

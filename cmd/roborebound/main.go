@@ -5,7 +5,8 @@
 //
 //	roborebound <subcommand> [-quick] [-seed N] [-parallel N]
 //
-// Subcommands: fig2 fig5 fig6 fig7 fig8 fig9 table1 table2 chaos trace all
+// Subcommands: fig2 fig5 fig6 fig7 fig8 fig9 table1 table2 chaos trace
+// scale swarm snapshot resume all
 package main
 
 import (
@@ -97,6 +98,9 @@ func main() {
 		"trace":  traceCmd,
 		"scale":  scaleCmd,
 		"swarm":  swarmCmd,
+
+		"snapshot": snapshotCmd,
+		"resume":   resumeCmd,
 	}
 	stopProfiles, err := startProfiles()
 	if err != nil {
@@ -119,7 +123,7 @@ func main() {
 	}
 	f()
 	stopProfiles()
-	if chaosFailed {
+	if chaosFailed || snapshotFailed {
 		os.Exit(1)
 	}
 }
@@ -147,6 +151,12 @@ subcommands:
   trace    run one scenario fully instrumented and export its protocol
            event log / Perfetto trace / metrics (see -events, -perfetto,
            -metrics); scenarios: flocking (default), patrol, warehouse
+  snapshot run one chaos cell (-controller/-profile/-seed/-duration) and
+           write its full run state at tick -at (default: midpoint) to -o;
+           the file embeds the cell config, so it is self-contained
+  resume   rebuild the cell from -from and run it to completion; with
+           -verify, also re-run it uninterrupted and exit nonzero unless
+           fingerprints and metrics are byte-identical
   all      every figure and table above
 
 flags:`)

@@ -1,6 +1,8 @@
 package cryptolite
 
 import (
+	"errors"
+
 	//rebound:tcb-exempt keyless stdlib digest backing the streaming chain; bit-equality with the from-scratch SHA1Hasher is pinned by TestSHA1StreamMatchesReference
 	"crypto/sha1"
 	//rebound:tcb-exempt interface type of the stdlib digest above; no key material
@@ -43,6 +45,40 @@ func (s *SHA1Stream) Write(p []byte) {
 		s.h = sha1.New()
 	}
 	s.h.Write(p)
+}
+
+// MarshalState serializes the running digest — Merkle–Damgård chaining
+// values plus the unprocessed block tail — so a snapshot can capture a
+// hash chain mid-batch and the restored stream absorbs the remaining
+// entries into the identical digest. The bytes are the stdlib digest's
+// own binary marshaling (stable: it is part of Go's encoding
+// compatibility surface) and are treated as opaque by callers.
+func (s *SHA1Stream) MarshalState() ([]byte, error) {
+	if s.h == nil {
+		s.h = sha1.New()
+	}
+	m, ok := s.h.(interface{ MarshalBinary() ([]byte, error) })
+	if !ok {
+		return nil, errors.New("cryptolite: sha1 digest does not support state marshaling")
+	}
+	return m.MarshalBinary()
+}
+
+// UnmarshalState restores a digest previously captured by
+// MarshalState. Malformed bytes error; the stream is left reset.
+func (s *SHA1Stream) UnmarshalState(b []byte) error {
+	if s.h == nil {
+		s.h = sha1.New()
+	}
+	u, ok := s.h.(interface{ UnmarshalBinary([]byte) error })
+	if !ok {
+		return errors.New("cryptolite: sha1 digest does not support state unmarshaling")
+	}
+	if err := u.UnmarshalBinary(b); err != nil {
+		s.h.Reset()
+		return err
+	}
+	return nil
 }
 
 // Sum returns the digest of everything written since the last Reset.

@@ -58,3 +58,48 @@ func TestSHA1StreamReuse(t *testing.T) {
 		t.Fatal("Reset did not restore the initial state")
 	}
 }
+
+// TestSHA1StreamStateRoundTrip pins the snapshot contract: a stream
+// captured mid-message and restored into a fresh stream must absorb
+// the remaining bytes into the identical digest — including splits
+// that leave a partial block buffered in the digest.
+func TestSHA1StreamStateRoundTrip(t *testing.T) {
+	msg := make([]byte, 300)
+	for i := range msg {
+		msg[i] = byte(i * 7)
+	}
+	for split := 0; split <= len(msg); split += 13 {
+		var a SHA1Stream
+		a.Reset()
+		a.Write(msg[:split])
+		st, err := a.MarshalState()
+		if err != nil {
+			t.Fatalf("split %d: MarshalState: %v", split, err)
+		}
+		var b SHA1Stream
+		if err := b.UnmarshalState(st); err != nil {
+			t.Fatalf("split %d: UnmarshalState: %v", split, err)
+		}
+		a.Write(msg[split:])
+		b.Write(msg[split:])
+		if a.Sum() != b.Sum() {
+			t.Fatalf("split %d: restored stream diverged", split)
+		}
+		var ref SHA1Stream
+		ref.Reset()
+		ref.Write(msg)
+		if b.Sum() != ref.Sum() {
+			t.Fatalf("split %d: restored stream diverged from one-shot reference", split)
+		}
+	}
+}
+
+// Malformed state bytes must error, never panic.
+func TestSHA1StreamUnmarshalStateRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {}, {1, 2, 3}, make([]byte, 200)} {
+		var s SHA1Stream
+		if err := s.UnmarshalState(b); err == nil {
+			t.Fatalf("UnmarshalState(%d bytes) accepted garbage", len(b))
+		}
+	}
+}

@@ -52,6 +52,17 @@ func (c *Counter) Value() uint64 {
 	return c.v
 }
 
+// Store overwrites the count. It exists solely for snapshot restore —
+// counters are owned by the components that increment them, and on
+// resume each owner re-loads its tallies so the registry's next
+// Snapshot matches the uninterrupted run's byte-for-byte. No-op on
+// nil, like every other mutator.
+func (c *Counter) Store(v uint64) {
+	if c != nil {
+		c.v = v
+	}
+}
+
 // Gauge is a last-write-wins value. Nil-safe like Counter.
 type Gauge struct{ v float64 }
 
@@ -105,6 +116,36 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return h.sum
+}
+
+// State returns the bucket tallies (a copy), total count, and sum for
+// snapshotting. Bounds are not part of the state: they are fixed at
+// registration and restored structurally by rebuilding the run.
+func (h *Histogram) State() (counts []uint64, count uint64, sum float64) {
+	if h == nil {
+		return nil, 0, 0
+	}
+	counts = make([]uint64, len(h.counts))
+	copy(counts, h.counts)
+	return counts, h.count, h.sum
+}
+
+// SetState overwrites the tallies with ones previously obtained from
+// State. The bucket count must match the histogram's registered
+// bounds; a mismatch means the snapshot came from a differently
+// configured run and is rejected. No-op (nil error) on a nil
+// histogram so disabled-metrics restores stay guard-free.
+func (h *Histogram) SetState(counts []uint64, count uint64, sum float64) error {
+	if h == nil {
+		return nil
+	}
+	if len(counts) != len(h.counts) {
+		return fmt.Errorf("obs: histogram state has %d buckets, registered histogram has %d", len(counts), len(h.counts))
+	}
+	copy(h.counts, counts)
+	h.count = count
+	h.sum = sum
+	return nil
 }
 
 // Counter returns (registering if needed) the named counter. On a nil

@@ -9,7 +9,10 @@
 // compatibility promise, so the generator is implemented from scratch.
 package prng
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // Source is a deterministic xoshiro256** generator. The zero value is
 // not usable; construct with New.
@@ -32,6 +35,27 @@ func New(seed uint64) *Source {
 	}
 	return &src
 }
+
+// State returns the generator's internal xoshiro256** state. Together
+// with SetState it lets a snapshot capture a stream mid-flight and a
+// restored source emit the identical remaining draws; the layout is
+// pinned by the golden round-trip vectors in golden_test.go.
+func (s *Source) State() [4]uint64 { return s.s }
+
+// SetState overwrites the internal state with one previously obtained
+// from State. An all-zero state is rejected (xoshiro256** is stuck at
+// zero forever): callers restoring from untrusted bytes get an error
+// instead of a silently dead stream.
+func (s *Source) SetState(st [4]uint64) error {
+	if st[0]|st[1]|st[2]|st[3] == 0 {
+		return errZeroState
+	}
+	s.s = st
+	return nil
+}
+
+// errZeroState is a fixed error value so SetState stays allocation-free.
+var errZeroState = errors.New("prng: all-zero state is not a valid xoshiro256** state")
 
 // Fork returns a new, statistically independent Source derived from
 // this one. Used to give each robot its own stream so that adding or

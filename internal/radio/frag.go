@@ -116,7 +116,11 @@ func (r *Reassembler) Add(from wire.RobotID, f wire.Frame, now wire.Tick) (wire.
 	}
 	buf.lastSeen = now
 	if buf.chunks[idx] == nil {
-		buf.chunks[idx] = append([]byte(nil), chunk...)
+		// Copy into a non-nil slice even when the chunk is empty (a
+		// malformed zero-payload fragment): nil strictly means "slot not
+		// received", both for the duplicate check above and for the
+		// snapshot codec's presence bits.
+		buf.chunks[idx] = append([]byte{}, chunk...)
 		buf.received++
 	}
 	if buf.received < buf.total {

@@ -1,0 +1,204 @@
+package snapshot
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"roborebound/internal/attack"
+	"roborebound/internal/core"
+	"roborebound/internal/faultinject"
+	"roborebound/internal/prng"
+	"roborebound/internal/radio"
+	"roborebound/internal/robot"
+	"roborebound/internal/sim"
+	"roborebound/internal/trusted"
+)
+
+// TestSnapshotFieldExhaustiveness is the codec's change detector:
+// every struct type reachable (through fields, pointers, slices, and
+// maps) from the snapshotted roots has its exact field list pinned
+// here. Adding a field to any of them fails this test until the
+// change is triaged — either the snapshot codec learns to carry it,
+// or it is re-confirmed as rebuild/scratch state — and the list below
+// is updated. State reachable by ticks but silently missed by a codec
+// must be a test failure, not a flaky resume.
+//
+// The walk sees unexported fields via reflection, so nothing needs
+// exporting; interfaces and funcs are natural stop points (they are
+// wiring, rebuilt on restore, never serialized).
+
+// guardLeafPkgs are packages whose types the walk does not descend
+// into: their state either has its own codec with its own tests
+// (control, cryptolite, obs), is pure immutable data (wire, geom), or
+// is per-round scratch (spatial).
+var guardLeafPkgs = map[string]bool{
+	"roborebound/internal/wire":         true,
+	"roborebound/internal/geom":         true,
+	"roborebound/internal/geom/spatial": true,
+	"roborebound/internal/obs":          true,
+	"roborebound/internal/control":      true,
+	"roborebound/internal/cryptolite":   true,
+	"roborebound/internal/flocking":     true,
+	"roborebound/internal/runner":       true,
+}
+
+// guardLeafTypes are configuration/provisioning types inside walked
+// packages: immutable after construction, re-derived by the rebuild,
+// never serialized. A field added to one of these cannot change a
+// run's tick-to-tick evolution after build time.
+var guardLeafTypes = map[string]bool{
+	"sim.WorldConfig":          true,
+	"radio.Params":             true,
+	"core.Config":              true,
+	"robot.Config":             true,
+	"trusted.ANodeConfig":      true,
+	"trusted.SealedMissionKey": true,
+	"faultinject.Schedule":     true,
+}
+
+// guardKnownFields pins the field list of every dynamic-state struct
+// the codecs were written against (serialized fields and
+// rebuild/scratch fields alike — the codec comments say which is
+// which).
+var guardKnownFields = map[string][]string{
+	"sim.Engine": {"World", "Medium", "actors", "ids", "byID", "now", "observers", "tickShards", "capture"},
+	"sim.World": {"cfg", "bodies", "index", "crashes", "grid", "queryBuf", "pairBuf",
+		"sphereObs", "otherObs", "sphereGrid", "sphereMaxR", "sphereIndexed"},
+	"sim.Body":       {"ID", "Pos", "Vel", "Acc", "Disabled", "Crashed"},
+	"sim.CrashEvent": {"Time", "A", "B"},
+
+	"radio.Medium": {"params", "pos", "rng", "queue", "seq", "counters", "senders", "staged",
+		"stagedIDs", "loss", "filter", "delay", "reassemblers", "deliverTick", "trace", "metrics",
+		"grid", "gridBuf", "sortedBuf", "ctrBuf", "outBuf", "resultBuf", "countBuf"},
+	"radio.queuedFrame":  {"frame", "from", "seq", "size", "readyAt"},
+	"radio.senderState":  {"nextMsgID", "outbox"},
+	"radio.ByteCounters": {"TxApp", "TxAudit", "RxApp", "RxAudit", "TxFrames", "RxFrames", "Dropped"},
+	"radio.Reassembler":  {"Timeout", "bufs"},
+	"radio.fragKey":      {"from", "msgID"},
+	"radio.fragBuf":      {"total", "received", "chunks", "lastSeen"},
+	"radio.Delivery":     {"To", "Frame", "seq", "rank"},
+
+	"trusted.SNode":    {"nodeBase"},
+	"trusted.ANode":    {"nodeBase", "cfg", "tkMap", "bktLvl", "lastBktUpdate", "safeMode", "graceUntil", "onSafeMode", "toNIC", "toCNode", "toActuator"},
+	"trusted.nodeBase": {"kind", "robID", "master", "keySeq", "clock", "mac", "chain", "macOps", "hashedBytes"},
+	"trusted.Chain":    {"top", "batchSize", "h", "pending", "scratch", "buffered", "buf"},
+
+	"core.Engine": {"id", "cfg", "factory", "ctrl", "snode", "anode", "log", "send", "heard",
+		"now", "round", "rounds", "served", "acache", "stats", "trace", "roundLatency"},
+	"core.auditRound": {"hash", "startAt", "covered", "fromBoot", "encStart", "startTok",
+		"encEnd", "segment", "reqTail", "tokens", "asked", "lastAsk"},
+	"core.statsCounters": {"roundsStarted", "roundsCovered", "roundsAbandoned", "auditsRequested",
+		"auditsServed", "auditsRefused", "tokensInstalled", "tokensRejected"},
+	"core.AuditCache":   {"cap", "m", "fifo", "next", "hits", "misses"},
+	"core.AuditVerdict": {"OK", "HCkpt"},
+
+	"auditlog.Log":               {"fromBoot", "start", "entries", "pending", "encoded", "offsets", "entryBytes", "truncations"},
+	"auditlog.CoveredCheckpoint": {"CP", "Tokens"},
+	"auditlog.pendingCheckpoint": {"cp", "hash", "index"},
+	"auditlog.Checkpoint":        {"Time", "AuthS", "AuthA", "State"},
+
+	"robot.Robot": {"id", "cfg", "body", "medium", "clock", "snode", "anode", "engine",
+		"pclock", "ctrl", "safeModeAt", "inSafeMode", "trace", "validTokens"},
+
+	"attack.Compromised": {"Robot", "CompromiseAt", "Strat", "KeepProtocol", "active",
+		"firstMisbehavior", "misbehaved", "captured"},
+
+	"faultinject.Checker":   {"TVal", "TAudit", "Schedule", "Flight", "Trace", "violation", "prev", "lastCov", "lastAdv"},
+	"faultinject.Violation": {"Invariant", "Tick", "Robot", "Detail", "ActiveFaults", "Events"},
+
+	"prng.Source": {"s"},
+}
+
+const guardPkgPrefix = "roborebound/internal/"
+
+func guardTypeKey(t reflect.Type) string {
+	return strings.TrimPrefix(t.PkgPath(), guardPkgPrefix) + "." + t.Name()
+}
+
+func TestSnapshotFieldExhaustiveness(t *testing.T) {
+	roots := []reflect.Type{
+		reflect.TypeOf(sim.Engine{}),
+		reflect.TypeOf(sim.World{}),
+		reflect.TypeOf(radio.Medium{}),
+		reflect.TypeOf(robot.Robot{}),
+		reflect.TypeOf(attack.Compromised{}),
+		reflect.TypeOf(core.AuditCache{}),
+		reflect.TypeOf(trusted.ANode{}),
+		reflect.TypeOf(trusted.SNode{}),
+		reflect.TypeOf(faultinject.Checker{}),
+		reflect.TypeOf(prng.Source{}),
+	}
+	seen := make(map[reflect.Type]bool)
+	var walk func(reflect.Type)
+	walk = func(ty reflect.Type) {
+		switch ty.Kind() {
+		case reflect.Pointer, reflect.Slice, reflect.Array:
+			walk(ty.Elem())
+			return
+		case reflect.Map:
+			walk(ty.Key())
+			walk(ty.Elem())
+			return
+		case reflect.Struct:
+		default:
+			return // scalars, interfaces, funcs, chans: stop
+		}
+		if seen[ty] {
+			return
+		}
+		seen[ty] = true
+		if !strings.HasPrefix(ty.PkgPath(), guardPkgPrefix) {
+			if ty.PkgPath() != "" && !strings.HasPrefix(ty.PkgPath(), "crypto") && ty.PkgPath() != "hash" {
+				t.Errorf("walk reached type %s.%s outside the module; extend the guard's leaf rules", ty.PkgPath(), ty.Name())
+			}
+			return
+		}
+		if guardLeafPkgs[ty.PkgPath()] {
+			return
+		}
+		key := guardTypeKey(ty)
+		if guardLeafTypes[key] {
+			return
+		}
+		if ty.Name() == "" {
+			t.Errorf("walk reached an anonymous struct in %s; name it and pin its fields", ty.PkgPath())
+			return
+		}
+		want, ok := guardKnownFields[key]
+		if !ok {
+			t.Errorf("type %s holds run state but has no pinned field list; add it to guardKnownFields and make sure the snapshot codec accounts for every field", key)
+			return
+		}
+		var got []string
+		for i := 0; i < ty.NumField(); i++ {
+			got = append(got, ty.Field(i).Name)
+			walk(ty.Field(i).Type)
+		}
+		ws, gs := append([]string(nil), want...), append([]string(nil), got...)
+		sort.Strings(ws)
+		sort.Strings(gs)
+		if !reflect.DeepEqual(ws, gs) {
+			t.Errorf("field list of %s changed:\n  have %v\n  pinned %v\nupdate the snapshot codec for %s (or re-confirm the new field is rebuild/scratch state) and then update guardKnownFields", key, got, want, key)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+
+	// Every pinned type must also be reachable — a stale entry means
+	// the walk (and hence the codecs' coverage reasoning) moved on.
+	for key := range guardKnownFields {
+		found := false
+		for ty := range seen {
+			if ty.Kind() == reflect.Struct && strings.HasPrefix(ty.PkgPath(), guardPkgPrefix) && guardTypeKey(ty) == key {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("guardKnownFields pins %s but the walk never reached it; remove the stale entry or fix the walk roots", key)
+		}
+	}
+}

@@ -1,0 +1,427 @@
+package roborebound
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"roborebound/internal/faultinject"
+	"roborebound/internal/obs"
+	"roborebound/internal/wire"
+)
+
+// This file is the resume-equivalence differential layer: for a matrix
+// of chaos cells it proves, byte for byte, that (a) capturing a
+// snapshot is pure observation — a run with captures enabled is
+// indistinguishable from one without — and (b) snapshot-at-T-then-
+// resume reproduces the uninterrupted run exactly: same fingerprint,
+// same final metrics snapshot, same violation, and an identical NDJSON
+// event stream from the snapshot tick onward. The comparison runs the
+// full facade (RunChaos), so every layer's codec — world, medium,
+// trusted nodes, protocol engine, checker, PRNG streams — is on the
+// hook at once.
+
+// ndjsonEvents canonically serializes an event slice; byte equality of
+// the output is the trace-equivalence oracle.
+func ndjsonEvents(t *testing.T, events []obs.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := obs.WriteNDJSON(&buf, events); err != nil {
+		t.Fatalf("ndjson: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// eventsAtOrAfter drops events stamped before the snapshot boundary.
+// A resumed run replays ticks T.. only, so its stream is compared
+// against the uninterrupted run's tail; build-time events (stamped
+// before T on both sides) are excluded symmetrically.
+func eventsAtOrAfter(events []obs.Event, from wire.Tick) []obs.Event {
+	var out []obs.Event
+	for _, e := range events {
+		if e.Tick >= from {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// sameViolationCore compares violations without the flight-recorder
+// dump: the recorder ring is bounded, so a resumed run that latches
+// shortly after its resume point can hold less history than the
+// uninterrupted run's ring, while the violation itself (what, when,
+// who) must still match exactly.
+func sameViolationCore(t *testing.T, label string, want, got *faultinject.Violation) {
+	t.Helper()
+	if (want == nil) != (got == nil) {
+		t.Fatalf("%s: violation presence differs: %v vs %v", label, want, got)
+	}
+	if want == nil {
+		return
+	}
+	if want.Invariant != got.Invariant || want.Tick != got.Tick ||
+		want.Robot != got.Robot || want.Detail != got.Detail ||
+		!reflect.DeepEqual(want.ActiveFaults, got.ActiveFaults) {
+		t.Errorf("%s: violation differs:\n  want %v\n  got  %v", label, want, got)
+	}
+}
+
+// checkSnapshotCell is the three-run protocol for one cell:
+//
+//	U — uninterrupted, collecting the full event stream (the oracle);
+//	S — identical cell with SnapshotAtTicks set, proving capture is
+//	    inert and harvesting the snapshots;
+//	R — one resumed run per snapshot, each re-capturing its own resume
+//	    point (double-encode stability) and then running to the end.
+func checkSnapshotCell(t *testing.T, cfg ChaosConfig, snapTicks []wire.Tick) {
+	t.Helper()
+	label := cfg.Label()
+
+	colU := obs.NewCollector()
+	cfgU := cfg
+	cfgU.Trace = colU
+	U := RunChaos(cfgU)
+	if U.ResumeError != nil || U.SnapshotError != nil {
+		t.Fatalf("%s: baseline run failed: %v %v", label, U.ResumeError, U.SnapshotError)
+	}
+
+	colS := obs.NewCollector()
+	cfgS := cfg
+	cfgS.Trace = colS
+	cfgS.SnapshotAtTicks = snapTicks
+	S := RunChaos(cfgS)
+	if S.SnapshotError != nil {
+		t.Fatalf("%s: capture failed: %v", label, S.SnapshotError)
+	}
+	if S.Metrics.Fingerprint != U.Metrics.Fingerprint {
+		t.Fatalf("%s: enabling snapshots changed the run's fingerprint — capture is not observation-only", label)
+	}
+	if !reflect.DeepEqual(S.Metrics, U.Metrics) {
+		t.Errorf("%s: enabling snapshots changed the chaos metrics", label)
+	}
+	if !reflect.DeepEqual(S.MetricsSnapshot, U.MetricsSnapshot) {
+		t.Errorf("%s: enabling snapshots changed the registry snapshot", label)
+	}
+	if !reflect.DeepEqual(S.Violation, U.Violation) {
+		t.Errorf("%s: enabling snapshots changed the violation report", label)
+	}
+	if !bytes.Equal(ndjsonEvents(t, colU.Events()), ndjsonEvents(t, colS.Events())) {
+		t.Errorf("%s: enabling snapshots changed the NDJSON event stream", label)
+	}
+	if len(S.Snapshots) != len(snapTicks) {
+		t.Fatalf("%s: got %d snapshots, want %d", label, len(S.Snapshots), len(snapTicks))
+	}
+
+	for i, snap := range S.Snapshots {
+		if snap.Tick != snapTicks[i] {
+			t.Fatalf("%s: snapshot %d at tick %d, want %d", label, i, snap.Tick, snapTicks[i])
+		}
+		colR := obs.NewCollector()
+		cfgR := cfg
+		cfgR.Trace = colR
+		cfgR.ResumeFrom = snap.Data
+		// Re-capturing at the resume tick must reproduce the snapshot
+		// bytes exactly: restore followed by encode is the identity.
+		cfgR.SnapshotAtTicks = []wire.Tick{snap.Tick}
+		R := RunChaos(cfgR)
+		if R.ResumeError != nil {
+			t.Fatalf("%s: resume from tick %d failed: %v", label, snap.Tick, R.ResumeError)
+		}
+		if R.SnapshotError != nil {
+			t.Fatalf("%s: re-capture at tick %d failed: %v", label, snap.Tick, R.SnapshotError)
+		}
+		if len(R.Snapshots) != 1 || !bytes.Equal(R.Snapshots[0].Data, snap.Data) {
+			t.Errorf("%s: re-capture at resume tick %d is not byte-identical to the original snapshot", label, snap.Tick)
+		}
+		if R.Metrics.Fingerprint != U.Metrics.Fingerprint {
+			t.Errorf("%s: resume from tick %d diverged: fingerprint %s != %s",
+				label, snap.Tick, R.Metrics.Fingerprint, U.Metrics.Fingerprint)
+		}
+		if !reflect.DeepEqual(R.Metrics, U.Metrics) {
+			t.Errorf("%s: resume from tick %d: chaos metrics differ:\n  want %+v\n  got  %+v",
+				label, snap.Tick, U.Metrics, R.Metrics)
+		}
+		if !reflect.DeepEqual(R.MetricsSnapshot, U.MetricsSnapshot) {
+			t.Errorf("%s: resume from tick %d: registry snapshot differs", label, snap.Tick)
+		}
+		sameViolationCore(t, label, U.Violation, R.Violation)
+		wantTail := ndjsonEvents(t, eventsAtOrAfter(colU.Events(), snap.Tick))
+		gotTail := ndjsonEvents(t, eventsAtOrAfter(colR.Events(), snap.Tick))
+		if !bytes.Equal(wantTail, gotTail) {
+			t.Errorf("%s: resume from tick %d: NDJSON event stream from the snapshot tick onward differs (%d vs %d bytes)",
+				label, snap.Tick, len(wantTail), len(gotTail))
+		}
+	}
+}
+
+// TestSnapshotResumeDifferential is the headline matrix: three
+// controllers crossed with fault profiles and seeds, two snapshot
+// ticks per cell (one before the tick-80 attack, one at it).
+func TestSnapshotResumeDifferential(t *testing.T) {
+	cells := []struct {
+		ctrl    string
+		profile faultinject.Profile
+		seed    uint64
+	}{
+		{"flocking", faultinject.ProfileMixed, 1},
+		{"flocking", faultinject.ProfileNone, 2},
+		{"patrol", faultinject.ProfilePartition, 3},
+		{"patrol", faultinject.ProfileLoss, 4},
+		{"warehouse", faultinject.ProfileGrief, 5},
+		{"warehouse", faultinject.ProfileCrash, 6},
+	}
+	for _, c := range cells {
+		c := c
+		t.Run(c.ctrl+"/"+string(c.profile), func(t *testing.T) {
+			t.Parallel()
+			cfg := ChaosConfig{
+				Controller:  c.ctrl,
+				Profile:     c.profile,
+				Seed:        c.seed,
+				DurationSec: 30, // 120 ticks: covers the tick-80 attack
+			}
+			checkSnapshotCell(t, cfg, []wire.Tick{40, 80})
+		})
+	}
+}
+
+// TestSnapshotResumeProtocolPlanes runs the resume-equivalence
+// protocol on the other two protocol planes: the reference oracle and
+// the fast plane with tick sharding. The config echo pins the plane
+// (reference and fast protocol state have different shapes), so each
+// plane resumes onto itself.
+func TestSnapshotResumeProtocolPlanes(t *testing.T) {
+	t.Run("reference", func(t *testing.T) {
+		t.Parallel()
+		cfg := ChaosConfig{
+			Controller:     "flocking",
+			Profile:        faultinject.ProfileMixed,
+			Seed:           7,
+			DurationSec:    30,
+			ReferencePlane: true,
+		}
+		checkSnapshotCell(t, cfg, []wire.Tick{40, 80})
+	})
+	t.Run("fast-sharded", func(t *testing.T) {
+		t.Parallel()
+		cfg := ChaosConfig{
+			Controller:  "flocking",
+			Profile:     faultinject.ProfileMixed,
+			Seed:        7,
+			DurationSec: 30,
+			TickShards:  4,
+		}
+		checkSnapshotCell(t, cfg, []wire.Tick{40, 80})
+	})
+	t.Run("fragmented", func(t *testing.T) {
+		t.Parallel()
+		// A small MTU keeps fragment reassembly buffers live at almost
+		// every boundary, exercising the sparse-buffer codec path.
+		cfg := ChaosConfig{
+			Controller:  "patrol",
+			Profile:     faultinject.ProfileLoss,
+			Seed:        9,
+			DurationSec: 30,
+			MTUBytes:    96,
+		}
+		checkSnapshotCell(t, cfg, []wire.Tick{40, 80})
+	})
+}
+
+// TestSnapshotResumeAcrossAccelerators captures under one accelerator
+// configuration and resumes under another. SpatialIndex and TickShards
+// are excluded from the config echo precisely because they are proven
+// byte-invisible — a snapshot is a portable run state, not a record of
+// which pipeline computed it.
+func TestSnapshotResumeAcrossAccelerators(t *testing.T) {
+	cfg := ChaosConfig{
+		Controller:  "flocking",
+		Profile:     faultinject.ProfileMixed,
+		Seed:        11,
+		DurationSec: 30,
+	}
+	base := RunChaos(cfg)
+
+	capCfg := cfg
+	capCfg.SpatialIndex = true
+	capCfg.TickShards = 4
+	capCfg.SnapshotAtTicks = []wire.Tick{60}
+	capped := RunChaos(capCfg)
+	if capped.SnapshotError != nil {
+		t.Fatalf("capture under accelerators failed: %v", capped.SnapshotError)
+	}
+	if capped.Metrics.Fingerprint != base.Metrics.Fingerprint {
+		t.Fatal("accelerated run is not byte-identical to the plain run (pre-existing differential bug)")
+	}
+
+	resCfg := cfg // plain: no spatial index, serial ticks
+	resCfg.ResumeFrom = capped.Snapshots[0].Data
+	resumed := RunChaos(resCfg)
+	if resumed.ResumeError != nil {
+		t.Fatalf("cross-accelerator resume rejected: %v", resumed.ResumeError)
+	}
+	if resumed.Metrics.Fingerprint != base.Metrics.Fingerprint {
+		t.Error("snapshot captured under spatial-index+shards diverged when resumed on the serial pipeline")
+	}
+	if !reflect.DeepEqual(resumed.MetricsSnapshot, base.MetricsSnapshot) {
+		t.Error("cross-accelerator resume: registry snapshot differs")
+	}
+}
+
+// TestSnapshotResumeChaosEdges aims the resume protocol at the
+// boundaries the codecs are most likely to fumble: the first and last
+// tick of a partition window, a sweep across a full audit round in
+// flight, and the ticks hugging a token-validity (TVal = 40 ticks)
+// boundary — one tick before expiry, at it, and after it.
+func TestSnapshotResumeChaosEdges(t *testing.T) {
+	t.Run("partition-boundary", func(t *testing.T) {
+		t.Parallel()
+		cfg := ChaosConfig{
+			Controller:  "flocking",
+			Profile:     faultinject.ProfileNone,
+			Seed:        13,
+			DurationSec: 30,
+			ExtraFaults: []faultinject.Fault{{
+				Kind:     faultinject.Partition,
+				Start:    60,
+				Duration: 20,
+				Targets:  []wire.RobotID{4, 5},
+			}},
+		}
+		// 60 is the partition's first blocked tick, 80 its first healed
+		// one; 79 snapshots with the partition filter still live.
+		checkSnapshotCell(t, cfg, []wire.Tick{60, 79, 80})
+	})
+	t.Run("mid-audit-round", func(t *testing.T) {
+		t.Parallel()
+		cfg := ChaosConfig{
+			Controller:  "flocking",
+			Profile:     faultinject.ProfileNone,
+			Seed:        14,
+			DurationSec: 30,
+		}
+		// TAudit-spaced rounds are always in some phase across six
+		// consecutive boundaries: requests queued, responses in flight,
+		// verdicts pending.
+		checkSnapshotCell(t, cfg, []wire.Tick{70, 71, 72, 73, 74, 75})
+	})
+	t.Run("token-expiry-boundary", func(t *testing.T) {
+		t.Parallel()
+		cfg := ChaosConfig{
+			Controller:  "flocking",
+			Profile:     faultinject.ProfileNone,
+			Seed:        15,
+			DurationSec: 30,
+		}
+		checkSnapshotCell(t, cfg, []wire.Tick{39, 40, 41})
+	})
+}
+
+// TestSnapshotViolationRewind forces a BTI violation (the frozen-clock
+// attacker from the chaos suite) with the rewind ring on, and asserts
+// the frozen pre-violation snapshot is both from before the latch and
+// resumable — and that resuming it walks straight back into the same
+// violation. That is the forensic contract: hand the snapshot to a
+// debugger and the crash is a few ticks away, every time.
+func TestSnapshotViolationRewind(t *testing.T) {
+	attackerID := wire.RobotID(3)
+	cfg := ChaosConfig{
+		Controller: "flocking",
+		Profile:    faultinject.ProfileNone,
+		Seed:       1,
+		ExtraFaults: []faultinject.Fault{{
+			Kind:         faultinject.ClockSkew,
+			Start:        70,
+			Duration:     4000,
+			Targets:      []wire.RobotID{attackerID},
+			DriftPer1024: -1024,
+		}},
+		ViolationRewind: 8,
+	}
+	r := RunChaos(cfg)
+	if r.Violation == nil {
+		t.Fatal("frozen-clock cell produced no violation")
+	}
+	if r.PreViolation == nil {
+		t.Fatal("violation latched but no pre-violation snapshot was frozen")
+	}
+	if r.PreViolation.Tick >= r.Violation.Tick {
+		t.Fatalf("pre-violation snapshot at tick %d is not before the violation at tick %d",
+			r.PreViolation.Tick, r.Violation.Tick)
+	}
+
+	resumed, err := ResumeChaosSnapshot(r.PreViolation.Data, nil)
+	if err != nil {
+		t.Fatalf("pre-violation snapshot did not resume: %v", err)
+	}
+	sameViolationCore(t, "rewind-resume", r.Violation, resumed.Violation)
+	if resumed.Metrics.Fingerprint != r.Metrics.Fingerprint {
+		t.Error("resumed forensic run diverged from the original")
+	}
+
+	// A run with no violation must freeze nothing.
+	clean := RunChaos(ChaosConfig{
+		Controller: "flocking", Profile: faultinject.ProfileNone,
+		Seed: 1, DurationSec: 30, ViolationRewind: 8,
+	})
+	if clean.Violation != nil {
+		t.Fatalf("control cell unexpectedly violated: %v", clean.Violation)
+	}
+	if clean.PreViolation != nil {
+		t.Error("no violation latched but a pre-violation snapshot was reported")
+	}
+}
+
+// TestSnapshotResumeRejectsMismatchedConfig proves a snapshot cannot
+// be resumed under a different cell: the embedded config echo must
+// match byte-for-byte (accelerator toggles excepted — covered above).
+func TestSnapshotResumeRejectsMismatchedConfig(t *testing.T) {
+	cfg := ChaosConfig{
+		Controller:      "patrol",
+		Profile:         faultinject.ProfileLoss,
+		Seed:            21,
+		DurationSec:     30,
+		SnapshotAtTicks: []wire.Tick{40},
+	}
+	r := RunChaos(cfg)
+	if r.SnapshotError != nil || len(r.Snapshots) != 1 {
+		t.Fatalf("capture failed: %v (%d snapshots)", r.SnapshotError, len(r.Snapshots))
+	}
+	snap := r.Snapshots[0].Data
+
+	for _, tc := range []struct {
+		name   string
+		mutate func(*ChaosConfig)
+	}{
+		{"different-seed", func(c *ChaosConfig) { c.Seed = 22 }},
+		{"different-controller", func(c *ChaosConfig) { c.Controller = "flocking" }},
+		{"different-profile", func(c *ChaosConfig) { c.Profile = faultinject.ProfileNone }},
+		{"different-duration", func(c *ChaosConfig) { c.DurationSec = 45 }},
+		{"different-plane", func(c *ChaosConfig) { c.ReferencePlane = true }},
+	} {
+		bad := cfg
+		bad.SnapshotAtTicks = nil
+		bad.ResumeFrom = snap
+		tc.mutate(&bad)
+		res := RunChaos(bad)
+		if res.ResumeError == nil {
+			t.Errorf("%s: mismatched config accepted for resume", tc.name)
+		}
+	}
+
+	// Corrupt bytes are rejected before any run state is touched.
+	mut := append([]byte(nil), snap...)
+	mut[len(mut)/2] ^= 0x01
+	if _, err := ResumeChaosSnapshot(mut, nil); err == nil {
+		t.Error("corrupt snapshot accepted by ResumeChaosSnapshot")
+	}
+
+	// And the happy path round-trips through the embedded echo alone.
+	res, err := ResumeChaosSnapshot(snap, nil)
+	if err != nil {
+		t.Fatalf("ResumeChaosSnapshot: %v", err)
+	}
+	if res.Metrics.Fingerprint != r.Metrics.Fingerprint {
+		t.Error("ResumeChaosSnapshot diverged from the original run")
+	}
+}
