@@ -11,10 +11,13 @@ vet:
 	$(GO) vet ./...
 
 # Static analysis: go vet plus reboundlint, the repository's own
-# analyzer suite (determinism, trustedboundary, clockdomain — see
-# DESIGN.md "Static analysis & determinism contracts"). Fails on any
-# violation; legitimate exceptions carry a justified //rebound:
-# annotation.
+# analyzer suite (determinism, trustedboundary, clockdomain,
+# snapshotstate, shardsafety, hotpath — see DESIGN.md "Static
+# analysis & determinism contracts"). Fails on any violation;
+# legitimate exceptions carry a justified //rebound: annotation, and
+# a hatch that no longer suppresses anything is itself a violation
+# (the annotation audit keeps the exception list honest). Machine
+# consumers: `go run ./cmd/reboundlint -json ./...`.
 lint: vet
 	$(GO) run ./cmd/reboundlint ./...
 

@@ -11,22 +11,45 @@
 //	                 reaches the radio or simulator directly
 //	clockdomain      engine-clock and trusted-clock wire.Tick values
 //	                 never mix (the PR 2 bug class)
+//	snapshotstate    every field reachable from a snapshot codec is
+//	                 serialized or justified //rebound:snapshot-skip,
+//	                 and decoder counts are bounded before allocation
+//	                 (the PR 7 resume-divergence bug class)
+//	shardsafety      the TickShards shard phase has no order-dependent
+//	                 effects: no shared-state writes, channels, or
+//	                 unvetted dynamic calls outside the staged/serial
+//	                 mechanisms
+//	hotpath          //rebound:hotpath call closures stay allocation-
+//	                 free: no composite literals, make, fresh-slice
+//	                 append, interface boxing, closures, or fmt
+//
+// On top of the selected analyzers, every run audits the //rebound:
+// annotations themselves: a suppression hatch that suppresses nothing
+// is reported (stale hatches rot into false confidence), as is any
+// unknown //rebound: directive (typos silently disable suppression).
+// These findings carry the synthetic analyzer name "annotations".
 //
 // Usage:
 //
-//	reboundlint [-run=determinism,trustedboundary,clockdomain] [packages]
+//	reboundlint [-run=determinism,...] [-json] [packages]
 //
 // Packages default to ./... . Exit status: 0 clean, 1 diagnostics
-// reported, 2 analysis failure. Each analyzer documents an annotation
-// escape hatch (//rebound:wallclock, //rebound:nondet,
-// //rebound:tcb-exempt, //rebound:clockmix) that requires a
-// justification; see DESIGN.md "Static analysis & determinism
-// contracts".
+// reported, 2 analysis failure. With -json, each finding is one JSON
+// object per line ({"analyzer","file","line","col","message"});
+// otherwise findings print as "file:line:col: message [analyzer]",
+// which .github/reboundlint-problem-matcher.json turns into GitHub
+// code annotations. Each analyzer documents an annotation escape
+// hatch (//rebound:wallclock, //rebound:nondet, //rebound:tcb-exempt,
+// //rebound:clockmix, //rebound:snapshot-skip, //rebound:bounded,
+// //rebound:shard-ok, //rebound:alloc) that requires a justification;
+// see DESIGN.md "Static analysis & determinism contracts".
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"io"
 	"os"
 	"sort"
@@ -35,7 +58,10 @@ import (
 	"roborebound/internal/analysis"
 	"roborebound/internal/analysis/clockdomain"
 	"roborebound/internal/analysis/determinism"
+	"roborebound/internal/analysis/hotpath"
 	"roborebound/internal/analysis/load"
+	"roborebound/internal/analysis/shardsafety"
+	"roborebound/internal/analysis/snapshotstate"
 	"roborebound/internal/analysis/trustedboundary"
 )
 
@@ -43,7 +69,14 @@ var analyzers = []*analysis.Analyzer{
 	determinism.Analyzer,
 	trustedboundary.Analyzer,
 	clockdomain.Analyzer,
+	snapshotstate.Analyzer,
+	shardsafety.Analyzer,
+	hotpath.Analyzer,
 }
+
+// annotationsName labels the driver's own findings about the
+// //rebound: directives themselves (stale hatches, unknown names).
+const annotationsName = "annotations"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -54,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	runNames := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list available analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as one JSON object per line")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: reboundlint [flags] [packages]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
@@ -89,6 +123,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Hatches owned by a deselected analyzer cannot be judged unused:
+	// the pass that would have consumed them never ran.
+	auditable := make(map[string]bool)
+	for _, a := range selected {
+		for dir, owner := range analysis.SuppressionOwner {
+			if owner == a.Name {
+				auditable[dir] = true
+			}
+		}
+	}
+
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -101,7 +146,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	type finding struct {
 		analyzer string
-		diag     analysis.Diagnostic
+		pos      token.Position
+		message  string
 	}
 	var findings []finding
 	for _, pkg := range res.Targets {
@@ -117,18 +163,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 				ModuleFiles: res.ModuleFiles,
 			}
 			name := a.Name
+			fset := pkg.Fset
 			pass.Report = func(d analysis.Diagnostic) {
-				findings = append(findings, finding{analyzer: name, diag: d})
+				findings = append(findings, finding{analyzer: name, pos: fset.Position(d.Pos), message: d.Message})
 			}
 			if err := a.Run(pass); err != nil {
 				fmt.Fprintf(stderr, "reboundlint: %s on %s: %v\n", a.Name, pkg.ImportPath, err)
 				return 2
 			}
 		}
+		// Audit the annotations themselves after every selected
+		// analyzer had its chance to consume them.
+		for _, d := range ann.Unused(auditable) {
+			findings = append(findings, finding{analyzer: annotationsName, pos: d.Pos,
+				message: fmt.Sprintf("//rebound:%s hatch suppresses nothing (no %s finding fires here): delete the stale hatch",
+					d.Name, analysis.SuppressionOwner[d.Name])})
+		}
+		for _, d := range ann.Unknown() {
+			findings = append(findings, finding{analyzer: annotationsName, pos: d.Pos,
+				message: fmt.Sprintf("unknown directive //rebound:%s: misspelled hatches suppress nothing", d.Name)})
+		}
 	}
 
 	sort.Slice(findings, func(i, j int) bool {
-		pi, pj := res.Fset.Position(findings[i].diag.Pos), res.Fset.Position(findings[j].diag.Pos)
+		pi, pj := findings[i].pos, findings[j].pos
 		if pi.Filename != pj.Filename {
 			return pi.Filename < pj.Filename
 		}
@@ -137,12 +195,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return findings[i].analyzer < findings[j].analyzer
 	})
-	for _, f := range findings {
-		fmt.Fprintf(stdout, "%s: %s [%s]\n", res.Fset.Position(f.diag.Pos), f.diag.Message, f.analyzer)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		for _, f := range findings {
+			if err := enc.Encode(jsonFinding{
+				Analyzer: f.analyzer,
+				File:     f.pos.Filename,
+				Line:     f.pos.Line,
+				Col:      f.pos.Column,
+				Message:  f.message,
+			}); err != nil {
+				fmt.Fprintf(stderr, "reboundlint: %v\n", err)
+				return 2
+			}
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s: %s [%s]\n", f.pos, f.message, f.analyzer)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "reboundlint: %d violation(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the -json line format, consumed by editor tooling and
+// kept intentionally flat.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
 }

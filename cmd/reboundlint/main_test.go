@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,9 +28,10 @@ func repoRoot(t *testing.T) string {
 }
 
 // TestRepoIsClean is the contract the whole PR converges on: the
-// repository itself must pass all three analyzers with exit status 0.
-// Every violation is either fixed or carries a justified //rebound:
-// annotation.
+// repository itself must pass all six analyzers — and the annotation
+// audit — with exit status 0. Every violation is either fixed or
+// carries a justified //rebound: annotation, and every hatch earns
+// its keep.
 func TestRepoIsClean(t *testing.T) {
 	t.Chdir(repoRoot(t))
 	var stdout, stderr bytes.Buffer
@@ -95,10 +97,118 @@ func TestListFlag(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exit = %d, want 0", code)
 	}
-	for _, name := range []string{"determinism", "trustedboundary", "clockdomain"} {
+	for _, name := range []string{"determinism", "trustedboundary", "clockdomain", "snapshotstate", "shardsafety", "hotpath"} {
 		if !strings.Contains(stdout.String(), name+":") {
 			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
 		}
+	}
+}
+
+// TestJSONOutput checks the machine-readable mode: one JSON object
+// per finding, parseable line by line.
+func TestJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module lintfixture\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "main.go"), `package main
+
+import "time"
+
+func main() {
+	_ = time.Now()
+}
+`)
+	t.Chdir(dir)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want 1 JSON finding, got %d:\n%s", len(lines), stdout.String())
+	}
+	var f struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &f); err != nil {
+		t.Fatalf("finding is not valid JSON: %v\n%s", err, lines[0])
+	}
+	if f.Analyzer != "determinism" || f.Line != 6 || !strings.Contains(f.Message, "time.Now") {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+}
+
+// TestUnusedHatchIsAFinding checks the annotation audit: a suppression
+// hatch on a line where its analyzer reports nothing is itself
+// reported — stale hatches rot into false confidence.
+func TestUnusedHatchIsAFinding(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module lintfixture\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "main.go"), `package main
+
+func main() {
+	x := 1
+	//rebound:wallclock left behind after the clock read was removed
+	_ = x
+}
+`)
+	t.Chdir(dir)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "//rebound:wallclock hatch suppresses nothing") {
+		t.Errorf("missing unused-hatch finding:\n%s", out)
+	}
+	if !strings.Contains(out, "[annotations]") {
+		t.Errorf("audit finding not attributed to the annotations pass:\n%s", out)
+	}
+}
+
+// TestUnusedHatchNotReportedWhenOwnerDeselected: with determinism
+// deselected, its hatches cannot be judged — no false unused report.
+func TestUnusedHatchNotReportedWhenOwnerDeselected(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module lintfixture\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "main.go"), `package main
+
+import "time"
+
+func main() {
+	//rebound:wallclock startup banner only, not replayed
+	_ = time.Now()
+}
+`)
+	t.Chdir(dir)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", "clockdomain", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0 (hatch owner deselected)\nstdout:\n%s", code, stdout.String())
+	}
+}
+
+// TestUnknownDirectiveIsAFinding: a typo'd //rebound: directive
+// silently suppresses nothing, which is exactly why it must be loud.
+func TestUnknownDirectiveIsAFinding(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module lintfixture\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "main.go"), `package main
+
+func main() {
+	//rebound:wallclok oops
+	_ = 1
+}
+`)
+	t.Chdir(dir)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "unknown directive //rebound:wallclok") {
+		t.Errorf("missing unknown-directive finding:\n%s", stdout.String())
 	}
 }
 

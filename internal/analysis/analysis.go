@@ -77,8 +77,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 // If the directive is present but carries no justification text, the
 // suppression is rejected AND a diagnostic demanding a justification
 // is emitted — an empty escape hatch is itself a contract violation.
+//
+// Calling Suppressed marks the directive as used, so analyzers must
+// consult it only at sites where a finding would otherwise fire: a
+// hatch that never suppresses anything is reported as stale by the
+// driver's unused-hatch pass.
 func (p *Pass) Suppressed(pos token.Pos, directive string) bool {
-	d, ok := p.Annotations.At(p.Fset.Position(pos), directive)
+	d, ok := p.Annotations.Use(p.Fset.Position(pos), directive)
 	if !ok {
 		return false
 	}

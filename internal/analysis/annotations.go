@@ -43,7 +43,72 @@ const (
 	//	func doc:        //rebound:clock <param>=engine [<param>=trusted ...]
 	//	                 //rebound:clock return=trusted
 	DirClock = "clock"
+	// DirSnapshotSkip declares a struct field exempt from snapshot
+	// codec coverage (rebuild/scratch state): the snapshotstate
+	// analyzer requires every field of a codec struct to be referenced
+	// by the codec pair or carry this directive with a justification.
+	DirSnapshotSkip = "snapshot-skip"
+	// DirBounded silences snapshotstate findings about a decoder count
+	// used as an allocation size without a visible bound against the
+	// remaining payload (for counts bounded by other means).
+	DirBounded = "bounded"
+	// DirShardSafe declares that a function runs (or may run) inside
+	// the TickShards shard phase; the shardsafety analyzer treats it as
+	// a root and analyzes its same-package call closure. It is also the
+	// cross-package contract: a shard body may call into another module
+	// package only if the callee is allowlisted or carries this mark.
+	DirShardSafe = "shard-safe"
+	// DirShardOK silences a shardsafety finding at a site inside the
+	// shard closure that is safe for reasons the analyzer cannot see
+	// (e.g. a dynamic call guarded by the SerialTicker mechanism).
+	DirShardOK = "shard-ok"
+	// DirShared declares that a struct field holds state shared across
+	// actors (a cross-actor pointer): the shardsafety analyzer flags
+	// any use of such a field inside the shard phase.
+	DirShared = "shared"
+	// DirHotpath declares a function part of the allocation-free hot
+	// path: the hotpath analyzer analyzes its same-package call closure
+	// for escaping composite literals, appends on non-reused slices,
+	// interface conversions, closures, and fmt use.
+	DirHotpath = "hotpath"
+	// DirColdpath excludes a function from an enclosing hotpath
+	// closure (first-touch or amortized allocation paths), with a
+	// justification.
+	DirColdpath = "coldpath"
+	// DirAlloc silences a hotpath finding at a single allocation site
+	// that is deliberate (e.g. the reference plane's buffered chain).
+	DirAlloc = "alloc"
 )
+
+// KnownDirectives is the set of every directive name the suite
+// understands; the driver flags any //rebound: comment whose name is
+// not in it (a typo'd directive would otherwise silently suppress
+// nothing).
+var KnownDirectives = map[string]bool{
+	DirWallclock: true, DirNondet: true, DirTCBExempt: true,
+	DirClockMix: true, DirClock: true,
+	DirSnapshotSkip: true, DirBounded: true,
+	DirShardSafe: true, DirShardOK: true, DirShared: true,
+	DirHotpath: true, DirColdpath: true, DirAlloc: true,
+}
+
+// SuppressionOwner maps each suppression (escape-hatch) directive to
+// the analyzer that consumes it. The driver reports a hatch that
+// suppressed zero findings as a finding of its own — but only when the
+// owning analyzer actually ran, so -run=determinism does not condemn
+// every tcb-exempt hatch in sight. Declaration directives (clock,
+// shard-safe, shared, hotpath, coldpath) are not hatches and are
+// absent here.
+var SuppressionOwner = map[string]string{
+	DirWallclock:    "determinism",
+	DirNondet:       "determinism",
+	DirTCBExempt:    "trustedboundary",
+	DirClockMix:     "clockdomain",
+	DirSnapshotSkip: "snapshotstate",
+	DirBounded:      "snapshotstate",
+	DirShardOK:      "shardsafety",
+	DirAlloc:        "hotpath",
+}
 
 const directivePrefix = "//rebound:"
 
@@ -55,15 +120,23 @@ type Directive struct {
 }
 
 // Annotations indexes every //rebound: directive of a set of files by
-// (filename, line) for suppression lookups.
+// (filename, line) for suppression lookups, and tracks which
+// suppression directives actually suppressed a finding (the rest are
+// stale hatches the driver reports).
 type Annotations struct {
-	byLine map[string]map[int][]Directive
+	byLine map[string]map[int][]*trackedDirective
+	all    []*trackedDirective
+}
+
+type trackedDirective struct {
+	Directive
+	used bool
 }
 
 // ParseAnnotations scans all comments (including end-of-line comments)
 // of files for //rebound: directives.
 func ParseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
-	a := &Annotations{byLine: make(map[string]map[int][]Directive)}
+	a := &Annotations{byLine: make(map[string]map[int][]*trackedDirective)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -72,12 +145,14 @@ func ParseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 					continue
 				}
 				d.Pos = fset.Position(c.Pos())
+				td := &trackedDirective{Directive: d}
 				lines := a.byLine[d.Pos.Filename]
 				if lines == nil {
-					lines = make(map[int][]Directive)
+					lines = make(map[int][]*trackedDirective)
 					a.byLine[d.Pos.Filename] = lines
 				}
-				lines[d.Pos.Line] = append(lines[d.Pos.Line], d)
+				lines[d.Pos.Line] = append(lines[d.Pos.Line], td)
+				a.all = append(a.all, td)
 			}
 		}
 	}
@@ -104,18 +179,64 @@ func parseDirective(text string) (Directive, bool) {
 // the same line, or one on the line immediately above (the standard
 // lint-suppression placement).
 func (a *Annotations) At(pos token.Position, name string) (Directive, bool) {
+	if td := a.lookup(pos, name); td != nil {
+		return td.Directive, true
+	}
+	return Directive{}, false
+}
+
+// Use is At plus usage accounting: the returned directive is marked as
+// having suppressed a finding, so it does not surface in Unused.
+// Analyzers call it (via Pass.Suppressed) only at sites where a
+// finding would otherwise fire — a hatch on an already-clean line
+// stays unused and is reported as stale.
+func (a *Annotations) Use(pos token.Position, name string) (Directive, bool) {
+	if td := a.lookup(pos, name); td != nil {
+		td.used = true
+		return td.Directive, true
+	}
+	return Directive{}, false
+}
+
+func (a *Annotations) lookup(pos token.Position, name string) *trackedDirective {
 	lines := a.byLine[pos.Filename]
 	if lines == nil {
-		return Directive{}, false
+		return nil
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
 		for _, d := range lines[line] {
 			if d.Name == name {
-				return d, true
+				return d
 			}
 		}
 	}
-	return Directive{}, false
+	return nil
+}
+
+// Unused returns every directive whose name is in names that never
+// suppressed a finding, in source order. The driver passes the
+// suppression directives owned by the analyzers that ran.
+func (a *Annotations) Unused(names map[string]bool) []Directive {
+	var out []Directive
+	for _, td := range a.all {
+		if names[td.Name] && !td.used {
+			out = append(out, td.Directive)
+		}
+	}
+	return out
+}
+
+// Unknown returns every parsed directive whose name is not a known
+// directive (a typo would otherwise silently suppress nothing), in
+// source order.
+func (a *Annotations) Unknown() []Directive {
+	var out []Directive
+	for _, td := range a.all {
+		if !KnownDirectives[td.Name] {
+			out = append(out, td.Directive)
+		}
+	}
+	return out
 }
 
 // ClockDomains extracts clock-domain declarations from the given
@@ -141,27 +262,7 @@ func ClockDomains(fset *token.FileSet, pkgPath string, files []*ast.File, report
 		}
 	}
 	directiveOf := func(doc *ast.CommentGroup, end token.Pos, f *ast.File) (Directive, token.Pos, bool) {
-		// A declaration's directive lives in its doc comment or in an
-		// end-of-line comment on the declaration's last line.
-		if doc != nil {
-			for _, c := range doc.List {
-				if d, ok := parseDirective(c.Text); ok && d.Name == DirClock {
-					return d, c.Pos(), true
-				}
-			}
-		}
-		endLine := fset.Position(end).Line
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if fset.Position(c.Pos()).Line != endLine || c.Pos() < end {
-					continue
-				}
-				if d, ok := parseDirective(c.Text); ok && d.Name == DirClock {
-					return d, c.Pos(), true
-				}
-			}
-		}
-		return Directive{}, token.NoPos, false
+		return DeclDirective(fset, f, doc, end, DirClock)
 	}
 	domainArg := func(d Directive, pos token.Pos) (string, bool) {
 		if d.Arg == DomainEngine || d.Arg == DomainTrusted {
@@ -254,6 +355,62 @@ func ClockDomains(fset *token.FileSet, pkgPath string, files []*ast.File, report
 		})
 	}
 	return idx
+}
+
+// DeclDirective returns the named directive attached to a declaration:
+// one in its doc comment, or one in an end-of-line comment on the line
+// where the declaration (for functions: its signature) ends. This is
+// the lookup every declaration directive (clock, hotpath, coldpath,
+// shard-safe, shared, snapshot-skip on fields) shares.
+func DeclDirective(fset *token.FileSet, f *ast.File, doc *ast.CommentGroup, end token.Pos, name string) (Directive, token.Pos, bool) {
+	if doc != nil {
+		for _, c := range doc.List {
+			if d, ok := parseDirective(c.Text); ok && d.Name == name {
+				d.Pos = fset.Position(c.Pos())
+				return d, c.Pos(), true
+			}
+		}
+	}
+	endLine := fset.Position(end).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if fset.Position(c.Pos()).Line != endLine || c.Pos() < end {
+				continue
+			}
+			if d, ok := parseDirective(c.Text); ok && d.Name == name {
+				d.Pos = fset.Position(c.Pos())
+				return d, c.Pos(), true
+			}
+		}
+	}
+	return Directive{}, token.NoPos, false
+}
+
+// FuncDirectives scans files for the named declaration directive on
+// function declarations and returns the marked functions keyed by
+// "<Recv.>Name" (the receiver's base type name, if any, then the
+// function name). Used for shard-safe and hotpath root discovery —
+// including cross-package lookups over Pass.ModuleFiles syntax.
+func FuncDirectives(fset *token.FileSet, files []*ast.File, name string) map[string]Directive {
+	out := make(map[string]Directive)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			d, _, ok := DeclDirective(fset, f, fd.Doc, fd.Type.End(), name)
+			if !ok {
+				continue
+			}
+			key := fd.Name.Name
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				key = recvBaseName(fd.Recv.List[0].Type) + "." + key
+			}
+			out[key] = d
+		}
+	}
+	return out
 }
 
 // Clock domain names.

@@ -147,11 +147,32 @@ func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, stack []ast.Node, sor
 	if rs.Key == nil && rs.Value == nil {
 		return
 	}
+
+	if OrderInsensitive(pass, rs, enclosingFunc(stack), sortedCache) {
+		return
+	}
+	// The hatch is consulted only after the body check fails, so a
+	// nondet hatch on a provably order-insensitive loop counts as
+	// unused (stale) rather than silently "suppressing" nothing.
 	if pass.Suppressed(rs.Pos(), analysis.DirNondet) {
 		return
 	}
+	pass.Reportf(rs.Pos(),
+		"map iteration order may escape (body is not provably order-insensitive): collect keys and sort before use, or annotate //rebound:nondet <why>")
+}
 
-	fn := enclosingFunc(stack)
+// OrderInsensitive reports whether the body of a range over a map is
+// provably order-insensitive (pure accumulation, delete of the ranged
+// key, map builds keyed by the range key, collect-then-sort appends,
+// loop-local writes). fn is the enclosing function node (for the
+// collected-then-sorted pattern); sortedCache memoizes its sorted-
+// slice scan and may be shared across calls within one file walk.
+// Exported for the shardsafety analyzer, which applies the same proof
+// to map ranges inside the TickShards shard phase.
+func OrderInsensitive(pass *analysis.Pass, rs *ast.RangeStmt, fn ast.Node, sortedCache map[ast.Node]map[types.Object]bool) bool {
+	if sortedCache == nil {
+		sortedCache = make(map[ast.Node]map[types.Object]bool)
+	}
 	sorted := sortedCache[fn]
 	if sorted == nil {
 		sorted = sortedSlices(pass, fn)
@@ -164,12 +185,12 @@ func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, stack []ast.Node, sor
 		sorted:    sorted,
 		loop:      rs,
 	}
-	if chk.stmtsOK(rs.Body.List) {
-		return
-	}
-	pass.Reportf(rs.Pos(),
-		"map iteration order may escape (body is not provably order-insensitive): collect keys and sort before use, or annotate //rebound:nondet <why>")
+	return chk.stmtsOK(rs.Body.List)
 }
+
+// EnclosingFunc returns the innermost *ast.FuncDecl or *ast.FuncLit in
+// stack (a path of enclosing nodes, outermost first), or nil.
+func EnclosingFunc(stack []ast.Node) ast.Node { return enclosingFunc(stack) }
 
 // bodyChecker decides whether a map-range body is order-insensitive.
 type bodyChecker struct {

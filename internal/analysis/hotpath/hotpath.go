@@ -1,0 +1,412 @@
+// Package hotpath implements the reboundlint analyzer that keeps the
+// per-tick hot paths allocation-free.
+//
+// The simulator's throughput targets (ROADMAP: 60-robot swarm at
+// faster-than-realtime) rest on a handful of functions that run for
+// every frame of every tick: the trusted hash-chain append, the
+// SHA-1 streaming core, Medium.Deliver and its rank fan-out, the
+// spatial grid's NearPairs, and the engine's encode-once audit
+// serving path. These were hand-tuned to zero steady-state
+// allocations (struct-owned buffers, buf[:0] reuse, pre-sized maps);
+// the bench smokes catch regressions only when someone runs them.
+// This analyzer pins the discipline at lint time.
+//
+// Roots are functions marked //rebound:hotpath <why>. The analyzer
+// walks each root's same-package call closure — stopping at callees
+// marked //rebound:coldpath <why>, the sanctioned slow-path splits
+// (growth, expiry, registration) — and flags the constructs that
+// allocate per call:
+//
+//   - taking the address of a composite literal, and slice or map
+//     composite literals (heap allocation per evaluation),
+//   - make and new calls,
+//   - append whose destination roots at a fresh local (var s []T)
+//     rather than a struct-owned or caller-owned buffer (the
+//     out := m.buf[:0] reuse pattern),
+//   - conversions of concrete values to interface types, both
+//     explicit and implicit at call arguments (boxing + dynamic
+//     dispatch),
+//   - function literals (closure allocation),
+//   - any use of the fmt package (allocates and reflects).
+//
+// Escape hatch: //rebound:alloc <why> on the offending line, for
+// sites that allocate only on cold branches the closure split cannot
+// express (e.g. first-contact registration inside a steady-state-free
+// function).
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"roborebound/internal/analysis"
+)
+
+// Analyzer is the hot-path allocation checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "forbid per-call allocations (composite literals, make, fresh-slice append, " +
+		"interface boxing, closures, fmt) in //rebound:hotpath call closures",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	funcs := make(map[*types.Func]*ast.FuncDecl)
+	cold := make(map[*types.Func]bool)
+	var roots []*types.Func
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			funcs[obj] = fd
+			if _, _, ok := analysis.DeclDirective(pass.Fset, file, fd.Doc, fd.Type.End(), analysis.DirHotpath); ok {
+				roots = append(roots, obj)
+			}
+			if _, _, ok := analysis.DeclDirective(pass.Fset, file, fd.Doc, fd.Type.End(), analysis.DirColdpath); ok {
+				cold[obj] = true
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// Same-package call closure, stopping at coldpath splits.
+	closure := make(map[*types.Func]bool)
+	work := append([]*types.Func(nil), roots...)
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		if closure[fn] || cold[fn] {
+			continue
+		}
+		closure[fn] = true
+		fd := funcs[fn]
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if f, ok := callee(pass, call).(*types.Func); ok && f.Pkg() == pass.Pkg {
+				if _, inPkg := funcs[f]; inPkg && !closure[f] && !cold[f] {
+					work = append(work, f)
+				}
+			}
+			return true
+		})
+	}
+	closureFns := make([]*types.Func, 0, len(closure))
+	for fn := range closure {
+		closureFns = append(closureFns, fn)
+	}
+	sort.Slice(closureFns, func(i, j int) bool { return closureFns[i].Pos() < closureFns[j].Pos() })
+	for _, fn := range closureFns {
+		if fd := funcs[fn]; fd != nil && fd.Body != nil {
+			checkBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Caller-owned roots: receiver, params, named results.
+	owned := make(map[types.Object]bool)
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					owned[obj] = true
+				}
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+	collect(fd.Type.Results)
+
+	// First pass: record each local's initializer, so append can tell
+	// a fresh slice (var s []T) from a reused buffer (s := m.buf[:0]).
+	init := make(map[types.Object]ast.Expr)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					continue
+				}
+				if len(n.Rhs) == len(n.Lhs) {
+					init[obj] = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					init[obj] = n.Rhs[0]
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if i < len(n.Values) {
+					init[obj] = n.Values[i]
+				} // else: zero value — stays absent, i.e. fresh
+			}
+		}
+		return true
+	})
+
+	c := &checker{pass: pass, owned: owned, init: init}
+	ast.Inspect(fd.Body, c.visit)
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	owned map[types.Object]bool
+	init  map[types.Object]ast.Expr
+}
+
+func (c *checker) visit(n ast.Node) bool {
+	pass := c.pass
+	switch n := n.(type) {
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := n.X.(*ast.CompositeLit); ok {
+				c.report(n.Pos(), "hot path takes the address of a composite literal (heap allocation per call): reuse a struct-owned value")
+				return false // don't re-flag the literal itself
+			}
+		}
+	case *ast.CompositeLit:
+		tv, ok := pass.TypesInfo.Types[n]
+		if !ok {
+			return true
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice:
+			c.report(n.Pos(), "hot path builds a slice literal (allocation per call): hoist it or reuse a buffer")
+		case *types.Map:
+			c.report(n.Pos(), "hot path builds a map literal (allocation per call): hoist it or reuse a map")
+		}
+	case *ast.FuncLit:
+		c.report(n.Pos(), "hot path builds a closure (allocation per call): hoist it to a method or package function")
+	case *ast.SelectorExpr:
+		if id, ok := n.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				c.report(n.Pos(), "hot path uses fmt."+n.Sel.Name+" (allocates and reflects): format off the hot path")
+			}
+		}
+	case *ast.CallExpr:
+		c.checkCall(n)
+	}
+	return true
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	pass := c.pass
+	// Explicit conversion?
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && isInterface(tv.Type) && !isInterface(exprType(pass, call.Args[0])) {
+			c.report(call.Pos(), "hot path converts a concrete value to interface "+tv.Type.String()+" (boxing allocation)")
+		}
+		return
+	}
+
+	switch fn := callee(pass, call).(type) {
+	case *types.Builtin:
+		switch fn.Name() {
+		case "make":
+			c.report(call.Pos(), "hot path calls make (allocation per call): reuse a preallocated buffer or pre-size at construction")
+		case "new":
+			c.report(call.Pos(), "hot path calls new (allocation per call): reuse a struct-owned value")
+		case "append":
+			c.checkAppend(call)
+		}
+		return
+	}
+
+	// Implicit interface boxing at call arguments.
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+			break // s... passes the slice through, no boxing
+		}
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if !isInterface(pt) {
+			continue
+		}
+		if _, isLit := arg.(*ast.FuncLit); isLit {
+			continue // already flagged as a closure
+		}
+		at := exprType(pass, arg)
+		if at == nil || isInterface(at) || isUntypedNil(at) {
+			continue
+		}
+		c.report(arg.Pos(), "hot path passes a concrete "+at.String()+" as interface "+pt.String()+" (boxing allocation + dynamic dispatch)")
+	}
+}
+
+// checkAppend flags appends whose destination is a fresh local slice.
+// Struct-owned buffers, caller-owned slices, and locals derived from
+// them (out := m.buf[:0]) reuse capacity; a make- or literal-rooted
+// local already carries a finding at its allocation site.
+func (c *checker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if name, fresh := c.freshRoot(call.Args[0], 0); fresh {
+		c.report(call.Pos(), "hot path appends to fresh slice "+name+" (reallocating growth): reuse a struct-owned buffer (s := m.buf[:0] pattern)")
+	}
+}
+
+// freshRoot reports whether the expression roots at a local declared
+// with no initializer (var s []T — the silently growing case).
+func (c *checker) freshRoot(e ast.Expr, depth int) (string, bool) {
+	if depth > 10 {
+		return "", false
+	}
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			// Struct-owned (or package-owned) storage: not fresh.
+			return "", false
+		case *ast.CallExpr:
+			// append(inner, ...) chains root at the inner destination;
+			// anything else (make, constructors) carries its own finding.
+			if fn, ok := callee(c.pass, x).(*types.Builtin); ok && fn.Name() == "append" && len(x.Args) > 0 {
+				e = x.Args[0]
+				depth++
+				continue
+			}
+			// A slice conversion of nil is the clone idiom's empty
+			// destination: append([]byte(nil), src...) reallocates on
+			// every call, with no alloc site of its own to carry the
+			// finding.
+			if tv, ok := c.pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice {
+					if av, ok := c.pass.TypesInfo.Types[x.Args[0]]; ok && av.IsNil() {
+						return types.ExprString(x), true
+					}
+				}
+			}
+			return "", false
+		case *ast.Ident:
+			obj := identObj(c.pass, x)
+			if obj == nil || c.owned[obj] {
+				return "", false
+			}
+			ini, declared := c.init[obj]
+			if !declared {
+				// Local with no initializer: fresh zero-value slice.
+				if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Parent() != v.Pkg().Scope() {
+					return x.Name, true
+				}
+				return "", false
+			}
+			if ini == nil {
+				return x.Name, true
+			}
+			e = ini
+			depth++
+		default:
+			return "", false
+		}
+	}
+}
+
+func (c *checker) report(pos token.Pos, msg string) {
+	if c.pass.Suppressed(pos, analysis.DirAlloc) {
+		return
+	}
+	c.pass.Reportf(pos, "%s, or annotate //rebound:alloc <why> if the branch is provably cold", msg)
+}
+
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func exprType(pass *analysis.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func callee(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	fun := call.Fun
+	for {
+		switch f := fun.(type) {
+		case *ast.ParenExpr:
+			fun = f.X
+		case *ast.IndexExpr:
+			fun = f.X
+		case *ast.IndexListExpr:
+			fun = f.X
+		case *ast.Ident:
+			return identObj(pass, f)
+		case *ast.SelectorExpr:
+			return pass.TypesInfo.Uses[f.Sel]
+		default:
+			return nil
+		}
+	}
+}
+
+func identObj(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}

@@ -1,0 +1,21 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"roborebound/internal/analysis/analysistest"
+	"roborebound/internal/analysis/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer, "testdata/src/hotfix")
+}
+
+// TestSeededRegression plants the bug class the PR 5 perf work
+// eliminated — a hot fan-out falling back from struct-owned buffer
+// reuse to a fresh per-call slice — and proves the analyzer catches
+// it. The bench smokes only surface this as a silent allocs/op
+// regression.
+func TestSeededRegression(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer, "testdata/src/hotregression")
+}

@@ -1,0 +1,105 @@
+// Package hotfix exercises the hotpath analyzer: allocation findings
+// inside a //rebound:hotpath closure, the buf[:0] reuse pattern, the
+// //rebound:coldpath split, and the //rebound:alloc hatch.
+package hotfix
+
+import (
+	"fmt"
+	"sort"
+)
+
+type Delivery struct {
+	ID   int
+	Rank int32
+}
+
+type item struct{ v int }
+
+func (i item) Val() int { return i.v }
+
+// Valuer stands in for an interface a hot path might box into.
+type Valuer interface{ Val() int }
+
+type Medium struct {
+	outBuf []Delivery
+	seen   map[int]bool
+}
+
+// Deliver is the steady-state fan-out.
+//
+//rebound:hotpath per-tick delivery fan-out
+func (m *Medium) Deliver(ids []int) []Delivery {
+	out := m.outBuf[:0] // struct-owned buffer reuse: clean
+	for _, id := range ids {
+		out = append(out, Delivery{ID: id}) // reused destination, struct value literal: clean
+	}
+
+	var extra []Delivery
+	extra = append(extra, Delivery{}) // want `appends to fresh slice extra`
+	_ = extra
+
+	clone := append([]Delivery(nil), out...) // want `appends to fresh slice \[\]Delivery\(nil\)`
+	_ = clone
+
+	tmp := make([]int, 0, len(ids)) // want `hot path calls make`
+	_ = tmp
+
+	box := &Delivery{ID: 1} // want `takes the address of a composite literal`
+	_ = box
+
+	p := new(Delivery) // want `hot path calls new`
+	_ = p
+
+	lits := []int{1, 2, 3} // want `hot path builds a slice literal`
+	_ = lits
+
+	lut := map[int]bool{2: true} // want `hot path builds a map literal`
+	_ = lut
+
+	it := item{v: 1} // struct value literal: clean
+	vv := Valuer(it) // want `converts a concrete value to interface`
+	_ = vv
+
+	sort.Slice(out, // want `passes a concrete .* as interface`
+		func(i, j int) bool { // want `hot path builds a closure`
+			return out[i].ID < out[j].ID
+		})
+
+	s := fmt.Sprint(len(out)) // want `hot path uses fmt.Sprint` `passes a concrete int as interface`
+	_ = s
+
+	helper(m) // same-package call: helper joins the closure
+	m.expire()
+
+	//rebound:alloc first-contact registration, amortized over the run
+	m.seen = make(map[int]bool)
+
+	m.outBuf = out // write-back of the reused buffer: clean
+	return out
+}
+
+// helper is pulled into the hot closure by the call in Deliver.
+func helper(m *Medium) {
+	buf := make([]byte, 8) // want `hot path calls make`
+	_ = buf
+}
+
+// expire is the sanctioned slow-path split: growth and expiry may
+// allocate.
+//
+//rebound:coldpath reassembly expiry, runs on timeout only
+func (m *Medium) expire() {
+	big := make([]Delivery, 100) // coldpath: clean
+	_ = big
+	m.seen = map[int]bool{}
+}
+
+// cold is not reachable from any hotpath root: the same constructs
+// are fine here.
+func cold() string {
+	x := []int{1}
+	_ = x
+	return fmt.Sprint("ok")
+}
+
+var _ = cold

@@ -1,0 +1,27 @@
+// Package hotregression is the seeded-bug fixture for hotpath: a
+// distilled Medium.Deliver where a refactor dropped the struct-owned
+// buffer reuse (out := m.outBuf[:0]) and fell back to a fresh local
+// slice. Every tick now reallocates the delivery fan-out — the exact
+// regression the PR 5 perf work eliminated. The bench smokes only
+// catch this when someone reads the allocs/op column; the analyzer
+// must catch it on every build.
+package hotregression
+
+type Delivery struct {
+	ID int
+}
+
+type Medium struct {
+	outBuf []Delivery
+}
+
+// Deliver fans queued frames out to receivers, every tick.
+//
+//rebound:hotpath per-tick delivery fan-out, zero steady-state allocations
+func (m *Medium) Deliver(ids []int) []Delivery {
+	var out []Delivery // the refactor dropped out := m.outBuf[:0]
+	for _, id := range ids {
+		out = append(out, Delivery{ID: id}) // want `appends to fresh slice out`
+	}
+	return out
+}

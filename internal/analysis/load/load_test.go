@@ -1,0 +1,110 @@
+package load
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadReportsListFailure(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "does-not-exist"))
+	if err == nil {
+		t.Fatal("Load in a nonexistent directory succeeded")
+	}
+	if !strings.Contains(err.Error(), "go list") {
+		t.Errorf("error does not name the failing stage: %v", err)
+	}
+}
+
+func TestLoadReportsBrokenPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module tmpmod\n\ngo 1.22\n",
+		"main.go": "package broken\n\nfunc f() { this is not go\n",
+	})
+	_, err := Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load of a package with a syntax error succeeded")
+	}
+	if !strings.Contains(err.Error(), "tmpmod") {
+		t.Errorf("error does not name the broken package: %v", err)
+	}
+}
+
+func TestLoadReportsTypeError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module tmpmod\n\ngo 1.22\n",
+		"main.go": "package broken\n\nvar x undefinedType\n",
+	})
+	_, err := Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load of a package with a type error succeeded")
+	}
+}
+
+func TestLoadEmptyMatchIsNotAnError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"ok.go":  "package ok\n",
+	})
+	// `go list -e` reports unmatched patterns on stderr but exits 0
+	// with no packages; Load must surface that as an empty result or a
+	// diagnosable error, never a panic.
+	res, err := Load(dir, "./nosuchdir/...")
+	if err == nil && len(res.Targets) != 0 {
+		t.Errorf("pattern matching nothing produced %d targets", len(res.Targets))
+	}
+}
+
+func TestModuleSyntaxReportsBrokenPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module tmpmod\n\ngo 1.22\n",
+		"main.go": "package broken\n\nfunc f() { this is not go\n",
+	})
+	_, _, _, err := ModuleSyntax(dir, "./...")
+	if err == nil {
+		t.Fatal("ModuleSyntax of a broken package succeeded")
+	}
+}
+
+func TestImporterRejectsUnknownPath(t *testing.T) {
+	imp := Importer(token.NewFileSet(), map[string]string{})
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package x\n\nimport \"nowhere/nothing\"\n\nvar _ = nothing.V\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Check(fset, "x", []*ast.File{f}, imp); err == nil {
+		t.Fatal("Check resolved an import with no export data")
+	}
+}
+
+func TestCheckReportsTypeError(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package x\n\nvar x undefinedType\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Check(fset, "x", []*ast.File{f}, nil); err == nil {
+		t.Fatal("Check accepted an undefined type")
+	}
+}

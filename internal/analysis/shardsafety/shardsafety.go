@@ -1,0 +1,508 @@
+// Package shardsafety implements the reboundlint analyzer that keeps
+// the TickShards shard phase deterministic.
+//
+// The swarm-fast plane (PR 6) shards the actor-Tick phase across
+// goroutines. Correctness does not rest on absence of data races in
+// the -race sense — it rests on a stronger property the race detector
+// cannot express: no observable effect of a shard may depend on shard
+// scheduling *order*. The sim engine's contract (sim.SetTickShards)
+// confines a shard's cross-actor effects to Medium.Send (staged,
+// merged in sender-ID order) and the tracer (obs.ShardCapture, merged
+// in ID order); everything else an actor touches during Tick must be
+// its own state. Actors that need more declare SerialTicker and run
+// in an ID-ordered serial post-pass. The differential tests pin
+// sharded ≡ serial byte-for-byte — on the seeds they run. This
+// analyzer pins the contract on every build.
+//
+// Roots are functions marked //rebound:shard-safe (the Actor.Tick
+// implementations and the cross-package functions they call). The
+// analyzer walks each root's same-package call closure and flags:
+//
+//   - writes whose target roots at package-level state (any package),
+//   - any use of a struct field marked //rebound:shared <why> (a
+//     cross-actor pointer, e.g. the collusion blackboard or the shared
+//     audit cache),
+//   - channel sends/receives, select statements, and go statements
+//     (scheduling-order nondeterminism by construction),
+//   - ranges over maps whose iteration order can escape the shard
+//     (same proof as the determinism analyzer, stricter hatch),
+//   - dynamic interface-method calls through interfaces declared in
+//     non-vetted packages (the analyzer cannot see the implementation),
+//   - calls into module packages that are neither shard-vetted
+//     (wire/geom/cryptolite/prng/trusted/auditlog/control/flocking/
+//     obs — packages whose exported API operates only on receiver-own
+//     state or stages its effects) nor individually allowlisted
+//     (radio.Medium.Send: staged by contract), unless the callee is
+//     itself marked //rebound:shard-safe and therefore analyzed in
+//     its own package's pass.
+//
+// Escape hatch: //rebound:shard-ok <why> on the offending line — the
+// canonical use is the attack package's Strategy.Act dispatch, which
+// is guarded dynamically by the SerialTicker mechanism.
+package shardsafety
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"roborebound/internal/analysis"
+	"roborebound/internal/analysis/determinism"
+)
+
+// Analyzer is the shard-phase determinism checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "shardsafety",
+	Doc: "forbid order-dependent effects (shared-state writes, channel use, escaping " +
+		"map ranges, unvetted dynamic calls) in the TickShards shard phase",
+	Run: run,
+}
+
+// vettedPkgs are module packages (by final path element) whose
+// exported API is shard-safe by review: pure data (wire, geom),
+// per-robot state machines (trusted, auditlog, control, flocking,
+// cryptolite, prng), or staging-aware observability (obs: commutative
+// counters and ShardCapture).
+var vettedPkgs = map[string]bool{
+	"wire": true, "geom": true, "spatial": true, "cryptolite": true,
+	"prng": true, "trusted": true, "auditlog": true, "control": true,
+	"flocking": true, "obs": true,
+}
+
+// vettedFuncs are individually allowlisted symbols in non-vetted
+// module packages, keyed by package base then "Recv.Name". Medium.Send
+// is the contract's one sanctioned cross-actor effect: in staged mode
+// it appends to the sender's own outbox, merged in ID order by
+// FlushStaged.
+var vettedFuncs = map[string]map[string]bool{
+	"radio": {"Medium.Send": true},
+}
+
+func run(pass *analysis.Pass) error {
+	// Roots: shard-safe-marked functions of this package.
+	funcs := make(map[*types.Func]*ast.FuncDecl)
+	var roots []*types.Func
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			funcs[obj] = fd
+			if _, _, ok := analysis.DeclDirective(pass.Fset, file, fd.Doc, fd.Type.End(), analysis.DirShardSafe); ok {
+				roots = append(roots, obj)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	c := &checker{
+		pass:        pass,
+		funcs:       funcs,
+		shared:      sharedFieldKeys(pass),
+		safeElse:    shardSafeKeys(pass),
+		sortedCache: make(map[ast.Node]map[types.Object]bool),
+	}
+
+	// Same-package call closure, then check each body once.
+	closure := make(map[*types.Func]bool)
+	work := append([]*types.Func(nil), roots...)
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		if closure[fn] {
+			continue
+		}
+		closure[fn] = true
+		fd := funcs[fn]
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if f, ok := staticCallee(pass, call).(*types.Func); ok && f.Pkg() == pass.Pkg {
+				if _, inPkg := funcs[f]; inPkg && !closure[f] {
+					work = append(work, f)
+				}
+			}
+			return true
+		})
+	}
+	closureFns := make([]*types.Func, 0, len(closure))
+	for fn := range closure {
+		closureFns = append(closureFns, fn)
+	}
+	sort.Slice(closureFns, func(i, j int) bool { return closureFns[i].Pos() < closureFns[j].Pos() })
+	for _, fn := range closureFns {
+		if fd := funcs[fn]; fd != nil && fd.Body != nil {
+			c.checkBody(fd)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	funcs map[*types.Func]*ast.FuncDecl
+	// shared is the module-wide index of //rebound:shared fields,
+	// keyed "<pkgpath>.<Type>.<Field>".
+	shared map[string]bool
+	// safeElse is the module-wide index of //rebound:shard-safe
+	// functions, keyed "<pkgpath>.<Recv.>Name" — cross-package calls
+	// may target these (they are analyzed in their own package's pass).
+	safeElse    map[string]bool
+	sortedCache map[ast.Node]map[types.Object]bool
+}
+
+func (c *checker) checkBody(fd *ast.FuncDecl) {
+	var stack []ast.Node
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				c.checkWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			c.checkWrite(n.X)
+		case *ast.SendStmt:
+			c.report(n.Pos(), "channel send inside the shard phase: cross-shard channel traffic races by construction")
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				c.report(n.Pos(), "channel receive inside the shard phase: cross-shard channel traffic races by construction")
+			}
+		case *ast.SelectStmt:
+			c.report(n.Pos(), "select inside the shard phase: case choice depends on scheduling order")
+		case *ast.GoStmt:
+			c.report(n.Pos(), "go statement inside the shard phase: shard bodies must not spawn goroutines")
+		case *ast.RangeStmt:
+			c.checkRange(n, stack)
+		case *ast.SelectorExpr:
+			c.checkSharedUse(n)
+		case *ast.CallExpr:
+			c.checkCall(n)
+		}
+		return true
+	})
+}
+
+// report emits a finding unless a //rebound:shard-ok hatch covers the
+// line.
+func (c *checker) report(pos token.Pos, msg string) {
+	if c.pass.Suppressed(pos, analysis.DirShardOK) {
+		return
+	}
+	c.pass.Reportf(pos, "%s (annotate //rebound:shard-ok <why> if the effect is provably confined)", msg)
+}
+
+func (c *checker) checkRange(rs *ast.RangeStmt, stack []ast.Node) {
+	pass := c.pass
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if rs.Key == nil && rs.Value == nil {
+		return
+	}
+	if determinism.OrderInsensitive(pass, rs, determinism.EnclosingFunc(stack), c.sortedCache) {
+		return
+	}
+	if pass.Suppressed(rs.Pos(), analysis.DirShardOK) {
+		return
+	}
+	pass.Reportf(rs.Pos(),
+		"map iteration order may escape the shard phase (body is not provably order-insensitive): "+
+			"sort before use or annotate //rebound:shard-ok <why>")
+}
+
+func (c *checker) checkWrite(lhs ast.Expr) {
+	pass := c.pass
+	obj := writeRoot(pass, lhs)
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		if pass.Suppressed(lhs.Pos(), analysis.DirShardOK) {
+			return
+		}
+		pass.Reportf(lhs.Pos(),
+			"shard phase writes package-level state %s: actor ticks may only mutate their own "+
+				"actor's state (stage cross-actor effects, use the SerialTicker post-pass, or "+
+				"annotate //rebound:shard-ok <why>)", v.Name())
+	}
+}
+
+// checkSharedUse flags any traversal of a //rebound:shared field.
+func (c *checker) checkSharedUse(sel *ast.SelectorExpr) {
+	pass := c.pass
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return
+	}
+	index := selection.Index()
+	if selection.Kind() != types.FieldVal {
+		index = index[:len(index)-1]
+	}
+	t := selection.Recv()
+	for _, i := range index {
+		bare := t
+		if p, ok := bare.(*types.Pointer); ok {
+			bare = p.Elem()
+		}
+		named, isNamed := bare.(*types.Named)
+		st, isStruct := bare.Underlying().(*types.Struct)
+		if !isStruct || i >= st.NumFields() {
+			return
+		}
+		f := st.Field(i)
+		if isNamed && f.Pkg() != nil {
+			key := f.Pkg().Path() + "." + named.Obj().Name() + "." + f.Name()
+			if c.shared[key] {
+				if pass.Suppressed(sel.Pos(), analysis.DirShardOK) {
+					return
+				}
+				pass.Reportf(sel.Pos(),
+					"shard phase touches //rebound:shared field %s.%s (cross-actor state): "+
+						"route the effect through staging or the SerialTicker post-pass, or "+
+						"annotate //rebound:shard-ok <why>", named.Obj().Name(), f.Name())
+				return
+			}
+		}
+		t = f.Type()
+	}
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	pass := c.pass
+	callee := staticCallee(pass, call)
+	switch fn := callee.(type) {
+	case *types.Builtin, *types.TypeName, nil:
+		return
+	case *types.Func:
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+				c.checkDynamicCall(call, fn)
+				return
+			}
+		}
+		c.checkStaticCall(call, fn)
+	case *types.Var:
+		// Func-value call: per-robot wiring (a hook stored in a field,
+		// parameter, or local) is fine; package-level hooks are shared
+		// state.
+		if fn.Pkg() != nil && !fn.IsField() && fn.Parent() == fn.Pkg().Scope() {
+			if pass.Suppressed(call.Pos(), analysis.DirShardOK) {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"shard phase calls through package-level func variable %s: shared hooks have "+
+					"no ordering guarantee; annotate //rebound:shard-ok <why> if immutable after init",
+				fn.Name())
+		}
+	}
+}
+
+func (c *checker) checkDynamicCall(call *ast.CallExpr, fn *types.Func) {
+	pass := c.pass
+	pkg := fn.Pkg()
+	if pkg == nil || !c.inModule(pkg.Path()) || vettedPkgs[pathBase(pkg.Path())] {
+		return
+	}
+	if pass.Suppressed(call.Pos(), analysis.DirShardOK) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"dynamic call %s.%s inside the shard phase: the analyzer cannot see the implementation; "+
+			"restructure, or annotate //rebound:shard-ok <why> (e.g. guarded by the SerialTicker "+
+			"mechanism)", pkg.Name(), fn.Name())
+}
+
+func (c *checker) checkStaticCall(call *ast.CallExpr, fn *types.Func) {
+	pass := c.pass
+	pkg := fn.Pkg()
+	if pkg == nil || pkg == pass.Pkg || !c.inModule(pkg.Path()) {
+		return // same package (in closure) or outside the module
+	}
+	base := pathBase(pkg.Path())
+	if vettedPkgs[base] {
+		return
+	}
+	key := funcKey(fn)
+	if vettedFuncs[base][key] {
+		return
+	}
+	if c.safeElse[pkg.Path()+"."+key] {
+		return // analyzed as a root in its own package's pass
+	}
+	if pass.Suppressed(call.Pos(), analysis.DirShardOK) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"shard phase calls %s.%s: package %s is not shard-vetted; mark the callee "+
+			"//rebound:shard-safe (it will be analyzed in its own package) or annotate "+
+			"//rebound:shard-ok <why>", pkg.Name(), fn.Name(), pkg.Name())
+}
+
+func (c *checker) inModule(path string) bool {
+	_, ok := c.pass.ModuleFiles[path]
+	return ok
+}
+
+// sharedFieldKeys scans the whole module's syntax for //rebound:shared
+// struct fields.
+func sharedFieldKeys(pass *analysis.Pass) map[string]bool {
+	out := make(map[string]bool)
+	for _, pkgPath := range modulePaths(pass) {
+		files := pass.ModuleFiles[pkgPath]
+		for _, f := range files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					if _, _, ok := analysis.DeclDirective(pass.Fset, f, field.Doc, field.End(), analysis.DirShared); !ok {
+						continue
+					}
+					for _, name := range field.Names {
+						out[pkgPath+"."+ts.Name.Name+"."+name.Name] = true
+					}
+				}
+				return false
+			})
+		}
+	}
+	return out
+}
+
+// shardSafeKeys scans the whole module's syntax for //rebound:shard-safe
+// functions, keyed "<pkgpath>.<Recv.>Name".
+func shardSafeKeys(pass *analysis.Pass) map[string]bool {
+	out := make(map[string]bool)
+	for _, pkgPath := range modulePaths(pass) {
+		dirs := analysis.FuncDirectives(pass.Fset, pass.ModuleFiles[pkgPath], analysis.DirShardSafe)
+		keys := make([]string, 0, len(dirs))
+		for key := range dirs {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			out[pkgPath+"."+key] = true
+		}
+	}
+	return out
+}
+
+// modulePaths returns the module's package import paths in sorted
+// order, so syntax scans are deterministic.
+func modulePaths(pass *analysis.Pass) []string {
+	paths := make([]string, 0, len(pass.ModuleFiles))
+	for p := range pass.ModuleFiles {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// staticCallee resolves a call's target object: a *types.Func for
+// direct and method calls (including interface methods), a *types.Var
+// for func-value calls, *types.Builtin or *types.TypeName for builtins
+// and conversions, nil when unresolvable (calling a computed
+// expression).
+func staticCallee(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	fun := call.Fun
+	for {
+		switch f := fun.(type) {
+		case *ast.ParenExpr:
+			fun = f.X
+		case *ast.IndexExpr: // generic instantiation
+			fun = f.X
+		case *ast.IndexListExpr:
+			fun = f.X
+		case *ast.Ident:
+			return identObj(pass, f)
+		case *ast.SelectorExpr:
+			return pass.TypesInfo.Uses[f.Sel]
+		default:
+			return nil
+		}
+	}
+}
+
+// writeRoot resolves an assignment target to its base object,
+// following selectors, indexing, derefs — and package qualification
+// (pkg.Var roots at Var, not at the package name).
+func writeRoot(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return identObj(pass, x)
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+					return pass.TypesInfo.Uses[x.Sel]
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func identObj(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+func funcKey(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,22 @@
+package shardsafety_test
+
+import (
+	"testing"
+
+	"roborebound/internal/analysis/analysistest"
+	"roborebound/internal/analysis/shardsafety"
+)
+
+func TestShardSafety(t *testing.T) {
+	analysistest.Run(t, shardsafety.Analyzer, "testdata/src/shardfix")
+}
+
+// TestSeededRegression plants the bug class the SerialTicker mechanism
+// exists for — a colluding actor writing the swarm-shared blackboard
+// from the shard phase instead of the ID-ordered serial post-pass —
+// and proves the analyzer catches it. The sharded-vs-serial
+// differential test only sees it on seeds where two colluders tick in
+// the same window.
+func TestSeededRegression(t *testing.T) {
+	analysistest.Run(t, shardsafety.Analyzer, "testdata/src/shardregression")
+}

@@ -1,0 +1,104 @@
+// Package shardfix exercises the shardsafety analyzer: package-level
+// writes, //rebound:shared field traversal, channel/select/go use,
+// escaping map ranges, dynamic dispatch, and the cross-package call
+// allowlist, all inside a //rebound:shard-safe closure.
+package shardfix
+
+import (
+	"roborebound/internal/radio"
+	"roborebound/internal/wire"
+)
+
+// tally is package-level: writing it from a shard races with every
+// other shard.
+var tally int
+
+// hook is a package-level func variable: calling through it from a
+// shard dispatches to unvetted code.
+var hook = func() {}
+
+// Hub is a swarm-global blackboard shared across bots.
+type Hub struct {
+	total int
+	limit int
+}
+
+// Bot is the per-shard actor: its own fields are fair game.
+type Bot struct {
+	id   wire.RobotID
+	acc  float64
+	seen map[wire.RobotID]int
+	out  *radio.Medium
+	hub  *Hub //rebound:shared swarm-wide blackboard, one per world
+}
+
+// Strategy is dynamic dispatch declared in this (non-vetted) package.
+type Strategy interface {
+	Act(b *Bot)
+}
+
+// Tick runs inside the TickShards shard phase.
+//
+//rebound:shard-safe
+func (b *Bot) Tick(now wire.Tick) {
+	b.acc += 0.5 // own state: clean
+
+	tally++ // want `shard phase writes package-level state tally`
+
+	b.hub.total++ // want `shard phase touches //rebound:shared field Bot.hub`
+
+	//rebound:shard-ok limit is frozen at construction, never written after start
+	_ = b.hub.limit
+
+	helper(b) // same-package call: helper joins the closure
+
+	ch := make(chan int, 1)
+	ch <- 1 // want `channel send inside the shard phase`
+	<-ch    // want `channel receive inside the shard phase`
+
+	select { // want `select inside the shard phase`
+	default:
+	}
+
+	go helper(b) // want `go statement inside the shard phase`
+
+	var s Strategy
+	if s != nil {
+		s.Act(b) // want `dynamic call shardfix.Act inside the shard phase`
+	}
+
+	hook() // want `shard phase calls through package-level func variable hook`
+
+	b.out.Send(b.id, wire.Frame{}) // allowlisted: Send stages, merged in ID order
+
+	if b.out.InRange(b.id, b.id) { // want `shard phase calls radio.InRange`
+		b.acc++
+	}
+}
+
+// helper is pulled into the shard closure by the call in Tick.
+func helper(b *Bot) {
+	var order []wire.RobotID
+	for id := range b.seen { // want `map iteration order may escape the shard phase`
+		order = append(order, id)
+	}
+	_ = order
+
+	m2 := make(map[wire.RobotID]int, len(b.seen))
+	for id, n := range b.seen { // single-assignment map copy: order-insensitive, clean
+		m2[id] = n
+	}
+	_ = m2
+}
+
+// coldSide is NOT in the shard closure: the same constructs are fine
+// here.
+func coldSide() {
+	tally++
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+	hook()
+}
+
+var _ = coldSide

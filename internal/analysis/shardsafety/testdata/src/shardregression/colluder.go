@@ -1,0 +1,36 @@
+// Package shardregression is the seeded-bug fixture for shardsafety:
+// a distilled attack.Colluder whose Tick writes the swarm-shared
+// collusion blackboard directly from the shard phase. In the live
+// tree this is exactly what the SerialTicker mechanism exists to
+// prevent — colluding strategies must run in the ID-ordered serial
+// post-pass, because blackboard writes from concurrent shards make
+// the merged intel depend on goroutine scheduling. The sharded-vs-
+// serial differential test only catches this on seeds where two
+// colluders tick in the same window; the analyzer must catch it on
+// every build.
+package shardregression
+
+import "roborebound/internal/wire"
+
+// Exchange is the collusion blackboard: one instance shared by every
+// compromised robot in the swarm.
+type Exchange struct {
+	intel map[wire.RobotID]uint64
+}
+
+// Colluder is a compromised robot sharing intel with its peers.
+type Colluder struct {
+	id   wire.RobotID
+	seen uint64
+	// Exchange is swarm-shared; only the serial post-pass may touch it.
+	Exchange *Exchange //rebound:shared collusion blackboard, one per swarm
+}
+
+// Tick forgot to declare NeedsSerialTick and writes the blackboard
+// straight from the shard phase.
+//
+//rebound:shard-safe
+func (c *Colluder) Tick(now wire.Tick) {
+	c.seen++
+	c.Exchange.intel[c.id] = c.seen // want `shard phase touches //rebound:shared field Colluder.Exchange`
+}

@@ -1,0 +1,59 @@
+package snapshotstate_test
+
+import (
+	"testing"
+
+	"roborebound/internal/analysis/analysistest"
+	"roborebound/internal/analysis/snapshotstate"
+)
+
+func TestSnapshotState(t *testing.T) {
+	analysistest.Run(t, snapshotstate.Analyzer, "testdata/src/snapfix")
+}
+
+// TestSeededRegression plants the real PR 7 bug class — a tick-mutable
+// cursor field (radio.Medium.deliverTick, distilled) missing from its
+// snapshot codec — and proves the analyzer catches it. Before this
+// analyzer, the bug survived every unit test and surfaced only as a
+// resume-equivalence divergence on seeds that exercised reassembly
+// expiry.
+func TestSeededRegression(t *testing.T) {
+	analysistest.Run(t, snapshotstate.Analyzer, "testdata/src/snapregression")
+}
+
+// TestSurfaces smoke-tests the exported surface: the live tree's
+// radio.Medium must be tracked, with deliverTick covered (it is
+// serialized) and its per-round scratch buffers skipped.
+func TestSurfaces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	surf, err := snapshotstate.Surfaces("../../..", "./internal/radio")
+	if err != nil {
+		t.Fatalf("Surfaces: %v", err)
+	}
+	m, ok := surf["roborebound/internal/radio.Medium"]
+	if !ok {
+		t.Fatalf("radio.Medium not in analyzer surface; keys: %v", keys(surf))
+	}
+	if !contains(m.Covered, "deliverTick") {
+		t.Errorf("deliverTick not covered: %v", m.Covered)
+	}
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func keys(m map[string]snapshotstate.FieldSets) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -65,13 +65,13 @@ type SharedStateStrategy interface {
 // Compromised is a robot whose c-node turns malicious at CompromiseAt.
 type Compromised struct {
 	*robot.Robot
-	CompromiseAt wire.Tick
-	Strat        Strategy
+	CompromiseAt wire.Tick //rebound:snapshot-skip attack plan, fixed at construction
+	Strat        Strategy  //rebound:snapshot-skip strategy wiring, fixed at construction
 	// KeepProtocol keeps the legitimate control/audit stack running
 	// after compromise (the stealthier variant: the attacker keeps
 	// *trying* to pass audits with its sanitized log). When false the
 	// attacker abandons the protocol entirely at compromise time.
-	KeepProtocol bool
+	KeepProtocol bool //rebound:snapshot-skip attack plan, fixed at construction
 
 	active bool
 
@@ -131,7 +131,12 @@ func (c *Compromised) noteMisbehavior(now wire.Tick) {
 	}
 }
 
-// Tick implements sim.Actor.
+// Tick implements sim.Actor. Compromised robots tick in the sharded
+// actor phase too, except colluder rings, which NeedsSerialTick routes
+// to the serial post-pass (their shared-state exchange is exactly the
+// order-dependent effect the shard phase bans).
+//
+//rebound:shard-safe shared-state strategies are diverted by NeedsSerialTick
 func (c *Compromised) Tick(now wire.Tick) {
 	if now < c.CompromiseAt {
 		c.Robot.Tick(now)
@@ -168,5 +173,9 @@ func (c *Compromised) Tick(now wire.Tick) {
 	if fc, ok := c.Controller().(*flocking.Controller); ok {
 		ctx.Neighbors = fc.Neighbors()
 	}
-	c.Strat.Act(ctx)
+	// Strategies act only through the Ctx hooks above (staged radio,
+	// own body); the one family that shares state across robots reports
+	// SharesTickState and is diverted to the serial post-pass by
+	// NeedsSerialTick before this dispatch can run in a shard.
+	c.Strat.Act(ctx) //rebound:shard-ok shared-state strategies run serial via NeedsSerialTick
 }

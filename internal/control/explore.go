@@ -292,6 +292,9 @@ func (e *Explore) restoreState(state []byte) error {
 	e.idle = r.U8() == 1
 	e.covered = r.U64()
 	n := int(r.U16())
+	if n > r.Remaining()/10 { // 10 bytes per encoded peer (U16 ID + U64 tick)
+		return fmt.Errorf("explore: peer count %d exceeds payload", n)
+	}
 	e.peers = make([]explorePeer, 0, n)
 	prev := -1
 	for i := 0; i < n; i++ {

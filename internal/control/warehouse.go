@@ -261,6 +261,9 @@ func (w *Warehouse) restoreState(state []byte) error {
 		return fmt.Errorf("warehouse state: waypoint %d out of range", w.wp)
 	}
 	n := int(r.U16())
+	if n > r.Remaining()/26 { // 26 bytes per encoded peer (U16 + U64 + 4×F32)
+		return fmt.Errorf("warehouse: peer count %d exceeds payload", n)
+	}
 	w.peers = make([]warehousePeer, 0, n)
 	prev := -1
 	for i := 0; i < n; i++ {

@@ -18,18 +18,18 @@ import (
 // OnSensorReading, OnFrame, and Tick in a fixed order.
 type Engine struct {
 	id      wire.RobotID
-	cfg     Config
+	cfg     Config //rebound:snapshot-skip immutable config, supplied at rebuild
 	factory control.Factory
 	ctrl    control.Controller
 
-	snode *trusted.SNode
-	anode *trusted.ANode
+	snode *trusted.SNode //rebound:snapshot-skip trusted node carries its own codec, wired at rebuild
+	anode *trusted.ANode //rebound:snapshot-skip trusted node carries its own codec, wired at rebuild
 	log   *auditlog.Log
 
 	// send is the a-node's SendWirelessEnc: it returns the frame
 	// encoding the a-node's chain witnessed (nil for audit frames) so
 	// the engine logs exactly those bytes without re-encoding.
-	send func(wire.Frame) ([]byte, bool)
+	send func(wire.Frame) ([]byte, bool) //rebound:snapshot-skip a-node wiring, reattached at rebuild
 
 	heard map[wire.RobotID]wire.Tick // last tick each peer was heard
 	now   wire.Tick                  //rebound:clock trusted
@@ -38,10 +38,15 @@ type Engine struct {
 	rounds int         // audit rounds started; drives auditor rotation (see solicit)
 	served []wire.Tick // timestamps of recently served audits (ServeLimit window)
 
-	acache *AuditCache // shared replay-verdict cache; nil on the reference plane
+	// acache is the swarm-shared replay-verdict cache; nil on the
+	// reference plane. Snapshotted once at the swarm level, not per
+	// engine.
+	//
+	//rebound:shared swarm-level cache, mutated only on the serial delivery path
+	acache *AuditCache //rebound:snapshot-skip swarm-level cache, snapshotted once by the runner
 
 	stats        statsCounters
-	trace        obs.Tracer
+	trace        obs.Tracer     //rebound:snapshot-skip observer wiring, reattached at rebuild
 	roundLatency *obs.Histogram // start→covered latency in ticks; nil unless instrumented
 }
 
@@ -139,6 +144,8 @@ func (e *Engine) SetAuditCache(c *AuditCache) { e.acache = c }
 
 // Controller exposes the live controller (the robot reads it for
 // metrics; the engine owns its lifecycle).
+//
+//rebound:shard-safe read-only accessor
 func (e *Engine) Controller() control.Controller { return e.ctrl }
 
 // Log exposes the audit log for storage accounting.
@@ -178,6 +185,8 @@ func (e *Engine) OnSensorReading(reading wire.SensorReading) {
 // OnSensorReadingEnc is OnSensorReading with the reading's encoding
 // already in hand — the s-node chained those exact bytes (see
 // SNode.PollSensorsEnc), so the log takes them as-is.
+//
+//rebound:shard-safe control step touches only this robot's own stack
 func (e *Engine) OnSensorReadingEnc(reading wire.SensorReading, enc []byte) {
 	e.log.Append(wire.LogEntry{Kind: wire.EntrySensor, Payload: enc})
 	out := e.ctrl.OnSensor(reading)
@@ -233,6 +242,7 @@ func (e *Engine) OnFrameEnc(f wire.Frame, enc []byte) {
 // class that reboundlint's clockdomain analyzer exists to catch.
 //
 //rebound:clock now=trusted
+//rebound:shard-safe audit traffic leaves only via the staged a-node send
 func (e *Engine) Tick(now wire.Tick) {
 	e.now = now
 	if e.cfg.TAudit > 0 && now%e.cfg.TAudit == wire.Tick(e.id)%e.cfg.TAudit {

@@ -93,19 +93,19 @@ func (v *Violation) Error() string {
 // fault context; later ticks are still checked (cheaply) but cannot
 // overwrite it.
 type Checker struct {
-	TVal   wire.Tick
-	TAudit wire.Tick
+	TVal   wire.Tick //rebound:snapshot-skip harness config, fixed at construction
+	TAudit wire.Tick //rebound:snapshot-skip harness config, fixed at construction
 	// Schedule provides fault context for reports and the
 	// environment-quiet timer for the liveness check; optional.
-	Schedule *Schedule
+	Schedule *Schedule //rebound:snapshot-skip harness config, fixed at construction
 	// Flight, when non-nil, is dumped into the Violation at latch
 	// time: the offending robot's retained event history rides along
 	// with the report. Optional.
-	Flight *obs.FlightRecorder
+	Flight *obs.FlightRecorder //rebound:snapshot-skip observer wiring, reattached at rebuild
 	// Trace, when non-nil, receives an EvInvariantViolation event at
 	// latch time (so exported event logs mark the breach in-stream).
 	// Optional.
-	Trace obs.Tracer
+	Trace obs.Tracer //rebound:snapshot-skip observer wiring, reattached at rebuild
 
 	violation *Violation
 	prev      map[wire.RobotID]radio.ByteCounters

@@ -205,6 +205,9 @@ func (c *Controller) restoreState(state []byte) error {
 	c.pos = geom.V(r.F64(), r.F64())
 	c.vel = geom.V(float64(r.F32()), float64(r.F32()))
 	n := int(r.U16())
+	if n > r.Remaining()/26 { // 26 bytes per encoded neighbor (U16 + U64 + 4×F32)
+		return fmt.Errorf("flocking: neighbor count %d exceeds payload", n)
+	}
 	c.neighbors = make([]Neighbor, 0, n)
 	prev := -1
 	for i := 0; i < n; i++ {

@@ -294,6 +294,8 @@ func memberByID(a, b Member) int {
 // cell with the query edge. Non-finite centers, non-finite radii, and
 // query boxes wider than the population fall back to a linear scan,
 // which is the brute-force predicate by construction.
+//
+//rebound:hotpath per-frame candidate query in radio delivery
 func (g *Grid) Within(center geom.Vec2, r float64, buf []Member) []Member {
 	if !g.built {
 		panic("spatial: Within before Build")
@@ -359,6 +361,8 @@ func (g *Grid) Within(center geom.Vec2, r float64, buf []Member) []Member {
 // Unlike Within there is no distance filter here: the caller applies
 // its own predicate, so the grid cannot disagree with brute force
 // about boundary floats.
+//
+//rebound:hotpath per-tick collision candidate scan
 func (g *Grid) NearPairs(maxDist float64, buf [][2]int32) [][2]int32 {
 	if !g.built {
 		panic("spatial: NearPairs before Build")
@@ -367,6 +371,7 @@ func (g *Grid) NearPairs(maxDist float64, buf [][2]int32) [][2]int32 {
 		panic("spatial: NearPairs requires 2*maxDist <= cell size")
 	}
 	out := buf[:0]
+	//rebound:alloc non-escaping closure, stack-allocated; called only below
 	cross := func(a, b int) {
 		sa, sb := g.spans[a], g.spans[b]
 		for i := sa[0]; i < sa[1]; i++ {

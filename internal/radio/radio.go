@@ -148,8 +148,8 @@ type queuedFrame struct {
 // tick N are delivered at the start of tick N+1, in deterministic
 // (receiver ID, then transmit sequence) order.
 type Medium struct {
-	params Params
-	pos    Position
+	params Params   //rebound:snapshot-skip immutable config, supplied at rebuild
+	pos    Position //rebound:snapshot-skip position callback wiring, reattached at rebuild
 	rng    *prng.Source
 
 	queue    []queuedFrame
@@ -162,14 +162,14 @@ type Medium struct {
 	// staged diverts Send into per-sender outboxes; stagedIDs is the
 	// ascending roster FlushStaged merges in.
 	staged    bool
-	stagedIDs []wire.RobotID
+	stagedIDs []wire.RobotID //rebound:snapshot-skip per-round roster, re-armed by BeginStaged
 
 	// Optional fault hooks (see SetLossModel / SetLinkFilter /
 	// SetTxDelay). loss defaults to UniformLoss when Params.LossRate
 	// is set; filter and delay default to nil (inactive).
-	loss   LossModel
-	filter LinkFilter
-	delay  TxDelay
+	loss   LossModel  //rebound:snapshot-skip fault-hook wiring, reattached at rebuild
+	filter LinkFilter //rebound:snapshot-skip fault-hook wiring, reattached at rebuild
+	delay  TxDelay    //rebound:snapshot-skip fault-hook wiring, reattached at rebuild
 
 	// Fragmentation state (only used when params.MTUBytes > 0).
 	reassemblers map[wire.RobotID]*Reassembler
@@ -177,14 +177,14 @@ type Medium struct {
 
 	// Observability (see SetObs). trace receives one event per frame
 	// tx/rx/drop; metrics mirrors the byte counters as gauge funcs.
-	trace   obs.Tracer
+	trace   obs.Tracer //rebound:snapshot-skip observer wiring, reattached at rebuild
 	metrics *obs.Registry
 
 	// Spatial-index state (params.SpatialIndex): the grid is rebuilt
 	// once per Deliver round from the same positions the brute path
 	// reads; the buffers amortize to zero allocations per round.
-	grid    spatial.Grid
-	gridBuf []spatial.Member
+	grid    spatial.Grid     //rebound:snapshot-skip rebuilt from positions every Deliver round
+	gridBuf []spatial.Member //rebound:snapshot-skip per-round scratch
 
 	// Deliver-round scratch, reused across rounds on both paths:
 	// sortedBuf holds the deduped ascending roster; ctrBuf caches each
@@ -193,11 +193,11 @@ type Medium struct {
 	// walk order and resultBuf receives them in sorted order (resultBuf
 	// backs Deliver's return value — see the ownership note there);
 	// countBuf is the counting sort's per-rank histogram.
-	sortedBuf []wire.RobotID
-	ctrBuf    []*ByteCounters
-	outBuf    []Delivery
-	resultBuf []Delivery
-	countBuf  []int32
+	sortedBuf []wire.RobotID  //rebound:snapshot-skip per-round scratch
+	ctrBuf    []*ByteCounters //rebound:snapshot-skip per-round scratch
+	outBuf    []Delivery      //rebound:snapshot-skip per-round scratch
+	resultBuf []Delivery      //rebound:snapshot-skip per-round scratch
+	countBuf  []int32         //rebound:snapshot-skip per-round scratch
 }
 
 // NewMedium creates a medium. seed drives only the optional loss
@@ -273,6 +273,8 @@ func (m *Medium) registerCounterGauges(id wire.RobotID, c *ByteCounters) {
 
 // Counters returns the byte counters for a robot, creating them on
 // first use.
+//
+//rebound:coldpath first-touch registration, once per robot per run
 func (m *Medium) Counters(id wire.RobotID) *ByteCounters {
 	c := m.counters[id]
 	if c == nil {
@@ -293,6 +295,8 @@ type senderState struct {
 }
 
 // sender returns the per-sender state, creating it on first use.
+//
+//rebound:coldpath first-touch registration, once per sender per run
 func (m *Medium) sender(id wire.RobotID) *senderState {
 	s := m.senders[id]
 	if s == nil {
@@ -310,6 +314,8 @@ func (m *Medium) sender(id wire.RobotID) *senderState {
 // In staged mode (between BeginStaged and FlushStaged) the frame parks
 // in the sender's private outbox instead of the shared queue; distinct
 // registered senders may then Send concurrently.
+//
+//rebound:hotpath per-frame transmit path; unfragmented steady state allocates nothing
 func (m *Medium) Send(from wire.RobotID, f wire.Frame) {
 	var c *ByteCounters
 	var s *senderState
@@ -317,6 +323,7 @@ func (m *Medium) Send(from wire.RobotID, f wire.Frame) {
 		// No map inserts here: other senders may be inside Send right
 		// now. BeginStaged pre-registers every legal sender.
 		if c, s = m.counters[from], m.senders[from]; c == nil || s == nil {
+			//rebound:alloc formatting a panic on a dead robot is free
 			panic(fmt.Sprintf("radio: staged Send from unregistered sender %d", from))
 		}
 	} else {
@@ -342,6 +349,8 @@ func (m *Medium) Send(from wire.RobotID, f wire.Frame) {
 // seq counter, which staged sends defer to FlushStaged. The trace emit
 // is shard-safe because the event carries the sender's own ID and the
 // staged tracer partitions by it (obs.ShardCapture).
+//
+//rebound:hotpath inner loop of every transmit
 func (m *Medium) enqueue(c *ByteCounters, s *senderState, from wire.RobotID, fr wire.Frame) {
 	size := fr.EncodedSize()
 	c.TxFrames++
@@ -445,6 +454,8 @@ func (m *Medium) counterAt(rank int32, id wire.RobotID) *ByteCounters {
 // and the spatial-index path funnel through it, with identical check
 // order, so the two paths are distinguishable only by how many
 // out-of-range robots they never looked at.
+//
+//rebound:hotpath runs once per (frame, candidate receiver) per round
 func (m *Medium) deliverTo(q queuedFrame, rank int32, id wire.RobotID, src, dst geom.Vec2, out []Delivery) []Delivery {
 	if m.params.RxPowerDBm(src.Dist(dst)) < m.params.RxSensitivityDBm {
 		return out
@@ -526,6 +537,8 @@ type Delivery struct {
 // callers that retain deliveries past the round must copy them.
 // Delivery values themselves are safe to keep — only the backing array
 // is reused.
+//
+//rebound:hotpath the swarm-round inner loop; scratch buffers amortize to zero
 func (m *Medium) Deliver(ids []wire.RobotID) []Delivery {
 	if len(m.queue) == 0 {
 		return nil
@@ -535,7 +548,7 @@ func (m *Medium) Deliver(ids []wire.RobotID) []Delivery {
 	sorted = slices.Compact(sorted)
 	m.sortedBuf = sorted
 	if cap(m.ctrBuf) < len(sorted) {
-		m.ctrBuf = make([]*ByteCounters, len(sorted))
+		m.ctrBuf = make([]*ByteCounters, len(sorted)) //rebound:alloc amortized growth, zero at steady state
 	}
 	m.ctrBuf = m.ctrBuf[:len(sorted)]
 	clear(m.ctrBuf)
@@ -621,30 +634,39 @@ func (m *Medium) Deliver(ids []wire.RobotID) []Delivery {
 	m.queue = held
 	m.deliverTick++
 	if m.params.MTUBytes > 0 && m.deliverTick%32 == 0 {
-		// Expire in ID order: each reassembler is independent today,
-		// but replay determinism must not hinge on that staying true.
-		ids := make([]wire.RobotID, 0, len(m.reassemblers))
-		for id := range m.reassemblers {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			m.reassemblers[id].Expire(m.deliverTick)
-		}
+		m.expireReassemblers()
 	}
 	return out
+}
+
+// expireReassemblers sweeps stale fragment buffers, in ID order: each
+// reassembler is independent today, but replay determinism must not
+// hinge on that staying true.
+//
+//rebound:coldpath runs every 32 rounds, fragmented planes only
+func (m *Medium) expireReassemblers() {
+	ids := make([]wire.RobotID, 0, len(m.reassemblers))
+	for id := range m.reassemblers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		m.reassemblers[id].Expire(m.deliverTick)
+	}
 }
 
 // sortByRank stable counting sorts one round's deliveries by receiver
 // roster rank into m.resultBuf and returns it (nil when empty, like
 // the walk's nil result before this sort existed). nRanks is the
 // roster length; every Delivery.rank is in [0, nRanks).
+//
+//rebound:hotpath counting sort replaced the struct-compare sort that dominated swarm rounds
 func (m *Medium) sortByRank(out []Delivery, nRanks int) []Delivery {
 	if len(out) == 0 {
 		return nil
 	}
 	if cap(m.countBuf) < nRanks {
-		m.countBuf = make([]int32, nRanks)
+		m.countBuf = make([]int32, nRanks) //rebound:alloc amortized growth, zero at steady state
 	}
 	counts := m.countBuf[:nRanks]
 	clear(counts)
@@ -656,7 +678,7 @@ func (m *Medium) sortByRank(out []Delivery, nRanks int) []Delivery {
 		counts[r], sum = sum, sum+counts[r]
 	}
 	if cap(m.resultBuf) < len(out) {
-		m.resultBuf = make([]Delivery, len(out))
+		m.resultBuf = make([]Delivery, len(out)) //rebound:alloc amortized growth, zero at steady state
 	}
 	res := m.resultBuf[:len(out)]
 	for _, d := range out {

@@ -17,17 +17,17 @@ import (
 
 // Config describes one robot.
 type Config struct {
-	ID wire.RobotID
+	ID wire.RobotID //rebound:snapshot-skip construction identity, not run state
 	// Protected selects RoboRebound; false gives the unprotected
 	// baseline (controller wired straight to sensors/actuators/radio).
 	Protected bool
 	// Core holds the protocol parameters (used when Protected).
-	Core core.Config
+	Core core.Config //rebound:snapshot-skip immutable config, supplied at rebuild
 	// Factory builds the mission controller.
 	Factory control.Factory
 	// Master is the MRS master key; Sealed the mission key bundle.
-	Master []byte
-	Sealed trusted.SealedMissionKey
+	Master []byte                   //rebound:snapshot-skip key material, re-injected at rebuild
+	Sealed trusted.SealedMissionKey //rebound:snapshot-skip key material, re-injected at rebuild
 	// TrustedClock, when non-nil, replaces the engine clock as the
 	// robot's local time source: the trusted pair's timestamps and
 	// token-freshness timers AND the c-node's protocol scheduling (the
@@ -39,6 +39,8 @@ type Config struct {
 	// bookkeeping stay on the engine clock, so skew is observable the
 	// way the paper's analysis assumes: only through the robot's own
 	// protocol behavior.
+	//
+	//rebound:snapshot-skip clock wiring, reattached at rebuild
 	TrustedClock func() wire.Tick //rebound:clock trusted
 	// Trace receives the robot's protocol events (nil = disabled).
 	// The trusted nodes never see it — the TCB import surface stays
@@ -46,30 +48,34 @@ type Config struct {
 	// expiry) are observed from this layer: Safe Mode via the a-node's
 	// kill-switch callback, expiry by polling ValidTokenCount on the
 	// hardware timer.
-	Trace obs.Tracer
+	Trace obs.Tracer //rebound:snapshot-skip observer wiring, reattached at rebuild
 	// Metrics, when non-nil, rebinds the engine's protocol tallies to
 	// registry counters (see core.Engine.Instrument).
-	Metrics *obs.Registry
+	Metrics *obs.Registry //rebound:snapshot-skip observer wiring, reattached at rebuild
 	// AuditCache, when non-nil, is the swarm-shared replay-verdict
 	// cache (see core.AuditCache). The facade passes one cache to every
 	// robot of a sim; the reference plane leaves it nil.
-	AuditCache *core.AuditCache
+	AuditCache *core.AuditCache //rebound:snapshot-skip swarm-level cache, snapshotted once by the runner
 }
 
 // Robot is a sim.Actor. All robots — protected, unprotected, and the
 // attack package's compromised variants — are built on this type.
 type Robot struct {
-	id     wire.RobotID
-	cfg    Config
-	body   *sim.Body
+	id  wire.RobotID
+	cfg Config
+	//rebound:snapshot-skip owned by sim.World, snapshotted there
+	body *sim.Body
+	//rebound:snapshot-skip shared medium, snapshotted once by the runner
 	medium *radio.Medium
-	clock  func() wire.Tick //rebound:clock engine
+	//rebound:snapshot-skip clock wiring, reattached at rebuild
+	clock func() wire.Tick //rebound:clock engine
 
 	// Protected path. pclock is the local protocol clock — the
 	// trusted clock when one is injected, the engine clock otherwise.
 	snode  *trusted.SNode
 	anode  *trusted.ANode
 	engine *core.Engine
+	//rebound:snapshot-skip clock wiring, reattached at rebuild
 	pclock func() wire.Tick //rebound:clock trusted
 
 	// Unprotected path.
@@ -78,8 +84,8 @@ type Robot struct {
 	safeModeAt wire.Tick //rebound:clock engine
 	inSafeMode bool
 
-	trace       obs.Tracer
-	validTokens int // last ValidTokenCount seen (expiry-event polling; tracing only)
+	trace       obs.Tracer //rebound:snapshot-skip observer wiring, reattached at rebuild
+	validTokens int        // last ValidTokenCount seen (expiry-event polling; tracing only)
 }
 
 // New wires up a robot. body must already be placed in the world;
@@ -132,9 +138,13 @@ func New(cfg Config, body *sim.Body, medium *radio.Medium, clock func() wire.Tic
 }
 
 // ActorID implements sim.Actor.
+//
+//rebound:shard-safe read-only identity
 func (r *Robot) ActorID() wire.RobotID { return r.id }
 
 // Body returns the physics body.
+//
+//rebound:shard-safe returns this robot's own body
 func (r *Robot) Body() *sim.Body { return r.body }
 
 // ANode returns the trusted a-node (nil when unprotected).
@@ -156,6 +166,8 @@ func (r *Robot) InSafeMode() bool { return r.inSafeMode }
 func (r *Robot) SafeModeAt() wire.Tick { return r.safeModeAt }
 
 // Controller returns the live controller (either path).
+//
+//rebound:shard-safe read-only accessor over this robot's own stack
 func (r *Robot) Controller() control.Controller {
 	if r.engine != nil {
 		return r.engine.Controller()
@@ -180,6 +192,8 @@ func (r *Robot) Deliver(f wire.Frame) {
 // chained unless audit-flagged); on an unprotected robot it goes
 // straight to the radio. The attack package uses this as the
 // compromised c-node's transmit path.
+//
+//rebound:shard-safe emits only through the staged radio
 func (r *Robot) RawSend(f wire.Frame) bool {
 	if r.cfg.Protected {
 		return r.anode.SendWireless(f)
@@ -190,6 +204,8 @@ func (r *Robot) RawSend(f wire.Frame) bool {
 
 // RawActuate commands an acceleration on behalf of this robot's
 // c-node, through the a-node when protected.
+//
+//rebound:shard-safe writes only this robot's own body
 func (r *Robot) RawActuate(cmd wire.ActuatorCmd) bool {
 	if r.cfg.Protected {
 		return r.anode.ActuatorCmd(cmd)
@@ -216,6 +232,8 @@ func (r *Robot) reading(now wire.Tick) wire.SensorReading {
 // regardless of what the (possibly compromised) c-node does; the
 // attack package calls it even when the attacker has abandoned the
 // protocol.
+//
+//rebound:shard-safe touches only this robot's trusted nodes and tracer
 func (r *Robot) HardwareTick() {
 	if r.anode == nil {
 		return
@@ -237,9 +255,12 @@ func (r *Robot) HardwareTick() {
 }
 
 // Tick implements sim.Actor: poll sensors, step the control loop, run
-// the audit protocol (protected only).
+// the audit protocol (protected only). It runs in the sharded actor
+// phase, so it must stay free of cross-robot effects outside the
+// staged radio.
 //
 //rebound:clock now=engine
+//rebound:shard-safe sharded actor phase entry point
 func (r *Robot) Tick(now wire.Tick) {
 	r.HardwareTick()
 	if r.body.Crashed {

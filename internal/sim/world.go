@@ -77,9 +77,9 @@ type CrashEvent struct {
 
 // World simulates all robot bodies.
 type World struct {
-	cfg    WorldConfig
-	bodies []*Body // sorted by ID
-	index  map[wire.RobotID]*Body
+	cfg    WorldConfig            //rebound:snapshot-skip immutable config, supplied at rebuild
+	bodies []*Body                // sorted by ID
+	index  map[wire.RobotID]*Body //rebound:snapshot-skip rebuilt from bodies on restore
 
 	crashes []CrashEvent
 
@@ -87,15 +87,15 @@ type World struct {
 	// grid is rebuilt each detectCrashes (bodies move every tick); its
 	// backing arrays and queryBuf amortize to zero allocations. The
 	// sphere-obstacle grid is built once — obstacles are static.
-	grid     spatial.Grid
-	queryBuf []spatial.Member
-	pairBuf  [][2]int32
+	grid     spatial.Grid     //rebound:snapshot-skip rebuilt from bodies every detectCrashes
+	queryBuf []spatial.Member //rebound:snapshot-skip per-tick scratch
+	pairBuf  [][2]int32       //rebound:snapshot-skip per-tick scratch
 
-	sphereObs     []geom.SphereObstacle // indexed obstacles (slice pos = grid ID)
-	otherObs      []geom.Obstacle       // walls etc.: scanned linearly
-	sphereGrid    spatial.Grid
-	sphereMaxR    float64
-	sphereIndexed bool
+	sphereObs     []geom.SphereObstacle //rebound:snapshot-skip derived from cfg.Obstacles at construction
+	otherObs      []geom.Obstacle       //rebound:snapshot-skip derived from cfg.Obstacles at construction
+	sphereGrid    spatial.Grid          //rebound:snapshot-skip derived from cfg.Obstacles at construction
+	sphereMaxR    float64               //rebound:snapshot-skip derived from cfg.Obstacles at construction
+	sphereIndexed bool                  //rebound:snapshot-skip derived from cfg.Obstacles at construction
 }
 
 // NewWorld creates an empty world.

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"roborebound/internal/analysis/snapshotstate"
 	"roborebound/internal/attack"
 	"roborebound/internal/core"
 	"roborebound/internal/faultinject"
@@ -16,14 +17,27 @@ import (
 	"roborebound/internal/trusted"
 )
 
-// TestSnapshotFieldExhaustiveness is the codec's change detector:
-// every struct type reachable (through fields, pointers, slices, and
-// maps) from the snapshotted roots has its exact field list pinned
-// here. Adding a field to any of them fails this test until the
-// change is triaged — either the snapshot codec learns to carry it,
-// or it is re-confirmed as rebuild/scratch state — and the list below
-// is updated. State reachable by ticks but silently missed by a codec
-// must be a test failure, not a flaky resume.
+// TestSnapshotFieldExhaustiveness is the codec's change detector,
+// demoted from a hand-pinned field census to a cross-check: the
+// reflection walk below enumerates every struct type reachable
+// (through fields, pointers, slices, and maps) from the snapshotted
+// roots, and compares each type's actual field list against the
+// snapshotstate analyzer's view of the same type — Covered ∪ Skipped
+// from snapshotstate.Surfaces. The analyzer is the source of truth for
+// which fields the codecs carry and which are justified skips (`make
+// lint` holds every skip to a written reason); this test holds the
+// analyzer's *static* reachability to the *runtime* shape, so the two
+// views of the codec surface cannot drift apart silently:
+//
+//   - A field added to a tracked struct fails `make lint` until the
+//     codec carries it or a //rebound:snapshot-skip justifies it —
+//     and fails here if the analyzer somehow didn't see the type.
+//   - A type that the runtime walk reaches but the analyzer does not
+//     track fails here (it must either join a codec, become a guard
+//     leaf with a reason, or get a manual pin below).
+//   - A type the analyzer tracks but the walk never reaches fails
+//     here too: stale analyzer surface means the reachability
+//     reasoning moved on.
 //
 // The walk sees unexported fields via reflection, so nothing needs
 // exporting; interfaces and funcs are natural stop points (they are
@@ -45,70 +59,30 @@ var guardLeafPkgs = map[string]bool{
 }
 
 // guardLeafTypes are configuration/provisioning types inside walked
-// packages: immutable after construction, re-derived by the rebuild,
-// never serialized. A field added to one of these cannot change a
-// run's tick-to-tick evolution after build time.
+// packages that the analyzer does not track (their holding fields are
+// //rebound:snapshot-skip, so the codec walk never enters them):
+// immutable after construction, re-derived by the rebuild, never
+// serialized. A field added to one of these cannot change a run's
+// tick-to-tick evolution after build time.
 var guardLeafTypes = map[string]bool{
 	"sim.WorldConfig":          true,
 	"radio.Params":             true,
 	"core.Config":              true,
-	"robot.Config":             true,
 	"trusted.ANodeConfig":      true,
 	"trusted.SealedMissionKey": true,
 	"faultinject.Schedule":     true,
 }
 
-// guardKnownFields pins the field list of every dynamic-state struct
-// the codecs were written against (serialized fields and
-// rebuild/scratch fields alike — the codec comments say which is
-// which).
-var guardKnownFields = map[string][]string{
-	"sim.Engine": {"World", "Medium", "actors", "ids", "byID", "now", "observers", "tickShards", "capture"},
-	"sim.World": {"cfg", "bodies", "index", "crashes", "grid", "queryBuf", "pairBuf",
-		"sphereObs", "otherObs", "sphereGrid", "sphereMaxR", "sphereIndexed"},
-	"sim.Body":       {"ID", "Pos", "Vel", "Acc", "Disabled", "Crashed"},
-	"sim.CrashEvent": {"Time", "A", "B"},
-
-	"radio.Medium": {"params", "pos", "rng", "queue", "seq", "counters", "senders", "staged",
-		"stagedIDs", "loss", "filter", "delay", "reassemblers", "deliverTick", "trace", "metrics",
-		"grid", "gridBuf", "sortedBuf", "ctrBuf", "outBuf", "resultBuf", "countBuf"},
-	"radio.queuedFrame":  {"frame", "from", "seq", "size", "readyAt"},
-	"radio.senderState":  {"nextMsgID", "outbox"},
-	"radio.ByteCounters": {"TxApp", "TxAudit", "RxApp", "RxAudit", "TxFrames", "RxFrames", "Dropped"},
-	"radio.Reassembler":  {"Timeout", "bufs"},
-	"radio.fragKey":      {"from", "msgID"},
-	"radio.fragBuf":      {"total", "received", "chunks", "lastSeen"},
-	"radio.Delivery":     {"To", "Frame", "seq", "rank"},
-
-	"trusted.SNode":    {"nodeBase"},
-	"trusted.ANode":    {"nodeBase", "cfg", "tkMap", "bktLvl", "lastBktUpdate", "safeMode", "graceUntil", "onSafeMode", "toNIC", "toCNode", "toActuator"},
-	"trusted.nodeBase": {"kind", "robID", "master", "keySeq", "clock", "mac", "chain", "macOps", "hashedBytes"},
-	"trusted.Chain":    {"top", "batchSize", "h", "pending", "scratch", "buffered", "buf"},
-
-	"core.Engine": {"id", "cfg", "factory", "ctrl", "snode", "anode", "log", "send", "heard",
-		"now", "round", "rounds", "served", "acache", "stats", "trace", "roundLatency"},
-	"core.auditRound": {"hash", "startAt", "covered", "fromBoot", "encStart", "startTok",
-		"encEnd", "segment", "reqTail", "tokens", "asked", "lastAsk"},
-	"core.statsCounters": {"roundsStarted", "roundsCovered", "roundsAbandoned", "auditsRequested",
-		"auditsServed", "auditsRefused", "tokensInstalled", "tokensRejected"},
-	"core.AuditCache":   {"cap", "m", "fifo", "next", "hits", "misses"},
-	"core.AuditVerdict": {"OK", "HCkpt"},
-
-	"auditlog.Log":               {"fromBoot", "start", "entries", "pending", "encoded", "offsets", "entryBytes", "truncations"},
-	"auditlog.CoveredCheckpoint": {"CP", "Tokens"},
-	"auditlog.pendingCheckpoint": {"cp", "hash", "index"},
-	"auditlog.Checkpoint":        {"Time", "AuthS", "AuthA", "State"},
-
-	"robot.Robot": {"id", "cfg", "body", "medium", "clock", "snode", "anode", "engine",
-		"pclock", "ctrl", "safeModeAt", "inSafeMode", "trace", "validTokens"},
-
-	"attack.Compromised": {"Robot", "CompromiseAt", "Strat", "KeepProtocol", "active",
-		"firstMisbehavior", "misbehaved", "captured"},
-
-	"faultinject.Checker":   {"TVal", "TAudit", "Schedule", "Flight", "Trace", "violation", "prev", "lastCov", "lastAdv"},
-	"faultinject.Violation": {"Invariant", "Tick", "Robot", "Detail", "ActiveFaults", "Events"},
-
-	"prng.Source": {"s"},
+// guardManualFields pins the field lists of the few run-state structs
+// outside the analyzer's codec surface: sim.Engine is snapshotted by
+// the runner orchestration (not a struct codec the analyzer can root
+// at), prng.Source's codec lives behind MarshalState-style methods,
+// and radio.Delivery is only reachable through a skipped scratch
+// buffer. Everything else is pinned by snapshotstate.Surfaces.
+var guardManualFields = map[string][]string{
+	"sim.Engine":     {"World", "Medium", "actors", "ids", "byID", "now", "observers", "tickShards", "capture"},
+	"radio.Delivery": {"To", "Frame", "seq", "rank"},
+	"prng.Source":    {"s"},
 }
 
 const guardPkgPrefix = "roborebound/internal/"
@@ -118,6 +92,14 @@ func guardTypeKey(t reflect.Type) string {
 }
 
 func TestSnapshotFieldExhaustiveness(t *testing.T) {
+	surfaces, err := snapshotstate.Surfaces("../..", "./...")
+	if err != nil {
+		t.Fatalf("snapshotstate.Surfaces: %v", err)
+	}
+	if len(surfaces) == 0 {
+		t.Fatal("snapshotstate.Surfaces returned no tracked types; the analyzer lost its codec roots")
+	}
+
 	roots := []reflect.Type{
 		reflect.TypeOf(sim.Engine{}),
 		reflect.TypeOf(sim.World{}),
@@ -131,6 +113,7 @@ func TestSnapshotFieldExhaustiveness(t *testing.T) {
 		reflect.TypeOf(prng.Source{}),
 	}
 	seen := make(map[reflect.Type]bool)
+	reached := make(map[string]bool) // full "<pkgpath>.<Type>" keys
 	var walk func(reflect.Type)
 	walk = func(ty reflect.Type) {
 		switch ty.Kind() {
@@ -158,19 +141,26 @@ func TestSnapshotFieldExhaustiveness(t *testing.T) {
 		if guardLeafPkgs[ty.PkgPath()] {
 			return
 		}
-		key := guardTypeKey(ty)
-		if guardLeafTypes[key] {
-			return
-		}
 		if ty.Name() == "" {
 			t.Errorf("walk reached an anonymous struct in %s; name it and pin its fields", ty.PkgPath())
 			return
 		}
-		want, ok := guardKnownFields[key]
-		if !ok {
-			t.Errorf("type %s holds run state but has no pinned field list; add it to guardKnownFields and make sure the snapshot codec accounts for every field", key)
+		fullKey := ty.PkgPath() + "." + ty.Name()
+		key := guardTypeKey(ty)
+
+		var want []string
+		if fs, tracked := surfaces[fullKey]; tracked {
+			reached[fullKey] = true
+			want = append(append(want, fs.Covered...), fs.Skipped...)
+		} else if guardLeafTypes[key] {
+			return
+		} else if pinned, ok := guardManualFields[key]; ok {
+			want = append(want, pinned...)
+		} else {
+			t.Errorf("type %s holds run state but is neither tracked by the snapshotstate analyzer nor pinned in guardManualFields; make the snapshot codec account for every field (then the analyzer tracks it) or pin it here with a reason", key)
 			return
 		}
+
 		var got []string
 		for i := 0; i < ty.NumField(); i++ {
 			got = append(got, ty.Field(i).Name)
@@ -180,16 +170,17 @@ func TestSnapshotFieldExhaustiveness(t *testing.T) {
 		sort.Strings(ws)
 		sort.Strings(gs)
 		if !reflect.DeepEqual(ws, gs) {
-			t.Errorf("field list of %s changed:\n  have %v\n  pinned %v\nupdate the snapshot codec for %s (or re-confirm the new field is rebuild/scratch state) and then update guardKnownFields", key, got, want, key)
+			t.Errorf("field list of %s diverges from the analyzer's surface:\n  runtime  %v\n  analyzer %v\nupdate the snapshot codec for %s (or //rebound:snapshot-skip the new field with a reason) — `make lint` explains which fields are uncovered", key, got, want, key)
 		}
 	}
 	for _, r := range roots {
 		walk(r)
 	}
 
-	// Every pinned type must also be reachable — a stale entry means
-	// the walk (and hence the codecs' coverage reasoning) moved on.
-	for key := range guardKnownFields {
+	// Every manually pinned type must be reachable — a stale entry
+	// means the walk (and hence the codecs' coverage reasoning) moved
+	// on.
+	for key := range guardManualFields {
 		found := false
 		for ty := range seen {
 			if ty.Kind() == reflect.Struct && strings.HasPrefix(ty.PkgPath(), guardPkgPrefix) && guardTypeKey(ty) == key {
@@ -198,7 +189,16 @@ func TestSnapshotFieldExhaustiveness(t *testing.T) {
 			}
 		}
 		if !found {
-			t.Errorf("guardKnownFields pins %s but the walk never reached it; remove the stale entry or fix the walk roots", key)
+			t.Errorf("guardManualFields pins %s but the walk never reached it; remove the stale entry or fix the walk roots", key)
+		}
+	}
+
+	// And every analyzer-tracked type must be reachable by the runtime
+	// walk: a tracked type the walk cannot see means the static and
+	// dynamic reachability have drifted apart.
+	for fullKey := range surfaces {
+		if !reached[fullKey] {
+			t.Errorf("snapshotstate tracks %s but the runtime walk never reached it; the static and runtime views of the codec surface have drifted — fix the walk roots or the analyzer's codec roots", fullKey)
 		}
 	}
 }

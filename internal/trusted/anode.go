@@ -47,7 +47,7 @@ func DefaultANodeConfig(ticksPerSecond float64) ANodeConfig {
 // staleness triggers Safe Mode.
 type ANode struct {
 	nodeBase
-	cfg ANodeConfig
+	cfg ANodeConfig //rebound:snapshot-skip immutable config, supplied at rebuild
 
 	tkMap map[wire.RobotID]wire.Tick
 
@@ -56,11 +56,11 @@ type ANode struct {
 
 	safeMode   bool
 	graceUntil wire.Tick // token checks start TVal after mission start
-	onSafeMode func()
+	onSafeMode func()    //rebound:snapshot-skip kill-switch wiring, reattached at rebuild
 
-	toNIC      func(wire.Frame)
-	toCNode    func(wire.Frame, []byte)
-	toActuator func(wire.ActuatorCmd)
+	toNIC      func(wire.Frame)         //rebound:snapshot-skip hardware wiring, reattached at rebuild
+	toCNode    func(wire.Frame, []byte) //rebound:snapshot-skip hardware wiring, reattached at rebuild
+	toActuator func(wire.ActuatorCmd)   //rebound:snapshot-skip hardware wiring, reattached at rebuild
 }
 
 // NewANode constructs an a-node. The three forwarding hooks model the

@@ -46,7 +46,7 @@ type Chain struct {
 	// Stack arrays would escape through the hash.Hash interface call
 	// and heap-allocate on every append; a field on the (already
 	// heap-resident) chain does not.
-	scratch [6]byte
+	scratch [6]byte //rebound:snapshot-skip write-only scratch, no retained state
 
 	// Buffered reference state.
 	buffered bool
@@ -106,8 +106,11 @@ func (c *Chain) Buffered() bool { return c.buffered }
 // Append adds one entry; when the pending count reaches the batch size
 // the chain advances. The streaming path hashes the entry immediately
 // and retains nothing, so callers may reuse their buffers either way.
+//
+//rebound:hotpath every chained frame and sensor reading lands here
 func (c *Chain) Append(entry []byte) {
 	if c.buffered {
+		//rebound:alloc buffered reference plane; production chains stream
 		c.buf = append(c.buf, append([]byte(nil), entry...))
 		if len(c.buf) >= c.batchSize {
 			c.flushBuffered()
@@ -126,12 +129,14 @@ func (c *Chain) Append(entry []byte) {
 // TestChainAppendEntryMatchesEncode pins this — so nodes can commit an
 // entry and hand the (separately produced) encoding to the c-node
 // without an extra encode on the trusted side.
+//
+//rebound:hotpath every chained frame and sensor reading lands here
 func (c *Chain) AppendEntry(kind uint8, payload []byte) {
 	if len(payload) > 255 {
 		panic("trusted: log entry payload exceeds 255 bytes")
 	}
 	if c.buffered {
-		enc := make([]byte, 2+len(payload))
+		enc := make([]byte, 2+len(payload)) //rebound:alloc buffered reference plane; production chains stream
 		enc[0] = kind
 		enc[1] = uint8(len(payload))
 		copy(enc[2:], payload)
@@ -199,6 +204,10 @@ func (c *Chain) flushStream() {
 	c.pending = 0
 }
 
+// flushBuffered runs only on the buffered reference plane, never on a
+// production (streaming) chain's append path.
+//
+//rebound:coldpath buffered reference implementation only
 func (c *Chain) flushBuffered() {
 	c.top = cryptolite.ChainExtend(c.top, c.buf)
 	c.buf = c.buf[:0]

@@ -9,12 +9,13 @@ import (
 // (Algorithm 2): the one-time master key, the per-mission key, and the
 // batched hash chain.
 type nodeBase struct {
-	kind   uint8 // wire.NodeS or wire.NodeA
-	robID  wire.RobotID
-	master []byte // nil until LOADMASTERKEY; write-once ("flash")
+	kind  uint8        //rebound:snapshot-skip construction identity, not run state
+	robID wire.RobotID //rebound:snapshot-skip construction identity, not run state
+	// master is nil until LOADMASTERKEY; write-once ("flash").
+	master []byte //rebound:snapshot-skip key material, re-injected at rebuild
 	keySeq uint64
 
-	clock Clock
+	clock Clock                //rebound:snapshot-skip clock wiring, reattached at rebuild
 	mac   *cryptolite.LightMAC // nil ⇔ key = 0 in the paper
 	chain *Chain
 
