@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race ci bench bench-all bench-scale bench-swarm bench-gate fmt-check cover chaos-smoke scale-smoke swarm-smoke snapshot-smoke fuzz-smoke
+.PHONY: all build vet lint test race ci bench bench-all bench-scale bench-swarm bench-perf bench-gate fmt-check cover chaos-smoke scale-smoke swarm-smoke snapshot-smoke perf-smoke fuzz-smoke
 
 all: ci
 
@@ -74,6 +74,20 @@ bench-swarm:
 	  | $(GO) run ./cmd/benchjson -o BENCH_swarm.json
 	@cat BENCH_swarm.json
 
+# The wall-clock performance-plane suite: the perf package's Start/End
+# micro pair (disabled vs enabled instrumentation), the end-to-end
+# Sim_Off/Sim_On pair (the same chaos cell untimed vs fully
+# instrumented — absolute numbers for the committed baseline), and the
+# paired Sim_Overhead benchmark, which interleaves off/on cells in an
+# ABBA schedule and reports the overhead percentage directly. All
+# recorded to the committed BENCH_perf.json.
+bench-perf:
+	@{ $(GO) test -run '^$$' -bench 'BenchmarkPerf_' -benchmem ./internal/obs/perf/ && \
+	   $(GO) test -run '^$$' -bench 'BenchmarkPerf_Sim_(Off|On)$$' -benchtime 3x -benchmem -timeout 30m . && \
+	   $(GO) test -run '^$$' -bench 'BenchmarkPerf_Sim_Overhead' -benchtime 6x -timeout 30m . ; } \
+	  | $(GO) run ./cmd/benchjson -o BENCH_perf.json
+	@cat BENCH_perf.json
+
 # Re-run the hot-path pairs and enforce the speedup contracts: the
 # spatially indexed Deliver and collision paths must stay >=5x faster
 # than brute force at N=500, the fast protocol plane must serve an
@@ -82,7 +96,10 @@ bench-swarm:
 # from the same run on the same machine, so the gates hold on any
 # runner; the committed-baseline comparisons are a coarse backstop
 # (generous tolerance) against order-of-magnitude regressions
-# slipping through.
+# slipping through. The final stanza caps the wall-clock perf plane's
+# whole-sim overhead at 3%, measured by the paired interleaved
+# benchmark (see bench_perf_test.go) so runner noise cancels instead
+# of dominating the 3% effect.
 bench-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkScale_(Deliver|Collision)' -benchmem -timeout 30m . \
 	  | $(GO) run ./cmd/benchjson -o /dev/null \
@@ -94,6 +111,9 @@ bench-gate:
 	      -baseline BENCH_swarm.json -tolerance 3.0 \
 	      -minratio 'BenchmarkSwarm_Audit_Reference/BenchmarkSwarm_Audit_Fast>=5' \
 	      -minratio 'BenchmarkSwarm_Chain_Buffered/BenchmarkSwarm_Chain_Streaming>=1.5'
+	$(GO) test -run '^$$' -bench 'BenchmarkPerf_Sim_Overhead' -benchtime 6x -timeout 30m . \
+	  | $(GO) run ./cmd/benchjson -o /dev/null \
+	      -maxmetric 'BenchmarkPerf_Sim_Overhead:overhead_pct<=3'
 
 # Coverage over every package, with a per-function summary and an HTML
 # report CI uploads as an artifact.
@@ -140,6 +160,17 @@ snapshot-smoke:
 	  -o snapshot-cell.rbsn snapshot
 	$(GO) run ./cmd/roborebound -progress=false \
 	  -from snapshot-cell.rbsn -verify resume
+
+# The performance-plane smoke: one 300-robot sharded spatial chaos
+# cell run twice by the perf subcommand — untimed, then with the full
+# wall-clock plane attached (phase timer, runtime sampler) — printing
+# the phase-attributed timing table and runtime telemetry, and exiting
+# nonzero unless the two runs are byte-identical (fingerprint and
+# metrics snapshot). Every perf report doubles as an observation-only
+# proof at production scale.
+perf-smoke:
+	$(GO) run ./cmd/roborebound -progress=false -spatial \
+	  -controller flocking -profile mixed -n 300 -duration 20 -shards 4 perf
 
 # Short fuzz pass over each fuzz target (seed corpora always run as
 # part of `make test`; this explores beyond them).

@@ -1,0 +1,97 @@
+package roborebound
+
+// Performance-plane overhead benchmarks: the same chaos cell run with
+// the wall-clock perf plane detached (Off) and fully attached (On —
+// phase timer, runtime sampler). `make bench-perf` records the pair
+// (plus the perf package's Start/End micro benches) into the committed
+// BENCH_perf.json as the absolute numbers; the ≤3% overhead contract
+// itself is gated on BenchmarkPerf_Sim_Overhead, which interleaves
+// off/on cells in an ABBA schedule and reports the paired percentage
+// directly (`make bench-gate` holds it to ≤3 via benchjson
+// -maxmetric). Two separately-timed benchmarks drift ±10% or more on
+// a shared runner — far above the effect being measured — while
+// paired interleaving cancels both linear drift and noise bursts, so
+// the gate holds on any machine.
+
+import (
+	"testing"
+
+	"roborebound/internal/faultinject"
+	"roborebound/internal/obs/perf"
+)
+
+// perfBenchCell is the cell both sides run: big enough that per-tick
+// pipeline work dominates setup, small enough for -benchtime 3x in CI.
+func perfBenchCell() ChaosConfig {
+	return ChaosConfig{
+		Controller:  "flocking",
+		Profile:     faultinject.ProfileNone,
+		Seed:        1,
+		N:           60,
+		DurationSec: 20,
+	}
+}
+
+func BenchmarkPerf_Sim_Off(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := RunChaos(perfBenchCell())
+		if res.Violation != nil {
+			b.Fatal(res.Violation)
+		}
+	}
+}
+
+func BenchmarkPerf_Sim_On(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := perfBenchCell()
+		timer := perf.NewPhaseTimer(nil)
+		cfg.Perf = timer
+		cfg.PerfRuntime = perf.NewRuntimeSampler(0)
+		res := RunChaos(cfg)
+		if res.Violation != nil {
+			b.Fatal(res.Violation)
+		}
+		if timer.PipelineTotalNs() == 0 {
+			b.Fatal("timer recorded nothing; benchmark measures no instrumentation")
+		}
+	}
+}
+
+// BenchmarkPerf_Sim_Overhead measures the perf plane's whole-sim cost
+// as a paired quantity: each iteration runs the cell four times in an
+// off/on/on/off schedule, timing each side with the package clock, and
+// the benchmark reports 100×(on−off)/off as the overhead_pct metric.
+// This is the number `make bench-gate` caps at 3.
+func BenchmarkPerf_Sim_Overhead(b *testing.B) {
+	cell := func(timed bool) int64 {
+		cfg := perfBenchCell()
+		var timer *perf.PhaseTimer
+		if timed {
+			timer = perf.NewPhaseTimer(nil)
+			cfg.Perf = timer
+			cfg.PerfRuntime = perf.NewRuntimeSampler(0)
+		}
+		start := perf.Now()
+		res := RunChaos(cfg)
+		elapsed := perf.Now() - start
+		if res.Violation != nil {
+			b.Fatal(res.Violation)
+		}
+		if timed && timer.PipelineTotalNs() == 0 {
+			b.Fatal("timer recorded nothing; overhead measures no instrumentation")
+		}
+		return elapsed
+	}
+	cell(false) // warm caches and the page allocator outside the pairs
+	var offNs, onNs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		offNs += cell(false)
+		onNs += cell(true)
+		onNs += cell(true)
+		offNs += cell(false)
+	}
+	b.ReportMetric(100*(float64(onNs)-float64(offNs))/float64(offNs), "overhead_pct")
+}

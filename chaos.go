@@ -14,6 +14,7 @@ import (
 	"roborebound/internal/faultinject"
 	"roborebound/internal/geom"
 	"roborebound/internal/obs"
+	"roborebound/internal/obs/perf"
 	"roborebound/internal/radio"
 	"roborebound/internal/runner"
 	"roborebound/internal/wire"
@@ -109,6 +110,16 @@ type ChaosConfig struct {
 	// ChaosResult.PreViolation holds a snapshot from ~N ticks before
 	// the breach — a resumable forensic starting point. 0 disables.
 	ViolationRewind wire.Tick
+	// Perf, when non-nil, attributes the cell's wall-clock time to the
+	// tick-pipeline phases (see SimConfig.Perf). Observation-only: the
+	// fingerprint, traces, and metrics are byte-identical with it on or
+	// off. Same matrix caveat as Trace — the timer is shared state, so
+	// leave nil for matrix sweeps unless one timer per cell.
+	Perf *perf.PhaseTimer
+	// PerfRuntime, when non-nil, samples runtime/metrics (heap, GC,
+	// goroutines) every PerfRuntime.Every() ticks during the run.
+	// Observation-only, same caveats as Perf.
+	PerfRuntime *perf.RuntimeSampler
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -260,7 +271,7 @@ func buildChaosSim(cfg ChaosConfig, cc core.Config, sched *faultinject.Schedule)
 		factory := control.PatrolFactory{Params: params}
 		s := NewSim(SimConfig{Seed: cfg.Seed, Core: &cc, Radio: radioParams, Faults: sched,
 			Trace: cfg.Trace, Metrics: cfg.Metrics, SpatialIndex: cfg.SpatialIndex,
-			TickShards: cfg.TickShards, ReferencePlane: cfg.ReferencePlane})
+			TickShards: cfg.TickShards, ReferencePlane: cfg.ReferencePlane, Perf: cfg.Perf})
 		for i := 0; i < cfg.N; i++ {
 			id := wire.RobotID(i + 1)
 			pos := route[int(id)%len(route)]
@@ -285,7 +296,7 @@ func buildChaosSim(cfg ChaosConfig, cc core.Config, sched *faultinject.Schedule)
 		factory := control.WarehouseFactory{Params: params}
 		s := NewSim(SimConfig{Seed: cfg.Seed, Core: &cc, Radio: radioParams, Faults: sched,
 			Trace: cfg.Trace, Metrics: cfg.Metrics, SpatialIndex: cfg.SpatialIndex,
-			TickShards: cfg.TickShards, ReferencePlane: cfg.ReferencePlane})
+			TickShards: cfg.TickShards, ReferencePlane: cfg.ReferencePlane, Perf: cfg.Perf})
 		for i := 0; i < cfg.N; i++ {
 			id := wire.RobotID(i + 1)
 			pos := pickups[i].Add(geom.V(2, 0))
@@ -319,6 +330,7 @@ func buildChaosSim(cfg ChaosConfig, cc core.Config, sched *faultinject.Schedule)
 			SpatialIndex:   cfg.SpatialIndex,
 			TickShards:     cfg.TickShards,
 			ReferencePlane: cfg.ReferencePlane,
+			Perf:           cfg.Perf,
 		}
 		for _, aid := range attackerIDs {
 			slot := int(aid) - 1
@@ -414,6 +426,18 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 		}
 		checker.Check(now, snaps)
 	})
+	if rt := cfg.PerfRuntime; rt != nil {
+		// Runtime telemetry rides the engine's observer hook at the
+		// sampler's own cadence. Sampling reads process state only —
+		// nothing it does can reach the simulation, so the cell stays
+		// byte-identical with it on or off.
+		every := wire.Tick(rt.Every())
+		s.Engine.Observe(func(now wire.Tick) {
+			if now%every == 0 {
+				rt.Sample()
+			}
+		})
+	}
 
 	res := ChaosResult{
 		Config:   cfg,

@@ -17,11 +17,18 @@
 //
 //	-minratio 'BenchmarkScale_Deliver_Brute_N500/BenchmarkScale_Deliver_Indexed_N500>=5'
 //
-// requires the indexed path to stay ≥5× faster than brute force.
-// Ratio gates compare two numbers from the same run on the same
-// machine, so they hold on any runner; the baseline check is a
-// coarse backstop against order-of-magnitude regressions and should
-// be given a generous tolerance in CI.
+// requires the indexed path to stay ≥5× faster than brute force. With
+// -maxmetric (repeatable) it caps a reported metric of one benchmark —
+// e.g.
+//
+//	-maxmetric 'BenchmarkPerf_Sim_Overhead:overhead_pct<=3'
+//
+// caps a custom b.ReportMetric value, which is how the perf plane's
+// paired overhead measurement is gated. Ratio and metric gates compare
+// numbers from the same run on the same machine, so they hold on any
+// runner; the baseline check is a coarse backstop against
+// order-of-magnitude regressions and should be given a generous
+// tolerance in CI.
 package main
 
 import (
@@ -43,12 +50,15 @@ var (
 		"committed benchjson report to compare against; any benchmark present in both whose ns/op exceeds (1+tolerance)×baseline fails the gate")
 	tolerance = flag.Float64("tolerance", 0.25,
 		"allowed relative ns/op regression against -baseline (0.25 = 25% slower)")
-	minRatios gateFlags
+	minRatios  gateFlags
+	maxMetrics gateFlags
 )
 
 func init() {
 	flag.Var(&minRatios, "minratio",
 		"speedup gate 'BenchA/BenchB>=X': ns/op of A divided by ns/op of B must be at least X; repeatable")
+	flag.Var(&maxMetrics, "maxmetric",
+		"metric cap 'Bench:unit<=X': the named benchmark's reported metric must not exceed X; repeatable")
 }
 
 // gateFlags collects repeated -minratio values.
@@ -119,6 +129,44 @@ func checkRatios(cur map[string]map[string]float64, gates []string) []error {
 		case !(slowNs/fastNs >= minRatio):
 			errs = append(errs, fmt.Errorf("minratio %q: %.0f/%.0f = %.2fx, want >= %.2fx",
 				gate, slowNs, fastNs, slowNs/fastNs, minRatio))
+		}
+	}
+	return errs
+}
+
+// checkMetrics enforces 'Bench:unit<=X' caps against the fresh
+// numbers. Like the ratio gates, a missing benchmark or metric is an
+// error: a gate that silently stops measuring is worse than a failing
+// one.
+func checkMetrics(cur map[string]map[string]float64, gates []string) []error {
+	var errs []error
+	for _, gate := range gates {
+		lhs, maxStr, ok := strings.Cut(gate, "<=")
+		if !ok {
+			errs = append(errs, fmt.Errorf("maxmetric %q: want 'Bench:unit<=X'", gate))
+			continue
+		}
+		name, unit, ok := strings.Cut(lhs, ":")
+		if !ok {
+			errs = append(errs, fmt.Errorf("maxmetric %q: want ':' between benchmark name and metric unit", gate))
+			continue
+		}
+		maxVal, err := strconv.ParseFloat(strings.TrimSpace(maxStr), 64)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("maxmetric %q: bad cap: %v", gate, err))
+			continue
+		}
+		metrics, okB := cur[strings.TrimSpace(name)]
+		if !okB {
+			errs = append(errs, fmt.Errorf("maxmetric %q: %s not in the bench run", gate, name))
+			continue
+		}
+		v, okM := metrics[strings.TrimSpace(unit)]
+		switch {
+		case !okM:
+			errs = append(errs, fmt.Errorf("maxmetric %q: %s did not report %s", gate, name, unit))
+		case v > maxVal:
+			errs = append(errs, fmt.Errorf("maxmetric %q: %.2f %s, want <= %.2f", gate, v, unit, maxVal))
 		}
 	}
 	return errs
@@ -227,13 +275,14 @@ func main() {
 		errs = append(errs, checkBaseline(results, base, *tolerance)...)
 	}
 	errs = append(errs, checkRatios(results, minRatios)...)
+	errs = append(errs, checkMetrics(results, maxMetrics)...)
 	for _, e := range errs {
 		fmt.Fprintln(os.Stderr, "bench gate FAIL:", e)
 	}
 	if len(errs) > 0 {
 		os.Exit(1)
 	}
-	if *baseline != "" || len(minRatios) > 0 {
+	if *baseline != "" || len(minRatios) > 0 || len(maxMetrics) > 0 {
 		fmt.Fprintln(os.Stderr, "bench gates passed")
 	}
 }

@@ -124,3 +124,30 @@ func TestCheckRatios(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckMetrics(t *testing.T) {
+	cur := map[string]map[string]float64{
+		"BenchmarkOverhead": {"ns/op": 1e9, "overhead_pct": 1.4},
+	}
+	// Under the cap — including a negative reading (paired noise) — passes.
+	if errs := checkMetrics(cur, []string{"BenchmarkOverhead:overhead_pct<=3"}); len(errs) != 0 {
+		t.Fatalf("1.4 should satisfy <=3: %v", errs)
+	}
+	cur["BenchmarkOverhead"]["overhead_pct"] = -0.5
+	if errs := checkMetrics(cur, []string{"BenchmarkOverhead:overhead_pct<=3"}); len(errs) != 0 {
+		t.Fatalf("-0.5 should satisfy <=3: %v", errs)
+	}
+	cur["BenchmarkOverhead"]["overhead_pct"] = 4.2
+	for _, gate := range []string{
+		"BenchmarkOverhead:overhead_pct<=3", // over the cap
+		"BenchmarkMissing:overhead_pct<=3",  // unknown benchmark
+		"BenchmarkOverhead:missing_unit<=3", // metric not reported
+		"BenchmarkOverhead<=3",              // no ':'
+		"BenchmarkOverhead:overhead_pct",    // no '<='
+		"BenchmarkOverhead:overhead_pct<=x", // bad cap
+	} {
+		if errs := checkMetrics(cur, []string{gate}); len(errs) != 1 {
+			t.Errorf("gate %q: want exactly one error, got %v", gate, errs)
+		}
+	}
+}

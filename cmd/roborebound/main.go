@@ -16,10 +16,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"time"
 
 	rr "roborebound"
 	"roborebound/internal/faultinject"
+	"roborebound/internal/obs/perf"
 )
 
 // out is the destination for all report output. Tests swap it for a
@@ -38,9 +38,16 @@ var (
 		"run chaos/trace cells with the uniform-grid spatial index (results are byte-identical either way; scale always runs both)")
 )
 
+// curMeter is the sweep meter of the timed() call in flight. sweepOpts
+// attaches it to the sweep so the runner pool feeds per-cell latency
+// and worker utilization back to timed's summary line. All CLI
+// wall-clock reads go through the perf package's monotonic clock —
+// the repo's one audited wall-clock seam.
+var curMeter *perf.SweepMeter
+
 // sweepOpts threads -parallel and -progress into a sweep call.
 func sweepOpts() rr.SweepOptions {
-	opts := rr.SweepOptions{Workers: *parallel}
+	opts := rr.SweepOptions{Workers: *parallel, Meter: curMeter}
 	if *progress {
 		opts.Progress = func(p rr.SweepProgress) {
 			fmt.Fprintf(os.Stderr, "  [%d/%d] %s  %.2fs\n", p.Done, p.Total, p.Label, p.Elapsed.Seconds())
@@ -50,14 +57,21 @@ func sweepOpts() rr.SweepOptions {
 }
 
 // timed reports a sweep's total wall-clock next to its cell count
-// (returned by f), so the -parallel speedup is visible at a glance.
+// (returned by f), so the -parallel speedup is visible at a glance,
+// plus the pool's per-cell latency percentiles and utilization.
 func timed(name string, f func() int) {
-	start := time.Now() //rebound:wallclock sweep wall-time goes to stderr progress output only
+	meter := perf.NewSweepMeter(nil)
+	curMeter = meter
+	start := perf.Now()
 	cells := f()
+	curMeter = nil
 	if *progress {
 		fmt.Fprintf(os.Stderr, "  %s: %d cells in %.2fs (-parallel %d)\n",
-			//rebound:wallclock sweep wall-time goes to stderr progress output only
-			name, cells, time.Since(start).Seconds(), *parallel)
+			name, cells, float64(perf.Now()-start)/1e9, *parallel)
+		if rep := meter.Report(); rep.Cells > 0 {
+			fmt.Fprintf(os.Stderr, "    cell latency p50=%.2fs p95=%.2fs p99=%.2fs  workers=%d util=%.0f%%\n",
+				rep.P50Ns/1e9, rep.P95Ns/1e9, rep.P99Ns/1e9, rep.Workers, rep.Utilization*100)
+		}
 	}
 }
 
@@ -98,6 +112,7 @@ func main() {
 		"trace":  traceCmd,
 		"scale":  scaleCmd,
 		"swarm":  swarmCmd,
+		"perf":   perfCmd,
 
 		"snapshot": snapshotCmd,
 		"resume":   resumeCmd,
@@ -123,7 +138,7 @@ func main() {
 	}
 	f()
 	stopProfiles()
-	if chaosFailed || snapshotFailed {
+	if chaosFailed || snapshotFailed || perfFailed {
 		os.Exit(1)
 	}
 }
@@ -151,6 +166,12 @@ subcommands:
   trace    run one scenario fully instrumented and export its protocol
            event log / Perfetto trace / metrics (see -events, -perfetto,
            -metrics); scenarios: flocking (default), patrol, warehouse
+  perf     run one chaos cell (-controller/-profile/-n/-duration/-shards)
+           untimed and then with the wall-clock performance plane
+           attached; prove the runs byte-identical, print the
+           phase-attributed timing table and runtime telemetry, and
+           export a merged tick+wall-clock Perfetto trace (-perfetto)
+           or a JSON report (-json)
   snapshot run one chaos cell (-controller/-profile/-seed/-duration) and
            write its full run state at tick -at (default: midpoint) to -o;
            the file embeds the cell config, so it is self-contained
@@ -195,19 +216,25 @@ func fig5() {
 	if *quick {
 		iters = 500
 	}
-	fmt.Fprintln(out, "Fig. 5a — SHA-1 and LightMAC latency vs argument size")
-	fmt.Fprintf(out, "%8s %14s %14s %14s %14s\n", "bytes", "hash host ns", "hash PIC ms", "MAC host ns", "MAC PIC ms")
+	fmt.Fprintln(out, "Fig. 5a — SHA-1 and LightMAC latency vs argument size (host ns, per-op distribution)")
+	fmt.Fprintf(out, "%8s | %10s %8s %8s %8s %10s | %10s %8s %8s %8s %10s\n",
+		"bytes", "hash mean", "p50", "p95", "p99", "hash PICms", "MAC mean", "p50", "p95", "p99", "MAC PICms")
 	hash := rr.MeasureHashLatency(iters)
 	mac := rr.MeasureMACLatency(iters)
 	for i := range hash {
-		fmt.Fprintf(out, "%8d %14.0f %14.3f %14.0f %14.3f\n",
-			hash[i].Bytes, hash[i].HostNs, hash[i].PICMs, mac[i].HostNs, mac[i].PICMs)
+		hd, md := hash[i].Dist, mac[i].Dist
+		fmt.Fprintf(out, "%8d | %10.0f %8.0f %8.0f %8.0f %10.3f | %10.0f %8.0f %8.0f %8.0f %10.3f\n",
+			hash[i].Bytes, hd.MeanNs, hd.P50Ns, hd.P95Ns, hd.P99Ns, hash[i].PICMs,
+			md.MeanNs, md.P50Ns, md.P95Ns, md.P99Ns, mac[i].PICMs)
 	}
-	fmt.Fprintln(out, "\nFig. 5b — I/O (framing + copy) overhead vs message size")
-	fmt.Fprintf(out, "%8s %14s %14s\n", "bytes", "send host ns", "recv host ns")
+	fmt.Fprintln(out, "\nFig. 5b — I/O (framing + copy) overhead vs message size (host ns)")
+	fmt.Fprintf(out, "%8s | %10s %8s %8s | %10s %8s %8s\n",
+		"bytes", "send mean", "p50", "p99", "recv mean", "p50", "p99")
 	send, recv := rr.MeasureIOLatency(iters)
 	for i := range send {
-		fmt.Fprintf(out, "%8d %14.0f %14.0f\n", send[i].Bytes, send[i].HostNs, recv[i].HostNs)
+		sd, rd := send[i].Dist, recv[i].Dist
+		fmt.Fprintf(out, "%8d | %10.0f %8.0f %8.0f | %10.0f %8.0f %8.0f\n",
+			send[i].Bytes, sd.MeanNs, sd.P50Ns, sd.P99Ns, rd.MeanNs, rd.P50Ns, rd.P99Ns)
 	}
 	fmt.Fprintln(out, "\npaper anchors: SHA-1(270B) ≈ 1 ms, MAC(≤40B) ≈ 10–12 ms on the PIC;")
 	fmt.Fprintln(out, "32B ≈ 0.3–0.4 ms, 512B ≈ 3–3.5 ms, 2kB ≈ 11–16 ms I/O")

@@ -8,6 +8,7 @@ import (
 	"roborebound/internal/flocking"
 	"roborebound/internal/geom"
 	"roborebound/internal/metrics"
+	"roborebound/internal/obs/perf"
 	"roborebound/internal/runner"
 	"roborebound/internal/wire"
 )
@@ -50,12 +51,16 @@ type SweepOptions struct {
 	// order (and hence the Label sequence) is nondeterministic, but
 	// Done/Total always advance monotonically.
 	Progress func(SweepProgress)
+	// Meter, if non-nil, collects sweep telemetry — per-cell latency
+	// percentiles and worker utilization — through the runner pool
+	// (see perf.SweepMeter). Observation-only.
+	Meter *perf.SweepMeter
 }
 
 // runnerOpts adapts SweepOptions to the worker pool for an n-cell
 // sweep whose cells are labeled by label(i).
 func (o SweepOptions) runnerOpts(n int, label func(i int) string) runner.Options {
-	ro := runner.Options{Workers: o.Workers}
+	ro := runner.Options{Workers: o.Workers, Meter: o.Meter}
 	if o.Progress != nil {
 		done := 0 // safe: the runner serializes OnDone
 		ro.OnDone = func(i int, _ error, elapsed time.Duration) {

@@ -75,9 +75,18 @@ var vettedPkgs = map[string]bool{
 // module packages, keyed by package base then "Recv.Name". Medium.Send
 // is the contract's one sanctioned cross-actor effect: in staged mode
 // it appends to the sender's own outbox, merged in ID order by
-// FlushStaged.
+// FlushStaged. The perf timer's span methods are shard-safe by
+// construction — atomic tallies into per-phase arrays, designed to be
+// hit from shard goroutines — and observation-only: nothing they
+// record feeds back into the run (pinned by the perf differential
+// tests).
 var vettedFuncs = map[string]map[string]bool{
 	"radio": {"Medium.Send": true},
+	"perf": {
+		"PhaseTimer.Start":      true,
+		"PhaseTimer.End":        true,
+		"PhaseTimer.EndSampled": true,
+	},
 }
 
 func run(pass *analysis.Pass) error {

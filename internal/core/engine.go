@@ -8,6 +8,7 @@ import (
 	"roborebound/internal/control"
 	"roborebound/internal/cryptolite"
 	"roborebound/internal/obs"
+	"roborebound/internal/obs/perf"
 	"roborebound/internal/replay"
 	"roborebound/internal/trusted"
 	"roborebound/internal/wire"
@@ -48,6 +49,24 @@ type Engine struct {
 	stats        statsCounters
 	trace        obs.Tracer     //rebound:snapshot-skip observer wiring, reattached at rebuild
 	roundLatency *obs.Histogram // start→covered latency in ticks; nil unless instrumented
+
+	// perf attributes wall-clock time to the engine's protocol phases:
+	// audit serves (split cache-hit/miss on the cached plane) and
+	// audit-log appends. Timed here, not in trusted or auditlog — the
+	// TCB's import surface stays stdlib-only, so the c-node engine times
+	// its calls into those layers from outside. Atomic internally:
+	// sharded ticks run OnSensorReadingEnc (and its appends) in shard
+	// goroutines.
+	//
+	//rebound:snapshot-skip observation-only wall-clock plane, reattached at rebuild
+	perf *perf.PhaseTimer
+
+	// appendSeq selects which chain appends logAppend times (1 in
+	// appendSampleWeight). Advances identically whether or not a timer
+	// is attached, and drives nothing but instrumentation.
+	//
+	//rebound:snapshot-skip perf sampling phase, observation-only
+	appendSeq uint64
 }
 
 // statsCounters holds the live protocol tallies. They are obs
@@ -136,6 +155,33 @@ func (e *Engine) Instrument(tr obs.Tracer, reg *obs.Registry) {
 		[]float64{1, 2, 4, 8, 16, 32, 64})
 }
 
+// SetPerf attaches the wall-clock phase timer (nil = disabled). Like
+// Instrument, call before the first Tick; observation-only.
+func (e *Engine) SetPerf(t *perf.PhaseTimer) { e.perf = t }
+
+// appendSampleWeight is logAppend's sampling rate: one append in
+// eight is timed and recorded as eight (perf.EndSampled). Appends are
+// the pipeline's hottest instrumented operation — tens of thousands
+// per simulated second, each ~100 ns of real work — so timing every
+// one would roughly double its cost and blow the ≤3% overhead budget
+// on clock reads alone.
+const appendSampleWeight = 8
+
+// logAppend appends one entry to the audit log, attributing the cost
+// (hash-chain + streaming-window maintenance) to the chain-append
+// perf phase, sampled 1-in-appendSampleWeight. All engine-side
+// appends route through here so the attribution is complete.
+func (e *Engine) logAppend(entry wire.LogEntry) {
+	e.appendSeq++
+	if e.appendSeq%appendSampleWeight != 0 {
+		e.log.Append(entry)
+		return
+	}
+	ps := e.perf.Start()
+	e.log.Append(entry)
+	e.perf.EndSampled(perf.PhaseChainAppend, ps, appendSampleWeight)
+}
+
 // SetAuditCache attaches a shared replay-verdict cache (see
 // AuditCache). Pass the same cache to every engine of a swarm; nil
 // (the default) replays every request. The reference plane never sets
@@ -188,17 +234,17 @@ func (e *Engine) OnSensorReading(reading wire.SensorReading) {
 //
 //rebound:shard-safe control step touches only this robot's own stack
 func (e *Engine) OnSensorReadingEnc(reading wire.SensorReading, enc []byte) {
-	e.log.Append(wire.LogEntry{Kind: wire.EntrySensor, Payload: enc})
+	e.logAppend(wire.LogEntry{Kind: wire.EntrySensor, Payload: enc})
 	out := e.ctrl.OnSensor(reading)
 	if out.Broadcast != nil {
 		f := wire.Frame{Src: e.id, Dst: wire.Broadcast, Payload: out.Broadcast}
 		if encF, ok := e.send(f); ok {
-			e.log.Append(wire.LogEntry{Kind: wire.EntrySend, Payload: encF})
+			e.logAppend(wire.LogEntry{Kind: wire.EntrySend, Payload: encF})
 		}
 	}
 	if out.Cmd != nil {
 		if encC, ok := e.anode.ActuatorCmdEnc(*out.Cmd); ok {
-			e.log.Append(wire.LogEntry{Kind: wire.EntryActuator, Payload: encC})
+			e.logAppend(wire.LogEntry{Kind: wire.EntryActuator, Payload: encC})
 		}
 	}
 }
@@ -217,13 +263,14 @@ func (e *Engine) OnFrameEnc(f wire.Frame, enc []byte) {
 		if enc == nil {
 			enc = f.Encode()
 		}
-		e.log.Append(wire.LogEntry{Kind: wire.EntryRecv, Payload: enc})
+		e.logAppend(wire.LogEntry{Kind: wire.EntryRecv, Payload: enc})
 		e.ctrl.OnMessage(f.Payload)
 		return
 	}
 	switch wire.PayloadKind(f.Payload) {
 	case wire.KindAuditRequest:
-		e.onAuditRequestEnc(f.Payload)
+		ps := e.perf.Start()
+		e.perf.End(e.onAuditRequestEnc(f.Payload), ps)
 	case wire.KindAuditResponse:
 		if resp, err := wire.DecodeAuditResponse(f.Payload); err == nil {
 			e.onAuditResponse(resp)
@@ -274,7 +321,7 @@ func (e *Engine) startRound(now wire.Tick) {
 	// spans this point (because this round's checkpoint never got
 	// covered) must flush their replicas here or the batched tops
 	// cannot match.
-	e.log.Append(wire.LogEntry{Kind: wire.EntryMark})
+	e.logAppend(wire.LogEntry{Kind: wire.EntryMark})
 	if e.trace != nil {
 		e.trace.Emit(obs.Event{Tick: now, Robot: e.id, Kind: obs.EvCheckpointFlush})
 	}
@@ -479,16 +526,21 @@ func (e *Engine) serveBudgetOK() bool {
 // a keyless auditor's verifySegment rejects everything (its MAC checks
 // all fail), and those key-dependent verdicts must not poison a cache
 // shared with keyed robots.
-func (e *Engine) onAuditRequestEnc(payload []byte) {
+//
+// The returned perf phase attributes the serve's wall-clock cost:
+// audit-cache-hit / audit-cache-miss once the cache is consulted,
+// audit-serve for the uncached path and anything refused or dropped
+// before the lookup. The caller (OnFrameEnc) times the span.
+func (e *Engine) onAuditRequestEnc(payload []byte) perf.Phase {
 	if e.acache == nil || !e.anode.HasKey() {
 		if a, err := wire.DecodeAuditRequest(payload); err == nil {
 			e.onAuditRequest(a)
 		}
-		return
+		return perf.PhaseAuditServe
 	}
 	head, tail, err := wire.SplitAuditRequest(payload)
 	if err != nil {
-		return
+		return perf.PhaseAuditServe
 	}
 	if head.Auditor != e.id || head.Req.Auditor != e.id ||
 		head.Req.Auditee != head.Auditee || head.Auditee == e.id || !e.serveBudgetOK() {
@@ -498,22 +550,25 @@ func (e *Engine) onAuditRequestEnc(payload []byte) {
 		if _, err := wire.DecodeAuditRequest(payload); err == nil {
 			e.stats.auditsRefused.Inc()
 		}
-		return
+		return perf.PhaseAuditServe
 	}
 	key := auditKey(head.Auditee, head.Req.T, tail)
 	v, hit := e.acache.Lookup(key)
 	if !hit {
 		a, err := wire.DecodeAuditRequest(payload)
 		if err != nil {
-			return
+			return perf.PhaseAuditCacheMiss
 		}
 		v.OK = e.verifySegment(&a)
 		if v.OK {
 			v.HCkpt = cryptolite.SHA1(a.EndCheckpoint)
 		}
 		e.acache.Store(key, v)
+		e.finishAudit(head.Auditee, head.Req, v)
+		return perf.PhaseAuditCacheMiss
 	}
 	e.finishAudit(head.Auditee, head.Req, v)
+	return perf.PhaseAuditCacheHit
 }
 
 // onAuditRequest is the uncached (reference-plane or keyless) auditor

@@ -15,7 +15,12 @@ type TickMapping struct {
 	TicksPerSecond int
 }
 
-// Micros returns tick t's timestamp in microseconds.
+// Micros returns tick t's timestamp in microseconds. A zero or
+// negative TicksPerSecond clamps to 1 tick/s — a degenerate but
+// finite mapping — so an unconfigured TickMapping can never divide by
+// zero and inject NaN/Inf timestamps into an exported trace (the
+// merged two-track Perfetto export composes these timestamps with
+// wall-clock spans, where one NaN corrupts the whole document).
 func (m TickMapping) Micros(t uint64) float64 {
 	tps := m.TicksPerSecond
 	if tps <= 0 {
@@ -109,15 +114,33 @@ func WriteMetricsJSON(w io.Writer, snap []Sample) error {
 func WriteChromeTrace(w io.Writer, events []Event, m TickMapping) error {
 	var b strings.Builder
 	b.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
-	first := true
-	emit := func(s string) {
-		if !first {
+	for i, line := range ChromeTraceLines(events, m) {
+		if i > 0 {
 			b.WriteByte(',')
 		}
-		first = false
 		b.WriteString("\n")
-		b.WriteString(s)
+		b.WriteString(line)
 	}
+	b.WriteString("\n]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ChromeTraceLines renders the events as individual Chrome
+// trace-event JSON objects, one per string, in deterministic order.
+// WriteChromeTrace wraps them in a trace document; the perf plane's
+// merged export composes them with its wall-clock track instead.
+//
+// Robustness: events are normally tick-ordered (the Collector
+// preserves emit order and the engine ticks monotonically), but the
+// renderer does not trust that — an audit-round completion carrying
+// an earlier tick than its start (a hand-built or corrupted event
+// slice) would yield a negative slice duration, which trace viewers
+// reject; such durations clamp to 0. Timestamps themselves are always
+// finite (see TickMapping.Micros).
+func ChromeTraceLines(events []Event, m TickMapping) []string {
+	var out []string
+	emit := func(s string) { out = append(out, s) }
 
 	// Process-name metadata, one per robot, in first-seen order (the
 	// event slice is already deterministic).
@@ -158,8 +181,12 @@ func WriteChromeTrace(w io.Writer, events []Event, m TickMapping) error {
 			if e.Kind == EvAuditRoundAbandoned {
 				name = "audit-round (abandoned)"
 			}
+			dur := ts - startTS
+			if dur < 0 {
+				dur = 0 // non-monotonic event slice; see ChromeTraceLines
+			}
 			emit(fmt.Sprintf(`{"ph":"X","name":%s,"pid":%d,"tid":1,"ts":%s,"dur":%s,"args":{"segment_bytes":%d,"tokens":%d}}`,
-				jsonString(name), id, jsonFloat(startTS), jsonFloat(ts-startTS), start.Value, e.Value))
+				jsonString(name), id, jsonFloat(startTS), jsonFloat(dur), start.Value, e.Value))
 		default:
 			args := fmt.Sprintf(`{"value":%d`, e.Value)
 			if e.Peer != 0 {
@@ -188,7 +215,5 @@ func WriteChromeTrace(w io.Writer, events []Event, m TickMapping) error {
 		}
 	}
 
-	b.WriteString("\n]}\n")
-	_, err := io.WriteString(w, b.String())
-	return err
+	return out
 }

@@ -147,3 +147,68 @@ func TestWriteMetricsJSON(t *testing.T) {
 		t.Fatalf("empty snapshot invalid:\n%s", buf.String())
 	}
 }
+
+func TestTickMappingNegativeRate(t *testing.T) {
+	// Negative rates clamp like zero: 1 tick = 1 second, never NaN/Inf.
+	m := TickMapping{TicksPerSecond: -3}
+	if got := m.Micros(2); got != 2e6 {
+		t.Fatalf("negative-rate Micros(2) = %v, want 2e6", got)
+	}
+}
+
+func TestWriteChromeTraceNonMonotonicRound(t *testing.T) {
+	// A round-complete event stamped BEFORE its start (possible with a
+	// skewed trusted clock: events are emitted on the robot's local
+	// clock) must clamp the slice duration to 0, never emit a negative
+	// dur or NaN.
+	events := []Event{
+		{Tick: 10, Robot: 1, Kind: EvAuditRoundStart, Value: 7},
+		{Tick: 6, Robot: 1, Kind: EvAuditRoundComplete, Value: 7},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events, TickMapping{TicksPerSecond: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("non-monotonic trace is not valid JSON:\n%s", buf.String())
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "X" && ev["name"] == "audit-round" {
+			found = true
+			if dur := ev["dur"].(float64); dur != 0 {
+				t.Fatalf("backwards round slice dur = %v, want clamped 0", dur)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("round slice missing:\n%s", buf.String())
+	}
+}
+
+func TestChromeTraceLines(t *testing.T) {
+	// The exported per-event form (used by the merged perf trace) must
+	// agree with WriteChromeTrace's document body line for line.
+	lines := ChromeTraceLines(exportFixture, TickMapping{TicksPerSecond: 4})
+	if len(lines) == 0 {
+		t.Fatal("no lines")
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, exportFixture, TickMapping{TicksPerSecond: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("line is not standalone JSON: %s", line)
+		}
+		if !strings.Contains(buf.String(), line) {
+			t.Fatalf("document missing line: %s", line)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package perf
+
+import (
+	"runtime/metrics"
+
+	"roborebound/internal/obs"
+)
+
+// Tracked runtime/metrics names. Fixed set, sampled in one
+// metrics.Read into a preallocated slice, so a sample is cheap enough
+// to take every few ticks.
+const (
+	metricHeapBytes  = "/memory/classes/heap/objects:bytes"
+	metricGoroutines = "/sched/goroutines:goroutines"
+	metricGCCycles   = "/gc/cycles/total:gc-cycles"
+	metricGCPauses   = "/gc/pauses:seconds"
+)
+
+// RuntimeSampler polls the Go runtime (live heap, goroutine count, GC
+// cycles, GC pause distribution) at a tick cadence. It is
+// single-goroutine by construction — the simulation drives Sample
+// from a per-tick engine observer on the engine goroutine — and
+// nil-safe like the rest of the plane. Like the PhaseTimer it is
+// observation-only: sampling reads runtime state and writes none.
+type RuntimeSampler struct {
+	every   int
+	sample  []metrics.Sample
+	samples uint64
+
+	heapLast, heapMax             uint64
+	goroutinesLast, goroutinesMax uint64
+	gcCycles                      uint64
+	pauses                        *metrics.Float64Histogram
+}
+
+// NewRuntimeSampler returns a sampler that callers should drive every
+// `every` ticks (<= 0 selects 8, i.e. every 2 s at the chaos plane's
+// 4 ticks/s).
+func NewRuntimeSampler(every int) *RuntimeSampler {
+	if every <= 0 {
+		every = 8
+	}
+	s := &RuntimeSampler{
+		every: every,
+		sample: []metrics.Sample{
+			{Name: metricHeapBytes},
+			{Name: metricGoroutines},
+			{Name: metricGCCycles},
+			{Name: metricGCPauses},
+		},
+	}
+	return s
+}
+
+// Every returns the configured tick cadence (0 on nil).
+func (s *RuntimeSampler) Every() int {
+	if s == nil {
+		return 0
+	}
+	return s.every
+}
+
+// Sample takes one reading. No-op on nil.
+func (s *RuntimeSampler) Sample() {
+	if s == nil {
+		return
+	}
+	metrics.Read(s.sample)
+	s.samples++
+	if v := s.sample[0].Value; v.Kind() == metrics.KindUint64 {
+		s.heapLast = v.Uint64()
+		s.heapMax = max(s.heapMax, s.heapLast)
+	}
+	if v := s.sample[1].Value; v.Kind() == metrics.KindUint64 {
+		s.goroutinesLast = v.Uint64()
+		s.goroutinesMax = max(s.goroutinesMax, s.goroutinesLast)
+	}
+	if v := s.sample[2].Value; v.Kind() == metrics.KindUint64 {
+		s.gcCycles = v.Uint64()
+	}
+	if v := s.sample[3].Value; v.Kind() == metrics.KindFloat64Histogram {
+		s.pauses = v.Float64Histogram()
+	}
+}
+
+// RuntimeReport summarizes the sampled runtime telemetry. Pause
+// quantiles are bucket estimates over the runtime's cumulative pause
+// histogram (whole-process, not just the sampled window).
+type RuntimeReport struct {
+	Samples        uint64
+	HeapLiveBytes  uint64 // last sample
+	HeapLiveMax    uint64 // max across samples
+	Goroutines     uint64 // last sample
+	GoroutinesMax  uint64 // max across samples
+	GCCycles       uint64 // cumulative at last sample
+	GCPauseP50Ns   float64
+	GCPauseP95Ns   float64
+	GCPauseP99Ns   float64
+	GCPauseSamples uint64 // pause count behind the quantiles
+}
+
+// Report returns the aggregate telemetry (zero value on nil or if
+// Sample was never called).
+func (s *RuntimeSampler) Report() RuntimeReport {
+	if s == nil {
+		return RuntimeReport{}
+	}
+	r := RuntimeReport{
+		Samples:       s.samples,
+		HeapLiveBytes: s.heapLast,
+		HeapLiveMax:   s.heapMax,
+		Goroutines:    s.goroutinesLast,
+		GoroutinesMax: s.goroutinesMax,
+		GCCycles:      s.gcCycles,
+	}
+	if h := s.pauses; h != nil && len(h.Buckets) == len(h.Counts)+1 && len(h.Buckets) >= 2 {
+		// runtime histograms carry boundary i..i+1 per bucket, often with
+		// ±Inf at the ends; obs.BucketQuantile wants upper bounds for all
+		// but the overflow bucket. Seconds scale to nanoseconds.
+		bounds := make([]float64, len(h.Counts)-1)
+		for i := range bounds {
+			bounds[i] = h.Buckets[i+1] * 1e9
+		}
+		for _, c := range h.Counts {
+			r.GCPauseSamples += c
+		}
+		r.GCPauseP50Ns = obs.BucketQuantile(bounds, h.Counts, 0.50)
+		r.GCPauseP95Ns = obs.BucketQuantile(bounds, h.Counts, 0.95)
+		r.GCPauseP99Ns = obs.BucketQuantile(bounds, h.Counts, 0.99)
+	}
+	return r
+}

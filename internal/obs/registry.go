@@ -91,6 +91,19 @@ type Histogram struct {
 	sum    float64
 }
 
+// NewHistogram returns a standalone histogram (registered nowhere)
+// with the given upper bounds, sorted ascending. Registry.Histogram
+// uses it internally; callers that want streaming quantiles without a
+// registry — the perf plane's latency distributions — use it
+// directly. No samples are retained: quantiles come from the bucket
+// tallies via Quantile.
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
@@ -116,6 +129,67 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return h.sum
+}
+
+// Quantile estimates the q-quantile of the observed distribution from
+// the bucket tallies (see BucketQuantile for the estimation contract).
+// Nil or empty histograms return 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return BucketQuantile(h.bounds, h.counts, q)
+}
+
+// BucketQuantile estimates the q-quantile of a bucketed distribution:
+// bounds are ascending upper bounds and counts holds len(bounds)+1
+// tallies, the last being the overflow bucket — the Histogram layout.
+// The estimate interpolates linearly within the winning bucket (lower
+// edge 0 for the first); a quantile landing in the overflow bucket
+// returns the highest finite bound, a deliberate underestimate that
+// never invents a value. q is clamped to [0, 1]. The result is never
+// NaN; empty tallies, empty bounds, and shape mismatches return 0.
+func BucketQuantile(bounds []float64, counts []uint64, q float64) float64 {
+	if len(bounds) == 0 || len(counts) != len(bounds)+1 {
+		return 0
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1 // the first sample carries every quantile below 1/total
+	}
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := float64(cum)
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(bounds) {
+			return bounds[len(bounds)-1] // overflow bucket
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		return lo + (bounds[i]-lo)*(rank-prev)/float64(c)
+	}
+	return bounds[len(bounds)-1]
 }
 
 // State returns the bucket tallies (a copy), total count, and sum for
@@ -185,10 +259,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	}
 	h := r.histograms[name]
 	if h == nil {
-		b := make([]float64, len(bounds))
-		copy(b, bounds)
-		sort.Float64s(b)
-		h = &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+		h = NewHistogram(bounds)
 		r.histograms[name] = h
 	}
 	return h

@@ -123,3 +123,59 @@ func TestMergeSnapshots(t *testing.T) {
 		}
 	}
 }
+
+func TestBucketQuantileEdgeCases(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8}
+	counts := []uint64{0, 3, 0, 1, 0} // 3 obs in (1,2], 1 in (4,8]
+
+	// Malformed inputs return 0, never NaN or a panic.
+	if got := BucketQuantile(nil, nil, 0.5); got != 0 {
+		t.Errorf("empty bounds = %v, want 0", got)
+	}
+	if got := BucketQuantile(bounds, []uint64{1, 2}, 0.5); got != 0 {
+		t.Errorf("mismatched counts = %v, want 0", got)
+	}
+	if got := BucketQuantile(bounds, make([]uint64, 5), 0.5); got != 0 {
+		t.Errorf("all-zero counts = %v, want 0", got)
+	}
+
+	// q is clamped to [0, 1].
+	lo := BucketQuantile(bounds, counts, -5)
+	hi := BucketQuantile(bounds, counts, 99)
+	if lo <= 1 || lo > 2 {
+		t.Errorf("q<0 = %v, want in (1, 2]", lo)
+	}
+	if hi <= 4 || hi > 8 {
+		t.Errorf("q>1 = %v, want in (4, 8]", hi)
+	}
+
+	// Median interpolates inside the (1, 2] bucket.
+	if got := BucketQuantile(bounds, counts, 0.5); got <= 1 || got > 2 {
+		t.Errorf("p50 = %v, want in (1, 2]", got)
+	}
+
+	// Mass in the overflow bucket reports the last finite bound.
+	over := []uint64{0, 0, 0, 0, 4}
+	if got := BucketQuantile(bounds, over, 0.99); got != 8 {
+		t.Errorf("overflow p99 = %v, want 8 (last bound)", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 100, 1000})
+	for i := 0; i < 90; i++ {
+		h.Observe(5) // (0, 10] bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(500) // (100, 1000] bucket
+	}
+	if p50 := h.Quantile(0.5); p50 <= 0 || p50 > 10 {
+		t.Errorf("p50 = %v, want in (0, 10]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 <= 100 || p99 > 1000 {
+		t.Errorf("p99 = %v, want in (100, 1000]", p99)
+	}
+	if q := NewHistogram([]float64{1}).Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", q)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"roborebound/internal/geom"
 	"roborebound/internal/geom/spatial"
 	"roborebound/internal/obs"
+	"roborebound/internal/obs/perf"
 	"roborebound/internal/prng"
 	"roborebound/internal/wire"
 )
@@ -180,6 +181,9 @@ type Medium struct {
 	trace   obs.Tracer //rebound:snapshot-skip observer wiring, reattached at rebuild
 	metrics *obs.Registry
 
+	// perf times the per-round spatial-grid rebuild (nil = disabled).
+	perf *perf.PhaseTimer //rebound:snapshot-skip observation-only wall-clock plane, reattached at rebuild
+
 	// Spatial-index state (params.SpatialIndex): the grid is rebuilt
 	// once per Deliver round from the same positions the brute path
 	// reads; the buffers amortize to zero allocations per round.
@@ -254,6 +258,11 @@ func (m *Medium) SetObs(tr obs.Tracer, reg *obs.Registry) {
 		m.registerCounterGauges(id, m.counters[id])
 	}
 }
+
+// SetPerf attaches the wall-clock phase timer (nil = disabled); the
+// medium times its per-round spatial-grid rebuild with it. Like the
+// tracer, observation-only.
+func (m *Medium) SetPerf(t *perf.PhaseTimer) { m.perf = t }
 
 // registerCounterGauges mirrors one robot's byte counters into the
 // metrics registry (no-op when metrics are disabled).
@@ -570,6 +579,7 @@ func (m *Medium) Deliver(ids []wire.RobotID) []Delivery {
 		if !(cell > 0) || math.IsInf(cell, 0) {
 			indexed = false // degenerate link model: keep the brute scan
 		} else {
+			ps := m.perf.Start()
 			queryR = r + rangeSlack
 			m.grid.Reset(cell)
 			for rank, id := range sorted {
@@ -578,6 +588,7 @@ func (m *Medium) Deliver(ids []wire.RobotID) []Delivery {
 				}
 			}
 			m.grid.Build()
+			m.perf.End(perf.PhaseSpatialBuild, ps)
 		}
 	}
 

@@ -9,6 +9,7 @@ import (
 	"roborebound/internal/core"
 	"roborebound/internal/geom"
 	"roborebound/internal/obs"
+	"roborebound/internal/obs/perf"
 	"roborebound/internal/radio"
 	"roborebound/internal/sim"
 	"roborebound/internal/trusted"
@@ -56,6 +57,12 @@ type Config struct {
 	// cache (see core.AuditCache). The facade passes one cache to every
 	// robot of a sim; the reference plane leaves it nil.
 	AuditCache *core.AuditCache //rebound:snapshot-skip swarm-level cache, snapshotted once by the runner
+	// Perf, when non-nil, attributes the protocol engine's wall-clock
+	// cost (audit serves, chain appends) to the shared phase timer.
+	// Observation-only, like Trace; the trusted nodes never see it
+	// either — the TCB import surface stays stdlib-only, so the c-node
+	// engine times its calls into the trusted layer from outside.
+	Perf *perf.PhaseTimer //rebound:snapshot-skip observation-only wall-clock plane, reattached at rebuild
 }
 
 // Robot is a sim.Actor. All robots — protected, unprotected, and the
@@ -134,6 +141,7 @@ func New(cfg Config, body *sim.Body, medium *radio.Medium, clock func() wire.Tic
 	r.engine = core.NewEngine(cfg.ID, cfg.Core, cfg.Factory, r.snode, r.anode, r.anode.SendWirelessEnc)
 	r.engine.SetAuditCache(cfg.AuditCache)
 	r.engine.Instrument(cfg.Trace, cfg.Metrics)
+	r.engine.SetPerf(cfg.Perf)
 	return r
 }
 

@@ -16,6 +16,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"roborebound/internal/obs/perf"
 )
 
 // Options tunes one Map call.
@@ -31,6 +33,14 @@ type Options struct {
 	// nondeterministic under parallelism; use the index, not the call
 	// sequence, to identify cells.
 	OnDone func(index int, err error, elapsed time.Duration)
+	// Meter, if non-nil, collects sweep telemetry: per-cell latency
+	// into streaming histograms plus a worker-utilization window
+	// spanning the Map call. It is also the pool's wall-clock source —
+	// every per-cell elapsed reading (including the one OnDone sees)
+	// comes from the meter's injected clock, which is how tests pin the
+	// timing math. nil reads the perf package clock directly and
+	// records nothing.
+	Meter *perf.SweepMeter
 }
 
 // WorkerCount resolves an Options.Workers value to an actual pool
@@ -85,6 +95,8 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 		return results, ctx.Err()
 	}
 	workers := opts.WorkerCount(n)
+	opts.Meter.Begin(workers)
+	defer opts.Meter.End()
 
 	errs := make([]error, n)
 	var doneMu sync.Mutex
@@ -97,7 +109,11 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 		}
 	}
 	runCell := func(i int) {
-		start := time.Now() //rebound:wallclock per-cell elapsed time feeds progress reporting only, never results
+		// Elapsed time is telemetry only (OnDone + meter histograms),
+		// never simulation state. All wall-clock reads go through the
+		// meter seam — perf.Now when no meter is attached — so the pool
+		// has no time source of its own.
+		start := opts.Meter.Now()
 		var (
 			val T
 			err error
@@ -114,7 +130,9 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 		if err != nil && !isPanic(err) {
 			err = &CellError{Index: i, Err: err}
 		}
-		finish(i, err, time.Since(start)) //rebound:wallclock elapsed time is OnDone telemetry, not simulation state
+		elapsedNs := opts.Meter.Now() - start
+		opts.Meter.CellDone(elapsedNs)
+		finish(i, err, time.Duration(elapsedNs))
 	}
 
 	if workers == 1 {

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"roborebound/internal/obs/perf"
 )
 
 func TestMapStableOrder(t *testing.T) {
@@ -222,5 +224,105 @@ func TestZeroCells(t *testing.T) {
 		func(_ context.Context, i int) (int, error) { return 0, nil })
 	if err != nil || len(got) != 0 {
 		t.Fatalf("empty map: %v, %v", got, err)
+	}
+}
+
+// meterClock returns a deterministic monotonic fake clock for sweep
+// meters: every read advances it by step.
+func meterClock(step int64) perf.Clock {
+	var cur atomic.Int64
+	return func() int64 { return cur.Add(step) }
+}
+
+func TestMapMeterCountsCells(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		m := perf.NewSweepMeter(meterClock(7))
+		_, err := Map(context.Background(), 10, Options{Workers: workers, Meter: m},
+			func(_ context.Context, i int) (int, error) { return i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		r := m.Report()
+		if r.Cells != 10 {
+			t.Fatalf("workers=%d: meter saw %d cells, want 10", workers, r.Cells)
+		}
+		if r.Workers != (Options{Workers: workers}).WorkerCount(10) {
+			t.Fatalf("workers=%d: meter workers = %d", workers, r.Workers)
+		}
+		if r.WallNs <= 0 || r.BusyNs <= 0 {
+			t.Fatalf("workers=%d: empty telemetry %+v", workers, r)
+		}
+	}
+}
+
+func TestMapMeterUnderCancellation(t *testing.T) {
+	// Cancel after the first few cells: undispatched cells must
+	// contribute nothing to the meter — the busy side only counts
+	// cells that actually ran.
+	ctx, cancel := context.WithCancel(context.Background())
+	m := perf.NewSweepMeter(meterClock(3))
+	var ran atomic.Int64
+	_, err := Map(ctx, 100, Options{Workers: 2, Meter: m},
+		func(_ context.Context, i int) (int, error) {
+			if ran.Add(1) == 4 {
+				cancel()
+			}
+			return i, nil
+		})
+	if err == nil {
+		t.Fatal("expected a cancellation error")
+	}
+	r := m.Report()
+	if int64(r.Cells) != ran.Load() {
+		t.Fatalf("meter saw %d cells, but %d ran", r.Cells, ran.Load())
+	}
+	if r.Cells >= 100 {
+		t.Fatalf("cancellation did not stop dispatch: %d cells", r.Cells)
+	}
+	if r.Utilization < 0 || r.Utilization > 1 {
+		t.Fatalf("utilization out of range: %v", r.Utilization)
+	}
+}
+
+func TestMapMeterCountsPanickedCells(t *testing.T) {
+	// A panicking cell still ran, so its elapsed time is telemetry;
+	// the panic must still surface as a PanicError.
+	m := perf.NewSweepMeter(meterClock(5))
+	_, err := Map(context.Background(), 3, Options{Workers: 1, Meter: m},
+		func(_ context.Context, i int) (int, error) {
+			if i == 1 {
+				panic("boom")
+			}
+			return i, nil
+		})
+	var pe *PanicError
+	if !errors.As(err, &pe) && !asPanic(err, &pe) {
+		t.Fatalf("panic not surfaced: %v", err)
+	}
+	if r := m.Report(); r.Cells != 3 {
+		t.Fatalf("meter saw %d cells, want 3 (panicked cell included)", r.Cells)
+	}
+}
+
+func TestMapMeterElapsedFeedsOnDone(t *testing.T) {
+	// With a meter attached, OnDone's elapsed comes from the meter's
+	// clock — each cell spans exactly one step of the fake clock.
+	m := perf.NewSweepMeter(meterClock(11))
+	var elapsed []time.Duration
+	_, err := Map(context.Background(), 4, Options{
+		Workers: 1,
+		Meter:   m,
+		OnDone:  func(_ int, _ error, e time.Duration) { elapsed = append(elapsed, e) },
+	}, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elapsed) != 4 {
+		t.Fatalf("OnDone ran %d times, want 4", len(elapsed))
+	}
+	for i, e := range elapsed {
+		if e != 11 {
+			t.Fatalf("elapsed[%d] = %d, want 11 (one fake-clock step)", i, e)
+		}
 	}
 }

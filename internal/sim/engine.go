@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"roborebound/internal/obs"
+	"roborebound/internal/obs/perf"
 	"roborebound/internal/radio"
 	"roborebound/internal/runner"
 	"roborebound/internal/wire"
@@ -61,6 +62,11 @@ type Engine struct {
 	// Sharded tick phase (SetTickShards): 0 or 1 keeps the serial loop.
 	tickShards int
 	capture    *obs.ShardCapture
+
+	// perf attributes wall-clock time to pipeline phases (nil =
+	// disabled). Observation-only: the perf differential tests pin that
+	// attaching it changes no simulation output.
+	perf *perf.PhaseTimer
 }
 
 // NewEngine wires a world and a medium together.
@@ -122,24 +128,42 @@ func (e *Engine) SetTickShards(n int, capture *obs.ShardCapture) {
 	e.capture = capture
 }
 
+// SetPerf attaches a wall-clock phase timer to the engine and, for
+// the phases they own, to the world (spatial-index builds inside
+// physics) and the medium (spatial-index builds inside Deliver). Nil
+// detaches everywhere.
+func (e *Engine) SetPerf(t *perf.PhaseTimer) {
+	e.perf = t
+	e.World.SetPerf(t)
+	e.Medium.SetPerf(t)
+}
+
 // StepOnce advances the simulation by one tick.
 func (e *Engine) StepOnce() {
+	s := e.perf.Start()
 	for _, d := range e.Medium.Deliver(e.ids) {
 		if a := e.byID[d.To]; a != nil {
 			a.Deliver(d.Frame)
 		}
 	}
+	e.perf.End(perf.PhaseRadioDeliver, s)
 	if n := e.shardCount(); n > 1 {
 		e.tickSharded(n)
 	} else {
+		s = e.perf.Start()
 		for _, a := range e.actors {
 			a.Tick(e.now)
 		}
+		e.perf.End(perf.PhaseActorTick, s)
 	}
+	s = e.perf.Start()
 	e.World.Step(e.now)
+	e.perf.End(perf.PhasePhysics, s)
+	s = e.perf.Start()
 	for _, f := range e.observers {
 		f(e.now)
 	}
+	e.perf.End(perf.PhaseObservers, s)
 	e.now++
 }
 
@@ -153,8 +177,13 @@ func (e *Engine) shardCount() int {
 }
 
 // tickSharded runs one tick phase across n goroutines; see
-// SetTickShards for the determinism argument.
+// SetTickShards for the determinism argument. Phase attribution: the
+// staging setup plus the parallel span is PhaseActorTick, the
+// SerialTicker post-pass PhaseSerialPost, and the capture/staged-send
+// merge PhaseShardMerge — so a sharded run's report separates compute
+// from merge cost.
 func (e *Engine) tickSharded(n int) {
+	ps := e.perf.Start()
 	e.Medium.BeginStaged(e.ids)
 	if e.capture != nil {
 		e.capture.Begin(int(e.ids[len(e.ids)-1]))
@@ -178,20 +207,25 @@ func (e *Engine) tickSharded(n int) {
 		}
 		return struct{}{}
 	})
+	e.perf.End(perf.PhaseActorTick, ps)
 	if serial {
 		// ID-ordered post-pass for shared-state actors. Their sends and
 		// trace events still stage like everyone else's, so the final
 		// merge order is the same as a fully serial tick.
+		ps = e.perf.Start()
 		for _, a := range actors {
 			if st, ok := a.(SerialTicker); ok && st.NeedsSerialTick() {
 				a.Tick(now)
 			}
 		}
+		e.perf.End(perf.PhaseSerialPost, ps)
 	}
+	ps = e.perf.Start()
 	if e.capture != nil {
 		e.capture.Flush()
 	}
 	e.Medium.FlushStaged()
+	e.perf.End(perf.PhaseShardMerge, ps)
 }
 
 // Run advances the simulation for the given number of ticks.

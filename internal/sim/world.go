@@ -12,6 +12,7 @@ import (
 
 	"roborebound/internal/geom"
 	"roborebound/internal/geom/spatial"
+	"roborebound/internal/obs/perf"
 	"roborebound/internal/wire"
 )
 
@@ -96,7 +97,13 @@ type World struct {
 	sphereGrid    spatial.Grid          //rebound:snapshot-skip derived from cfg.Obstacles at construction
 	sphereMaxR    float64               //rebound:snapshot-skip derived from cfg.Obstacles at construction
 	sphereIndexed bool                  //rebound:snapshot-skip derived from cfg.Obstacles at construction
+
+	perf *perf.PhaseTimer //rebound:snapshot-skip observation-only wall-clock plane, reattached at rebuild
 }
+
+// SetPerf attaches the wall-clock phase timer (nil = disabled); the
+// world times its per-tick spatial-grid rebuild with it.
+func (w *World) SetPerf(t *perf.PhaseTimer) { w.perf = t }
 
 // NewWorld creates an empty world.
 func NewWorld(cfg WorldConfig) *World {
@@ -302,11 +309,13 @@ func (w *World) detectObstacleCrashes(now wire.Tick) {
 // b.Crashed` skip reads is mutated by the same prefix of crash calls
 // at every step.
 func (w *World) detectPairCrashesIndexed(now wire.Tick, r2, cell float64) {
+	ps := w.perf.Start()
 	w.grid.Reset(cell)
 	for i, b := range w.bodies {
 		w.grid.Add(int32(i), b.Pos)
 	}
 	w.grid.Build()
+	w.perf.End(perf.PhaseSpatialBuild, ps)
 	w.pairBuf = w.grid.NearPairs(w.cfg.CrashRadius, w.pairBuf)
 	slices.SortFunc(w.pairBuf, func(a, b [2]int32) int {
 		if a[0] != b[0] {

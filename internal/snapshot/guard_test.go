@@ -45,13 +45,16 @@ import (
 
 // guardLeafPkgs are packages whose types the walk does not descend
 // into: their state either has its own codec with its own tests
-// (control, cryptolite, obs), is pure immutable data (wire, geom), or
-// is per-round scratch (spatial).
+// (control, cryptolite, obs), is pure immutable data (wire, geom), is
+// per-round scratch (spatial), or is observation-only wall-clock
+// instrumentation that is never serialized (obs/perf — every holding
+// field is //rebound:snapshot-skip, reattached at rebuild).
 var guardLeafPkgs = map[string]bool{
 	"roborebound/internal/wire":         true,
 	"roborebound/internal/geom":         true,
 	"roborebound/internal/geom/spatial": true,
 	"roborebound/internal/obs":          true,
+	"roborebound/internal/obs/perf":     true,
 	"roborebound/internal/control":      true,
 	"roborebound/internal/cryptolite":   true,
 	"roborebound/internal/flocking":     true,
@@ -80,7 +83,7 @@ var guardLeafTypes = map[string]bool{
 // and radio.Delivery is only reachable through a skipped scratch
 // buffer. Everything else is pinned by snapshotstate.Surfaces.
 var guardManualFields = map[string][]string{
-	"sim.Engine":     {"World", "Medium", "actors", "ids", "byID", "now", "observers", "tickShards", "capture"},
+	"sim.Engine":     {"World", "Medium", "actors", "ids", "byID", "now", "observers", "tickShards", "capture", "perf"},
 	"radio.Delivery": {"To", "Frame", "seq", "rank"},
 	"prng.Source":    {"s"},
 }

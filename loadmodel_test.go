@@ -124,3 +124,27 @@ func TestFig5bIOShape(t *testing.T) {
 		t.Error("send cost not growing with size (should be linear past ~512 B)")
 	}
 }
+
+// TestLatencyDistShape checks the per-iteration percentile summary
+// every microbenchmark now carries: populated, ordered (p50 ≤ p95 ≤
+// p99), and with the mean matching the legacy HostNs field.
+func TestLatencyDistShape(t *testing.T) {
+	hash := MeasureHashLatency(200)
+	mac := MeasureMACLatency(200)
+	send, recv := MeasureIOLatency(200)
+	for _, group := range [][]HostTiming{hash, mac, send, recv} {
+		for _, pt := range group {
+			d := pt.Dist
+			if d.MeanNs <= 0 {
+				t.Fatalf("%d B: non-positive mean %v", pt.Bytes, d.MeanNs)
+			}
+			if d.MeanNs != pt.HostNs {
+				t.Errorf("%d B: Dist.MeanNs %v ≠ HostNs %v", pt.Bytes, d.MeanNs, pt.HostNs)
+			}
+			if d.P50Ns <= 0 || d.P95Ns < d.P50Ns || d.P99Ns < d.P95Ns {
+				t.Errorf("%d B: percentiles unordered: p50=%v p95=%v p99=%v",
+					pt.Bytes, d.P50Ns, d.P95Ns, d.P99Ns)
+			}
+		}
+	}
+}

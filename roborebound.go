@@ -32,6 +32,7 @@ import (
 	"roborebound/internal/faultinject"
 	"roborebound/internal/geom"
 	"roborebound/internal/obs"
+	"roborebound/internal/obs/perf"
 	"roborebound/internal/radio"
 	"roborebound/internal/robot"
 	"roborebound/internal/sim"
@@ -92,6 +93,11 @@ type SimConfig struct {
 	// plane exists as the oracle the differential tests and bench gate
 	// compare against.
 	ReferencePlane bool
+	// Perf, when non-nil, attributes wall-clock time to every tick
+	// pipeline phase (see internal/obs/perf). Observation-only, like
+	// Trace: a timed run is byte-identical to an untimed one — the perf
+	// differential tests enforce it. nil disables at zero cost.
+	Perf *perf.PhaseTimer
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -171,6 +177,9 @@ func NewSim(cfg SimConfig) *Sim {
 		s.acache = core.NewAuditCache(0)
 	}
 	s.Engine.SetTickShards(cfg.TickShards, capture)
+	if cfg.Perf != nil {
+		s.Engine.SetPerf(cfg.Perf) // fans out to world + medium
+	}
 	if cfg.Trace != nil || cfg.Metrics != nil {
 		medium.SetObs(cfg.Trace, cfg.Metrics)
 	}
@@ -211,6 +220,7 @@ func (s *Sim) newRobot(id wire.RobotID, pos geom.Vec2, factory control.Factory, 
 		Trace:      s.Cfg.Trace,
 		Metrics:    s.Cfg.Metrics,
 		AuditCache: s.acache,
+		Perf:       s.Cfg.Perf,
 	}
 	if s.Cfg.Faults != nil {
 		rcfg.TrustedClock = s.Cfg.Faults.Clock(id, s.Engine.Now)

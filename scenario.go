@@ -9,6 +9,7 @@ import (
 	"roborebound/internal/flocking"
 	"roborebound/internal/geom"
 	"roborebound/internal/obs"
+	"roborebound/internal/obs/perf"
 	"roborebound/internal/prng"
 	"roborebound/internal/radio"
 	"roborebound/internal/sim"
@@ -116,6 +117,9 @@ type FlockScenario struct {
 	// ReferencePlane threads through to SimConfig.ReferencePlane: run
 	// the protocol on the buffered/no-cache reference implementations.
 	ReferencePlane bool
+	// Perf threads through to SimConfig.Perf: wall-clock phase
+	// attribution, observation-only.
+	Perf *perf.PhaseTimer
 	// Tune, if non-nil, adjusts the flocking parameters after the
 	// defaults are applied (used by ablations).
 	Tune func(*flocking.Params)
@@ -157,6 +161,7 @@ func (fs FlockScenario) Build() *Sim {
 		SpatialIndex:   fs.SpatialIndex,
 		TickShards:     fs.TickShards,
 		ReferencePlane: fs.ReferencePlane,
+		Perf:           fs.Perf,
 	})
 
 	params := flocking.DefaultParams(tps, fs.Spacing, fs.Goal)
