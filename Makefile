@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race ci bench bench-all bench-scale bench-swarm bench-perf bench-gate fmt-check cover chaos-smoke scale-smoke swarm-smoke snapshot-smoke perf-smoke fuzz-smoke
+.PHONY: all build vet lint test race ci bench bench-all bench-scale bench-swarm bench-perf bench-serve bench-gate fmt-check cover chaos-smoke scale-smoke swarm-smoke snapshot-smoke perf-smoke serve-smoke fuzz-smoke
 
 all: ci
 
@@ -88,6 +88,16 @@ bench-perf:
 	  | $(GO) run ./cmd/benchjson -o BENCH_perf.json
 	@cat BENCH_perf.json
 
+# The serving-layer load suite: BenchmarkServe_Load drives 1000
+# concurrent sessions over real HTTP against an in-process server
+# (8 tenants, fair-share scheduler) and reports throughput plus
+# queue-wait / service / end-to-end latency percentiles, recorded to
+# the committed BENCH_serve.json.
+bench-serve:
+	@$(GO) test -run '^$$' -bench 'BenchmarkServe_Load' -benchtime 1x -timeout 30m . \
+	  | $(GO) run ./cmd/benchjson -o BENCH_serve.json
+	@cat BENCH_serve.json
+
 # Re-run the hot-path pairs and enforce the speedup contracts: the
 # spatially indexed Deliver and collision paths must stay >=5x faster
 # than brute force at N=500, the fast protocol plane must serve an
@@ -96,10 +106,12 @@ bench-perf:
 # from the same run on the same machine, so the gates hold on any
 # runner; the committed-baseline comparisons are a coarse backstop
 # (generous tolerance) against order-of-magnitude regressions
-# slipping through. The final stanza caps the wall-clock perf plane's
+# slipping through. The perf stanza caps the wall-clock perf plane's
 # whole-sim overhead at 3%, measured by the paired interleaved
 # benchmark (see bench_perf_test.go) so runner noise cancels instead
-# of dominating the 3% effect.
+# of dominating the 3% effect. The serve stanza enforces the serving
+# layer's load contract: >=1000 concurrent sessions completing with
+# zero errors (see bench_serve_test.go).
 bench-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkScale_(Deliver|Collision)' -benchmem -timeout 30m . \
 	  | $(GO) run ./cmd/benchjson -o /dev/null \
@@ -114,6 +126,10 @@ bench-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkPerf_Sim_Overhead' -benchtime 6x -timeout 30m . \
 	  | $(GO) run ./cmd/benchjson -o /dev/null \
 	      -maxmetric 'BenchmarkPerf_Sim_Overhead:overhead_pct<=3'
+	$(GO) test -run '^$$' -bench 'BenchmarkServe_Load' -benchtime 1x -timeout 30m . \
+	  | $(GO) run ./cmd/benchjson -o /dev/null \
+	      -minmetric 'BenchmarkServe_Load:sessions>=1000' \
+	      -maxmetric 'BenchmarkServe_Load:errors<=0'
 
 # Coverage over every package, with a per-function summary and an HTML
 # report CI uploads as an artifact.
@@ -172,6 +188,13 @@ perf-smoke:
 	$(GO) run ./cmd/roborebound -progress=false -spatial \
 	  -controller flocking -profile mixed -n 300 -duration 20 -shards 4 perf
 
+# The serving-layer smoke: the HTTP≡facade selftest submits one job of
+# every kind over real HTTP to an ephemeral loopback server and
+# byte-compares results and artifacts (raw and chunked) against the
+# direct facade path, exiting nonzero on any divergence.
+serve-smoke:
+	$(GO) run ./cmd/roborebound -progress=false -selftest serve
+
 # Short fuzz pass over each fuzz target (seed corpora always run as
 # part of `make test`; this explores beyond them).
 fuzz-smoke:
@@ -181,3 +204,5 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzReassembler -fuzztime=20s ./internal/radio
 	$(GO) test -run=NONE -fuzz=FuzzDecodeCheckpoint -fuzztime=20s ./internal/auditlog
 	$(GO) test -run=NONE -fuzz=FuzzSnapshotDecode -fuzztime=20s ./internal/snapshot
+	$(GO) test -run=NONE -fuzz=FuzzJobRequestDecode -fuzztime=20s ./internal/serve
+	$(GO) test -run=NONE -fuzz=FuzzArtifactChunkReassembly -fuzztime=20s ./internal/serve

@@ -1,0 +1,39 @@
+// Serving-layer load benchmark: BenchmarkServe_Load drives a
+// thousand-session fleet through the load harness (real HTTP against
+// an in-process server) and reports throughput plus per-phase latency
+// percentiles. `make bench-serve` records it to BENCH_serve.json;
+// `make bench-gate` re-runs it and enforces the session floor and the
+// zero-error contract.
+package roborebound_test
+
+import (
+	"testing"
+
+	"roborebound/internal/serve"
+)
+
+func BenchmarkServe_Load(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report, err := serve.RunLoad(serve.LoadOptions{
+			Sessions:    1000,
+			TenantCount: 8,
+			Workers:     2,
+			Seed:        1,
+		})
+		if err != nil {
+			b.Fatalf("run load: %v", err)
+		}
+		b.ReportMetric(float64(report.Sessions), "sessions")
+		b.ReportMetric(float64(report.Errors), "errors")
+		b.ReportMetric(report.ThroughputPerSec, "sessions/sec")
+		b.ReportMetric(report.Overall.Queue.P50Ns, "queue-p50-ns")
+		b.ReportMetric(report.Overall.Queue.P95Ns, "queue-p95-ns")
+		b.ReportMetric(report.Overall.Queue.P99Ns, "queue-p99-ns")
+		b.ReportMetric(report.Overall.Service.P50Ns, "service-p50-ns")
+		b.ReportMetric(report.Overall.Service.P95Ns, "service-p95-ns")
+		b.ReportMetric(report.Overall.Service.P99Ns, "service-p99-ns")
+		b.ReportMetric(report.EndToEnd.P50Ns, "e2e-p50-ns")
+		b.ReportMetric(report.EndToEnd.P95Ns, "e2e-p95-ns")
+		b.ReportMetric(report.EndToEnd.P99Ns, "e2e-p99-ns")
+	}
+}

@@ -110,6 +110,19 @@ type ChaosConfig struct {
 	// ChaosResult.PreViolation holds a snapshot from ~N ticks before
 	// the breach — a resumable forensic starting point. 0 disables.
 	ViolationRewind wire.Tick
+	// Interrupt, when non-nil, is polled at every tick boundary. When
+	// it first returns true (before the run's final tick) the run stops
+	// at that boundary: the boundary state is captured into
+	// ChaosResult.Checkpoint, Interrupted is set, and the remaining
+	// ticks never execute. This is the serving layer's graceful-drain
+	// and cancellation seam — a checkpointed job's snapshot resumes via
+	// ResumeFrom into a byte-identical continuation of the original
+	// run. A hook that never fires is observation-only: the run is
+	// byte-identical to one with Interrupt nil. The hook is called
+	// between ticks on the run's own goroutine, so it may read state
+	// set by other goroutines (an atomic drain flag) without racing
+	// the simulation.
+	Interrupt func() bool
 	// Perf, when non-nil, attributes the cell's wall-clock time to the
 	// tick-pipeline phases (see SimConfig.Perf). Observation-only: the
 	// fingerprint, traces, and metrics are byte-identical with it on or
@@ -222,6 +235,13 @@ type ChaosResult struct {
 	// Snapshots holds the captures requested via SnapshotAtTicks /
 	// SnapshotEvery, in capture order.
 	Snapshots []ChaosSnapshot
+	// Interrupted reports that ChaosConfig.Interrupt stopped the run
+	// before its final tick; Checkpoint holds the snapshot captured at
+	// the stopping boundary (nil only if the capture itself failed —
+	// see SnapshotError). An interrupted result's Metrics describe the
+	// partial run.
+	Interrupted bool
+	Checkpoint  *ChaosSnapshot
 	// PreViolation is the frozen rewind-ring snapshot (see
 	// ChaosConfig.ViolationRewind); nil when no violation latched or
 	// rewinding was off.

@@ -24,7 +24,9 @@
 //	-maxmetric 'BenchmarkPerf_Sim_Overhead:overhead_pct<=3'
 //
 // caps a custom b.ReportMetric value, which is how the perf plane's
-// paired overhead measurement is gated. Ratio and metric gates compare
+// paired overhead measurement is gated. -minmetric is the mirror image
+// ('Bench:unit>=X'), used to enforce floors — e.g. the serving layer's
+// 1000-concurrent-session contract. Ratio and metric gates compare
 // numbers from the same run on the same machine, so they hold on any
 // runner; the baseline check is a coarse backstop against
 // order-of-magnitude regressions and should be given a generous
@@ -52,6 +54,7 @@ var (
 		"allowed relative ns/op regression against -baseline (0.25 = 25% slower)")
 	minRatios  gateFlags
 	maxMetrics gateFlags
+	minMetrics gateFlags
 )
 
 func init() {
@@ -59,6 +62,8 @@ func init() {
 		"speedup gate 'BenchA/BenchB>=X': ns/op of A divided by ns/op of B must be at least X; repeatable")
 	flag.Var(&maxMetrics, "maxmetric",
 		"metric cap 'Bench:unit<=X': the named benchmark's reported metric must not exceed X; repeatable")
+	flag.Var(&minMetrics, "minmetric",
+		"metric floor 'Bench:unit>=X': the named benchmark's reported metric must be at least X; repeatable")
 }
 
 // gateFlags collects repeated -minratio values.
@@ -134,39 +139,46 @@ func checkRatios(cur map[string]map[string]float64, gates []string) []error {
 	return errs
 }
 
-// checkMetrics enforces 'Bench:unit<=X' caps against the fresh
-// numbers. Like the ratio gates, a missing benchmark or metric is an
-// error: a gate that silently stops measuring is worse than a failing
-// one.
-func checkMetrics(cur map[string]map[string]float64, gates []string) []error {
+// checkMetrics enforces 'Bench:unit<=X' caps (op "<=", flag
+// -maxmetric) or 'Bench:unit>=X' floors (op ">=", flag -minmetric)
+// against the fresh numbers. Like the ratio gates, a missing benchmark
+// or metric is an error: a gate that silently stops measuring is worse
+// than a failing one.
+func checkMetrics(cur map[string]map[string]float64, gates []string, op string) []error {
+	flagName := "maxmetric"
+	if op == ">=" {
+		flagName = "minmetric"
+	}
 	var errs []error
 	for _, gate := range gates {
-		lhs, maxStr, ok := strings.Cut(gate, "<=")
+		lhs, boundStr, ok := strings.Cut(gate, op)
 		if !ok {
-			errs = append(errs, fmt.Errorf("maxmetric %q: want 'Bench:unit<=X'", gate))
+			errs = append(errs, fmt.Errorf("%s %q: want 'Bench:unit%sX'", flagName, gate, op))
 			continue
 		}
 		name, unit, ok := strings.Cut(lhs, ":")
 		if !ok {
-			errs = append(errs, fmt.Errorf("maxmetric %q: want ':' between benchmark name and metric unit", gate))
+			errs = append(errs, fmt.Errorf("%s %q: want ':' between benchmark name and metric unit", flagName, gate))
 			continue
 		}
-		maxVal, err := strconv.ParseFloat(strings.TrimSpace(maxStr), 64)
+		bound, err := strconv.ParseFloat(strings.TrimSpace(boundStr), 64)
 		if err != nil {
-			errs = append(errs, fmt.Errorf("maxmetric %q: bad cap: %v", gate, err))
+			errs = append(errs, fmt.Errorf("%s %q: bad bound: %v", flagName, gate, err))
 			continue
 		}
 		metrics, okB := cur[strings.TrimSpace(name)]
 		if !okB {
-			errs = append(errs, fmt.Errorf("maxmetric %q: %s not in the bench run", gate, name))
+			errs = append(errs, fmt.Errorf("%s %q: %s not in the bench run", flagName, gate, name))
 			continue
 		}
 		v, okM := metrics[strings.TrimSpace(unit)]
 		switch {
 		case !okM:
-			errs = append(errs, fmt.Errorf("maxmetric %q: %s did not report %s", gate, name, unit))
-		case v > maxVal:
-			errs = append(errs, fmt.Errorf("maxmetric %q: %.2f %s, want <= %.2f", gate, v, unit, maxVal))
+			errs = append(errs, fmt.Errorf("%s %q: %s did not report %s", flagName, gate, name, unit))
+		case op == "<=" && v > bound:
+			errs = append(errs, fmt.Errorf("%s %q: %.2f %s, want <= %.2f", flagName, gate, v, unit, bound))
+		case op == ">=" && v < bound:
+			errs = append(errs, fmt.Errorf("%s %q: %.2f %s, want >= %.2f", flagName, gate, v, unit, bound))
 		}
 	}
 	return errs
@@ -275,14 +287,15 @@ func main() {
 		errs = append(errs, checkBaseline(results, base, *tolerance)...)
 	}
 	errs = append(errs, checkRatios(results, minRatios)...)
-	errs = append(errs, checkMetrics(results, maxMetrics)...)
+	errs = append(errs, checkMetrics(results, maxMetrics, "<=")...)
+	errs = append(errs, checkMetrics(results, minMetrics, ">=")...)
 	for _, e := range errs {
 		fmt.Fprintln(os.Stderr, "bench gate FAIL:", e)
 	}
 	if len(errs) > 0 {
 		os.Exit(1)
 	}
-	if *baseline != "" || len(minRatios) > 0 || len(maxMetrics) > 0 {
+	if *baseline != "" || len(minRatios) > 0 || len(maxMetrics) > 0 || len(minMetrics) > 0 {
 		fmt.Fprintln(os.Stderr, "bench gates passed")
 	}
 }

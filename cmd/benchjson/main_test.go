@@ -130,11 +130,11 @@ func TestCheckMetrics(t *testing.T) {
 		"BenchmarkOverhead": {"ns/op": 1e9, "overhead_pct": 1.4},
 	}
 	// Under the cap — including a negative reading (paired noise) — passes.
-	if errs := checkMetrics(cur, []string{"BenchmarkOverhead:overhead_pct<=3"}); len(errs) != 0 {
+	if errs := checkMetrics(cur, []string{"BenchmarkOverhead:overhead_pct<=3"}, "<="); len(errs) != 0 {
 		t.Fatalf("1.4 should satisfy <=3: %v", errs)
 	}
 	cur["BenchmarkOverhead"]["overhead_pct"] = -0.5
-	if errs := checkMetrics(cur, []string{"BenchmarkOverhead:overhead_pct<=3"}); len(errs) != 0 {
+	if errs := checkMetrics(cur, []string{"BenchmarkOverhead:overhead_pct<=3"}, "<="); len(errs) != 0 {
 		t.Fatalf("-0.5 should satisfy <=3: %v", errs)
 	}
 	cur["BenchmarkOverhead"]["overhead_pct"] = 4.2
@@ -146,7 +146,31 @@ func TestCheckMetrics(t *testing.T) {
 		"BenchmarkOverhead:overhead_pct",    // no '<='
 		"BenchmarkOverhead:overhead_pct<=x", // bad cap
 	} {
-		if errs := checkMetrics(cur, []string{gate}); len(errs) != 1 {
+		if errs := checkMetrics(cur, []string{gate}, "<="); len(errs) != 1 {
+			t.Errorf("gate %q: want exactly one error, got %v", gate, errs)
+		}
+	}
+}
+
+func TestCheckMetricsFloor(t *testing.T) {
+	cur := map[string]map[string]float64{
+		"BenchmarkServe_Load": {"sessions": 1000, "errors": 0},
+	}
+	// Exactly at the floor passes.
+	floors := []string{"BenchmarkServe_Load:sessions>=1000"}
+	if errs := checkMetrics(cur, floors, ">="); len(errs) != 0 {
+		t.Fatalf("1000 should satisfy >=1000: %v", errs)
+	}
+	cur["BenchmarkServe_Load"]["sessions"] = 999
+	for _, gate := range []string{
+		"BenchmarkServe_Load:sessions>=1000", // under the floor
+		"BenchmarkMissing:sessions>=1000",    // unknown benchmark
+		"BenchmarkServe_Load:missing>=1",     // metric not reported
+		"BenchmarkServe_Load>=1",             // no ':'
+		"BenchmarkServe_Load:sessions",       // no '>='
+		"BenchmarkServe_Load:sessions>=x",    // bad bound
+	} {
+		if errs := checkMetrics(cur, []string{gate}, ">="); len(errs) != 1 {
 			t.Errorf("gate %q: want exactly one error, got %v", gate, errs)
 		}
 	}

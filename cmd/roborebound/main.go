@@ -116,6 +116,7 @@ func main() {
 
 		"snapshot": snapshotCmd,
 		"resume":   resumeCmd,
+		"serve":    serveCmd,
 	}
 	stopProfiles, err := startProfiles()
 	if err != nil {
@@ -138,7 +139,7 @@ func main() {
 	}
 	f()
 	stopProfiles()
-	if chaosFailed || snapshotFailed || perfFailed {
+	if chaosFailed || snapshotFailed || perfFailed || serveFailed {
 		os.Exit(1)
 	}
 }
@@ -178,6 +179,15 @@ subcommands:
   resume   rebuild the cell from -from and run it to completion; with
            -verify, also re-run it uninterrupted and exit nonzero unless
            fingerprints and metrics are byte-identical
+  serve    simulation-as-a-service: listen on -addr and expose every
+           facade as submitted jobs behind a multi-tenant fair-share
+           scheduler (bounded queues, 429+Retry-After backpressure,
+           NDJSON progress streams, chunked/gzip artifacts); SIGTERM
+           drains gracefully — running jobs finish or checkpoint,
+           queued jobs are rejected with resubmission handles; with
+           -selftest, run the HTTP≡facade differential selftest and
+           exit; with -load N, drive N concurrent sessions and print
+           the queue/service/end-to-end latency split
   all      every figure and table above
 
 flags:`)

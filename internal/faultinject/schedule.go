@@ -481,10 +481,12 @@ func Generate(profile Profile, seed uint64, ids []wire.RobotID, total wire.Tick,
 	// audit round, and end before the run does, so every window is
 	// followed by quiet time in which the checker can observe recovery.
 	lo := lim.TVal + lim.TAudit
-	hi := total - lim.TVal
-	if hi <= lo {
+	// Guard against unsigned underflow before subtracting: a run
+	// shorter than the grace windows generates no faults at all.
+	if total <= lo+lim.TVal {
 		return s
 	}
+	hi := total - lim.TVal
 	window := func(maxLen wire.Tick) (wire.Tick, wire.Tick) {
 		minLen := lim.TAudit / 2
 		if maxLen <= minLen {

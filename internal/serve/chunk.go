@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"roborebound/internal/wire"
+)
+
+// Artifact chunk framing. Large artifacts are delivered as a framed
+// chunk stream so a client can verify and reassemble them
+// incrementally: each chunk carries its own CRC, the trailer carries
+// the whole-artifact SHA-256. The codec follows the internal/wire
+// discipline — big-endian, bounded counts, every malformed input an
+// error and never a panic (FuzzArtifactChunkReassembly pins that).
+//
+//	header:  "RBCH" | u8 version=1 | u8 flags (bit0: per-chunk flate) | u32 chunkSize
+//	chunk:   u32 seq (0-based) | u8 last (0|1) | u32 rawLen | u32 encLen | enc | u32 crc32(enc)
+//	trailer: u32 totalChunks | u64 totalRawLen | 32 bytes sha256(raw)
+
+const (
+	chunkMagic   = "RBCH"
+	chunkVersion = 1
+
+	// chunkFlagFlate marks per-chunk DEFLATE compression.
+	chunkFlagFlate = 1 << 0
+
+	// DefaultChunkSize balances frame overhead against streaming
+	// granularity.
+	DefaultChunkSize = 64 << 10
+	// maxChunkSize bounds the per-chunk allocation a reader will make.
+	maxChunkSize = 4 << 20
+)
+
+// WriteChunks frames data into w as a chunk stream. chunkSize 0 means
+// DefaultChunkSize; compress enables per-chunk DEFLATE (a chunk that
+// does not shrink is stored raw — flagged by encLen == rawLen).
+func WriteChunks(w io.Writer, data []byte, chunkSize int, compress bool) error {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	if chunkSize > maxChunkSize {
+		return fmt.Errorf("serve: chunk size %d exceeds limit %d", chunkSize, maxChunkSize)
+	}
+	flags := uint8(0)
+	if compress {
+		flags |= chunkFlagFlate
+	}
+	hdr := wire.NewWriter(16)
+	hdr.U8(chunkVersion)
+	hdr.U8(flags)
+	hdr.U32(uint32(chunkSize))
+	if _, err := w.Write([]byte(chunkMagic)); err != nil {
+		return err
+	}
+	if _, err := w.Write(hdr.Bytes()); err != nil {
+		return err
+	}
+
+	total := 0
+	sum := sha256.New()
+	for seq := 0; ; seq++ {
+		lo := seq * chunkSize
+		if lo > len(data) {
+			break
+		}
+		hi := lo + chunkSize
+		last := uint8(0)
+		if hi >= len(data) {
+			hi = len(data)
+			last = 1
+		}
+		raw := data[lo:hi]
+		sum.Write(raw)
+		enc := raw
+		if compress {
+			var buf bytes.Buffer
+			fw, err := flate.NewWriter(&buf, flate.DefaultCompression)
+			if err != nil {
+				return err
+			}
+			if _, err := fw.Write(raw); err != nil {
+				return err
+			}
+			if err := fw.Close(); err != nil {
+				return err
+			}
+			// Keep the chunk raw when compression does not help; the
+			// reader distinguishes by encLen == rawLen.
+			if buf.Len() < len(raw) {
+				enc = buf.Bytes()
+			}
+		}
+		fw := wire.NewWriter(16 + len(enc))
+		fw.U32(uint32(seq))
+		fw.U8(last)
+		fw.U32(uint32(len(raw)))
+		fw.U32(uint32(len(enc)))
+		if _, err := w.Write(fw.Bytes()); err != nil {
+			return err
+		}
+		if _, err := w.Write(enc); err != nil {
+			return err
+		}
+		crc := wire.NewWriter(4)
+		crc.U32(crc32.ChecksumIEEE(enc))
+		if _, err := w.Write(crc.Bytes()); err != nil {
+			return err
+		}
+		total += len(raw)
+		if last == 1 {
+			break
+		}
+	}
+
+	tw := wire.NewWriter(44)
+	nChunks := (len(data) + chunkSize - 1) / chunkSize
+	if nChunks == 0 {
+		nChunks = 1 // empty payload still ships one (empty, last) chunk
+	}
+	tw.U32(uint32(nChunks))
+	tw.U64(uint64(total))
+	_, err := w.Write(tw.Bytes())
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(sum.Sum(nil))
+	return err
+}
+
+// Reassemble decodes a chunk stream produced by WriteChunks, checking
+// per-chunk CRCs, sequence numbers, and the trailer hash. maxBytes
+// bounds the reassembled size (0 means 64 MiB); every violation is an
+// error, never a panic or an unbounded allocation.
+func Reassemble(data []byte, maxBytes int64) ([]byte, error) {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	if len(data) < 4 || string(data[:4]) != chunkMagic {
+		return nil, errors.New("serve: chunk stream missing RBCH magic")
+	}
+	r := wire.NewReader(data[4:])
+	if v := r.U8(); r.Err() == nil && v != chunkVersion {
+		return nil, fmt.Errorf("serve: chunk stream version %d not supported", v)
+	}
+	flags := r.U8()
+	chunkSize := int(r.U32())
+	if r.Err() != nil {
+		return nil, fmt.Errorf("serve: chunk stream header: %w", r.Err())
+	}
+	if flags&^uint8(chunkFlagFlate) != 0 {
+		return nil, fmt.Errorf("serve: chunk stream has unknown flags %#x", flags)
+	}
+	if chunkSize < 1 || chunkSize > maxChunkSize {
+		return nil, fmt.Errorf("serve: chunk size %d out of range [1, %d]", chunkSize, maxChunkSize)
+	}
+
+	var out []byte
+	sum := sha256.New()
+	seenLast := false
+	nChunks := 0
+	for !seenLast {
+		seq := int(r.U32())
+		last := r.U8()
+		rawLen := int(r.U32())
+		encLen := int(r.U32())
+		if r.Err() != nil {
+			return nil, fmt.Errorf("serve: chunk %d frame: %w", nChunks, r.Err())
+		}
+		if seq != nChunks {
+			return nil, fmt.Errorf("serve: chunk sequence %d, want %d", seq, nChunks)
+		}
+		if last > 1 {
+			return nil, fmt.Errorf("serve: chunk %d last flag %d out of range", seq, last)
+		}
+		if rawLen < 0 || rawLen > chunkSize {
+			return nil, fmt.Errorf("serve: chunk %d raw length %d exceeds chunk size %d", seq, rawLen, chunkSize)
+		}
+		// A compressed chunk is only kept when strictly smaller; a
+		// stored chunk has encLen == rawLen. Anything larger is bogus.
+		if encLen < 0 || encLen > rawLen {
+			return nil, fmt.Errorf("serve: chunk %d encoded length %d exceeds raw length %d", seq, encLen, rawLen)
+		}
+		if encLen > r.Remaining() {
+			return nil, fmt.Errorf("serve: chunk %d encoded length %d exceeds payload", seq, encLen)
+		}
+		enc := r.Raw(encLen)
+		crc := r.U32()
+		if r.Err() != nil {
+			return nil, fmt.Errorf("serve: chunk %d: %w", seq, r.Err())
+		}
+		if crc32.ChecksumIEEE(enc) != crc {
+			return nil, fmt.Errorf("serve: chunk %d CRC mismatch", seq)
+		}
+		raw := enc
+		if flags&chunkFlagFlate != 0 && encLen != rawLen {
+			fr := flate.NewReader(bytes.NewReader(enc))
+			buf := make([]byte, 0, rawLen)
+			// ReadAll with a hard cap: the raw length is already bounded
+			// by chunkSize, so limit the inflater to rawLen+1 and verify.
+			lr := io.LimitReader(fr, int64(rawLen)+1)
+			b, err := io.ReadAll(lr)
+			if err != nil {
+				return nil, fmt.Errorf("serve: chunk %d inflate: %w", seq, err)
+			}
+			if len(b) != rawLen {
+				return nil, fmt.Errorf("serve: chunk %d inflated to %d bytes, want %d", seq, len(b), rawLen)
+			}
+			raw = append(buf, b...)
+		} else if len(raw) != rawLen {
+			return nil, fmt.Errorf("serve: chunk %d stored length %d, want %d", seq, len(raw), rawLen)
+		}
+		if int64(len(out))+int64(rawLen) > maxBytes {
+			return nil, fmt.Errorf("serve: reassembled artifact exceeds limit %d", maxBytes)
+		}
+		out = append(out, raw...)
+		sum.Write(raw)
+		nChunks++
+		seenLast = last == 1
+	}
+
+	totalChunks := int(r.U32())
+	totalRaw := r.U64()
+	if r.Err() != nil {
+		return nil, fmt.Errorf("serve: chunk trailer: %w", r.Err())
+	}
+	if totalChunks != nChunks {
+		return nil, fmt.Errorf("serve: trailer says %d chunks, saw %d", totalChunks, nChunks)
+	}
+	if totalRaw != uint64(len(out)) {
+		return nil, fmt.Errorf("serve: trailer says %d raw bytes, saw %d", totalRaw, len(out))
+	}
+	if r.Remaining() < sha256.Size {
+		return nil, errors.New("serve: chunk trailer hash truncated")
+	}
+	want := r.Raw(sha256.Size)
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("serve: trailing data after chunk stream: %w", err)
+	}
+	if !bytes.Equal(sum.Sum(nil), want) {
+		return nil, errors.New("serve: chunk stream SHA-256 mismatch")
+	}
+	return out, nil
+}

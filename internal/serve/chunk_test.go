@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"roborebound/internal/prng"
+)
+
+func chunkRoundTrip(t *testing.T, data []byte, chunkSize int, compress bool) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteChunks(&buf, data, chunkSize, compress); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := Reassemble(buf.Bytes(), 0)
+	if err != nil {
+		t.Fatalf("reassemble: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip: got %d bytes, want %d", len(got), len(data))
+	}
+}
+
+func TestChunkRoundTrip(t *testing.T) {
+	rng := prng.New(11)
+	random := make([]byte, 200_000)
+	for i := range random {
+		random[i] = byte(rng.Intn(256))
+	}
+	compressible := bytes.Repeat([]byte("roborebound "), 20_000)
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"one byte", []byte{42}},
+		{"exact chunk", bytes.Repeat([]byte{7}, DefaultChunkSize)},
+		{"chunk plus one", bytes.Repeat([]byte{7}, DefaultChunkSize+1)},
+		{"random", random},
+		{"compressible", compressible},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			chunkRoundTrip(t, tc.data, 0, false)
+			chunkRoundTrip(t, tc.data, 0, true)
+			chunkRoundTrip(t, tc.data, 1024, true)
+			chunkRoundTrip(t, tc.data, 1, false) // worst-case framing
+		})
+	}
+}
+
+func TestReassembleRejectsCorruption(t *testing.T) {
+	data := bytes.Repeat([]byte("payload"), 5000)
+	var buf bytes.Buffer
+	if err := WriteChunks(&buf, data, 4096, true); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	stream := buf.Bytes()
+
+	if _, err := Reassemble(nil, 0); err == nil {
+		t.Error("accepted empty stream")
+	}
+	if _, err := Reassemble([]byte("NOPE"), 0); err == nil {
+		t.Error("accepted wrong magic")
+	}
+	if _, err := Reassemble(stream[:len(stream)-1], 0); err == nil {
+		t.Error("accepted truncated trailer")
+	}
+	if _, err := Reassemble(stream[:20], 0); err == nil {
+		t.Error("accepted truncated chunk")
+	}
+	// Flip one payload byte: the chunk CRC must catch it.
+	flipped := append([]byte(nil), stream...)
+	flipped[30] ^= 0xFF
+	if _, err := Reassemble(flipped, 0); err == nil {
+		t.Error("accepted corrupted chunk payload")
+	}
+	// Append trailing garbage: the framing must reject it.
+	if _, err := Reassemble(append(append([]byte(nil), stream...), 0), 0); err == nil {
+		t.Error("accepted trailing garbage")
+	}
+	// Reassembly bound: a stream bigger than maxBytes must refuse to
+	// allocate the full payload.
+	if _, err := Reassemble(stream, 100); err == nil {
+		t.Error("accepted stream over the reassembly bound")
+	}
+}

@@ -1,0 +1,45 @@
+// Package serve is the simulation-as-a-service front-end: a
+// long-running, stdlib-only HTTP server that exposes the repository's
+// deterministic facades (chaos cells, traces, the fig6/fig7 sweeps,
+// the scale/swarm differentials, snapshot capture and resume) as
+// submitted jobs.
+//
+// The package is structured as independently testable layers:
+//
+//   - wire.go: the versioned JSON job-request codec. Requests are
+//     size-bounded, reject unknown fields, and validate every numeric
+//     knob against hard caps before any work is admitted — the
+//     internal/wire discipline (bounded, canonical, no trailing
+//     garbage) applied to JSON.
+//   - job.go: the job model — states, the NDJSON progress-event
+//     stream, and the status document clients poll.
+//   - sched.go: the multi-tenant fair-share scheduler. Per-tenant
+//     FIFO queues with hard depth bounds (overflow is backpressure:
+//     429 + Retry-After, never unbounded growth), smooth weighted
+//     round-robin across tenants, per-tenant running caps, and
+//     graceful drain (in-flight jobs finish or checkpoint through
+//     internal/snapshot; queued jobs are rejected carrying a
+//     resubmission handle).
+//   - store.go + chunk.go: the artifact store (memory up to a
+//     threshold, disk-backed spillover above it) and the framed
+//     chunk encoding used for chunked artifact delivery.
+//   - exec.go: the executors mapping job kinds onto the facades.
+//     Execution is observation-only by construction — the server
+//     adds no inputs to any simulation — and the HTTP≡facade
+//     differential matrix at the repository root proves it
+//     byte-for-byte.
+//   - server.go + client.go: the net/http surface and a minimal
+//     client used by tests and the load generator.
+//   - load.go: the load-generation harness — thousands of concurrent
+//     sessions against an in-process server, publishing per-tenant
+//     latency percentiles through the internal/obs metrics registry.
+//
+// Determinism contract: everything a job computes is a pure function
+// of its request (plus any referenced artifact bytes). Wall-clock
+// time exists only in telemetry — queue-wait and service durations,
+// latency histograms — and flows through the perf package's clock
+// seam, never into results. Scheduling order, by contrast, is
+// deliberately nondeterministic (it depends on arrival order and
+// worker availability); the fairness properties the scheduler does
+// guarantee are pinned by the property tests in sched_test.go.
+package serve

@@ -1,0 +1,627 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	rr "roborebound"
+	"roborebound/internal/faultinject"
+	"roborebound/internal/obs"
+	"roborebound/internal/wire"
+)
+
+// Executor maps validated job requests onto the repository's
+// deterministic facades. The server path and the direct path
+// (RunJobDirect, used by the HTTP≡facade differential matrix) share
+// runJob, so everything a job computes is byte-identical between
+// them by construction.
+type Executor struct {
+	Store *ArtifactStore
+}
+
+// NamedBlob is one produced artifact, in a fixed per-kind order.
+type NamedBlob struct {
+	Name string
+	Data []byte
+}
+
+// JobOutput is everything one executed job produced. Result is the
+// deterministic JSON result document (the Status.Result field);
+// Artifacts are the deterministic byte artifacts. Checkpoint, when
+// non-nil, is an interrupted chaos cell's boundary snapshot.
+type JobOutput struct {
+	Result      []byte
+	Artifacts   []NamedBlob
+	Interrupted bool
+	Checkpoint  []byte
+}
+
+// execHooks thread the scheduler-side control signals into a run.
+// The zero value (direct path) runs to completion with no progress
+// reporting.
+type execHooks struct {
+	// progress receives per-cell sweep completion events.
+	progress func(Event)
+	// interrupt is polled at chaos tick boundaries (drain checkpoint
+	// or cancel).
+	interrupt func() bool
+}
+
+// resolveFunc dereferences a resume handle to its snapshot bytes.
+type resolveFunc func(ResumeRef) ([]byte, error)
+
+// Run is the scheduler's Run hook: execute the job, store its
+// artifacts, and return the terminal state.
+func (e *Executor) Run(j *Job) (State, string) {
+	hooks := execHooks{
+		progress:  func(ev Event) { j.Publish(ev) },
+		interrupt: j.InterruptRequested,
+	}
+	out, err := runJob(j.Req, e.resolve, hooks)
+	if err != nil {
+		return StateFailed, err.Error()
+	}
+	if out.Interrupted && j.Cancelled() {
+		// Client cancel: the work is abandoned, nothing is stored.
+		return StateCancelled, ""
+	}
+	var infos []ArtifactInfo
+	for _, blob := range out.Artifacts {
+		info, err := e.Store.Put(j.ID, blob.Name, blob.Data)
+		if err != nil {
+			return StateFailed, err.Error()
+		}
+		infos = append(infos, info)
+	}
+	if out.Interrupted {
+		if out.Checkpoint == nil {
+			return StateFailed, "serve: drain interrupt captured no checkpoint"
+		}
+		info, err := e.Store.Put(j.ID, CheckpointArtifact, out.Checkpoint)
+		if err != nil {
+			return StateFailed, err.Error()
+		}
+		infos = append(infos, info)
+		j.SetOutput(out.Result, infos)
+		return StateCheckpointed, ""
+	}
+	j.SetOutput(out.Result, infos)
+	return StateDone, ""
+}
+
+func (e *Executor) resolve(ref ResumeRef) ([]byte, error) {
+	return e.Store.Get(ref.Job, ref.Artifact)
+}
+
+// RunJobDirect executes a request through the exact code path the
+// server uses, minus HTTP, scheduling, and storage — the oracle side
+// of the differential matrix. resolve may be nil for kinds that take
+// no resume handle.
+func RunJobDirect(req *JobRequest, resolve resolveFunc) (*JobOutput, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return runJob(req, resolve, execHooks{})
+}
+
+// jobWorkers defaults intra-job sweep parallelism to 1: serial cells
+// make the progress-event sequence (and thus the NDJSON stream) a
+// deterministic function of the request.
+func jobWorkers(req *JobRequest) int {
+	if req.Workers <= 0 {
+		return 1
+	}
+	return req.Workers
+}
+
+// sweepProgress adapts a facade progress callback to the job event
+// stream. Elapsed is wall clock and deliberately dropped.
+func sweepProgress(hooks execHooks) func(rr.SweepProgress) {
+	if hooks.progress == nil {
+		return nil
+	}
+	return func(p rr.SweepProgress) {
+		hooks.progress(Event{Label: p.Label, Done: p.Done, Total: p.Total})
+	}
+}
+
+// chaosCell builds the ChaosConfig a chaos-family request describes.
+// Zero-valued knobs keep the facade's defaults.
+func chaosCell(req *JobRequest) rr.ChaosConfig {
+	return rr.ChaosConfig{
+		Controller:     req.Controller,
+		Profile:        faultinject.Profile(req.Profile),
+		Seed:           req.Seed,
+		N:              req.N,
+		DurationSec:    req.DurationSec,
+		Fmax:           req.Fmax,
+		SpacingM:       req.SpacingM,
+		MTUBytes:       req.MTUBytes,
+		SpatialIndex:   req.SpatialIndex,
+		TickShards:     req.TickShards,
+		ReferencePlane: req.ReferencePlane,
+	}
+}
+
+// chaosView is the deterministic result document of a chaos-family
+// job. Wall-clock fields never appear here.
+type chaosView struct {
+	Kind              string   `json:"kind"`
+	Label             string   `json:"label"`
+	Fingerprint       string   `json:"fingerprint"`
+	Robots            int      `json:"robots"`
+	Attackers         int      `json:"attackers"`
+	AttackersDisabled int      `json:"attackers_disabled"`
+	RoundsCovered     uint64   `json:"rounds_covered"`
+	TxBytes           uint64   `json:"tx_bytes"`
+	RxBytes           uint64   `json:"rx_bytes"`
+	DroppedFrames     uint64   `json:"dropped_frames"`
+	Schedule          []string `json:"schedule,omitempty"`
+	Violation         string   `json:"violation,omitempty"`
+	Interrupted       bool     `json:"interrupted,omitempty"`
+	CheckpointTick    uint64   `json:"checkpoint_tick,omitempty"`
+	SnapshotTicks     []uint64 `json:"snapshot_ticks,omitempty"`
+	TraceEvents       int      `json:"trace_events,omitempty"`
+}
+
+func viewOfChaos(kind string, res *rr.ChaosResult, traceEvents int) chaosView {
+	v := chaosView{
+		Kind:              kind,
+		Label:             res.Config.Label(),
+		Fingerprint:       res.Metrics.Fingerprint,
+		Robots:            res.Metrics.Robots,
+		Attackers:         res.Metrics.Attackers,
+		AttackersDisabled: res.Metrics.AttackersDisabled,
+		RoundsCovered:     res.Metrics.RoundsCovered,
+		TxBytes:           res.Metrics.TxBytes,
+		RxBytes:           res.Metrics.RxBytes,
+		DroppedFrames:     res.Metrics.DroppedFrames,
+		Schedule:          res.Schedule,
+		Interrupted:       res.Interrupted,
+		TraceEvents:       traceEvents,
+	}
+	if res.Violation != nil {
+		v.Violation = res.Violation.Error()
+	}
+	if res.Checkpoint != nil {
+		v.CheckpointTick = uint64(res.Checkpoint.Tick)
+	}
+	for _, s := range res.Snapshots {
+		v.SnapshotTicks = append(v.SnapshotTicks, uint64(s.Tick))
+	}
+	return v
+}
+
+// metricsArtifact renders a metrics snapshot through the obs exporter
+// — the same writer the CLI uses, so the differential matrix can
+// compare it against a direct export byte-for-byte.
+func metricsArtifact(snap []obs.Sample) (NamedBlob, error) {
+	var buf bytes.Buffer
+	if err := obs.WriteMetricsJSON(&buf, snap); err != nil {
+		return NamedBlob{}, err
+	}
+	return NamedBlob{Name: "metrics.json", Data: buf.Bytes()}, nil
+}
+
+func eventsArtifact(events []obs.Event) (NamedBlob, error) {
+	var buf bytes.Buffer
+	if err := obs.WriteNDJSON(&buf, events); err != nil {
+		return NamedBlob{}, err
+	}
+	return NamedBlob{Name: "events.ndjson", Data: buf.Bytes()}, nil
+}
+
+// chaosTPS mirrors the facade's fixed 4 Hz tick rate (see RunChaos).
+const chaosTPS = 4.0
+
+func perfettoArtifact(events []obs.Event) (NamedBlob, error) {
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, events, obs.TickMapping{TicksPerSecond: chaosTPS}); err != nil {
+		return NamedBlob{}, err
+	}
+	return NamedBlob{Name: "perfetto.json", Data: buf.Bytes()}, nil
+}
+
+func marshalResult(v any) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("serve: marshal result: %w", err)
+	}
+	return data, nil
+}
+
+// runJob executes one validated request. Every branch returns either
+// an error or a fully deterministic JobOutput.
+func runJob(req *JobRequest, resolve resolveFunc, hooks execHooks) (*JobOutput, error) {
+	switch req.Kind {
+	case KindChaos:
+		return runChaosJob(req, hooks)
+	case KindTrace:
+		return runTraceJob(req, hooks)
+	case KindFig6:
+		return runFig6Job(req, hooks)
+	case KindFig7Density, KindFig7Scale:
+		return runFig7Job(req, hooks)
+	case KindScale:
+		return runScaleJob(req, hooks)
+	case KindSwarm:
+		return runSwarmJob(req, hooks)
+	case KindSnapshot:
+		return runSnapshotJob(req, hooks)
+	case KindResume:
+		return runResumeJob(req, resolve, hooks, false)
+	case KindResumeVerif:
+		return runResumeJob(req, resolve, hooks, true)
+	}
+	return nil, fmt.Errorf("serve: unknown job kind %q", req.Kind)
+}
+
+func runChaosJob(req *JobRequest, hooks execHooks) (*JobOutput, error) {
+	cfg := chaosCell(req)
+	var col *obs.Collector
+	if req.Events {
+		col = obs.NewCollector()
+		cfg.Trace = col
+	}
+	cfg.Interrupt = hooks.interrupt
+	res := rr.RunChaos(cfg)
+	if res.SnapshotError != nil {
+		return nil, res.SnapshotError
+	}
+	out := &JobOutput{Interrupted: res.Interrupted}
+	if res.Checkpoint != nil {
+		out.Checkpoint = res.Checkpoint.Data
+	}
+	nEvents := 0
+	if col != nil {
+		nEvents = col.Len()
+	}
+	var err error
+	if out.Result, err = marshalResult(viewOfChaos(req.Kind, &res, nEvents)); err != nil {
+		return nil, err
+	}
+	metrics, err := metricsArtifact(res.MetricsSnapshot)
+	if err != nil {
+		return nil, err
+	}
+	out.Artifacts = append(out.Artifacts, metrics)
+	if col != nil {
+		events, err := eventsArtifact(col.Events())
+		if err != nil {
+			return nil, err
+		}
+		out.Artifacts = append(out.Artifacts, events)
+	}
+	return out, nil
+}
+
+func runTraceJob(req *JobRequest, hooks execHooks) (*JobOutput, error) {
+	cfg := chaosCell(req)
+	if cfg.Profile == "" {
+		// A trace job is a fully instrumented look at the healthy
+		// protocol; faults are opt-in via an explicit profile.
+		cfg.Profile = faultinject.ProfileNone
+	}
+	col := obs.NewCollector()
+	cfg.Trace = col
+	cfg.Interrupt = hooks.interrupt
+	res := rr.RunChaos(cfg)
+	if res.SnapshotError != nil {
+		return nil, res.SnapshotError
+	}
+	out := &JobOutput{Interrupted: res.Interrupted}
+	if res.Checkpoint != nil {
+		out.Checkpoint = res.Checkpoint.Data
+	}
+	var err error
+	if out.Result, err = marshalResult(viewOfChaos(req.Kind, &res, col.Len())); err != nil {
+		return nil, err
+	}
+	events, err := eventsArtifact(col.Events())
+	if err != nil {
+		return nil, err
+	}
+	metrics, err := metricsArtifact(res.MetricsSnapshot)
+	if err != nil {
+		return nil, err
+	}
+	out.Artifacts = append(out.Artifacts, events, metrics)
+	if req.Perfetto {
+		pf, err := perfettoArtifact(col.Events())
+		if err != nil {
+			return nil, err
+		}
+		out.Artifacts = append(out.Artifacts, pf)
+	}
+	return out, nil
+}
+
+func runFig6Job(req *JobRequest, hooks execHooks) (*JobOutput, error) {
+	cfg := rr.Fig6Config{
+		N:           req.N,
+		SpacingM:    req.SpacingM,
+		DurationSec: req.DurationSec,
+		Seed:        req.Seed,
+		Fmaxes:      req.Fmaxes,
+		PeriodsSec:  req.PeriodsSec,
+	}
+	if cfg.DurationSec == 0 {
+		cfg.DurationSec = 20 // a served job defaults shorter than the paper's 50 s
+	}
+	points := rr.RunFig6Sweep(cfg, rr.SweepOptions{
+		Workers: jobWorkers(req), Progress: sweepProgress(hooks),
+	})
+	result, err := marshalResult(struct {
+		Kind   string         `json:"kind"`
+		Points []rr.Fig6Point `json:"points"`
+	}{req.Kind, points})
+	if err != nil {
+		return nil, err
+	}
+	return &JobOutput{Result: result}, nil
+}
+
+func runFig7Job(req *JobRequest, hooks execHooks) (*JobOutput, error) {
+	dur := req.DurationSec
+	if dur == 0 {
+		dur = 15 // served default: a smoke-sized sweep, not the paper's 50 s
+	}
+	opts := rr.SweepOptions{Workers: jobWorkers(req), Progress: sweepProgress(hooks)}
+	var points []rr.Fig7Point
+	if req.Kind == KindFig7Density {
+		sizes := req.Sizes
+		if len(sizes) == 0 {
+			sizes = []int{16, 36}
+		}
+		spacings := req.Spacings
+		if len(spacings) == 0 {
+			spacings = []float64{4, 64}
+		}
+		points = rr.RunFig7DensitySweep(sizes, spacings, dur, req.Seed, opts)
+	} else {
+		sizes := req.Sizes
+		if len(sizes) == 0 {
+			sizes = []int{16, 36, 64}
+		}
+		points = rr.RunFig7ScaleSweep(sizes, dur, req.Seed, opts)
+	}
+	result, err := marshalResult(struct {
+		Kind   string         `json:"kind"`
+		Points []rr.Fig7Point `json:"points"`
+	}{req.Kind, points})
+	if err != nil {
+		return nil, err
+	}
+	return &JobOutput{Result: result}, nil
+}
+
+// scaleView is one size's differential outcome without the wall-clock
+// fields (Elapsed, Speedup) ScaleComparison carries.
+type scaleView struct {
+	N                int    `json:"n"`
+	Fingerprint      string `json:"fingerprint"`
+	FingerprintMatch bool   `json:"fingerprint_match"`
+	MetricsMatch     bool   `json:"metrics_match"`
+}
+
+func runScaleJob(req *JobRequest, hooks execHooks) (*JobOutput, error) {
+	cfg := rr.ScaleConfig{
+		Sizes:        req.Sizes,
+		DurationSec:  req.DurationSec,
+		SpacingM:     req.SpacingM,
+		Seed:         req.Seed,
+		Controller:   req.Controller,
+		Profile:      faultinject.Profile(req.Profile),
+		Differential: true,
+		Workers:      jobWorkers(req),
+		Progress:     sweepProgress(hooks),
+	}
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = []int{100}
+	}
+	if cfg.DurationSec == 0 {
+		cfg.DurationSec = 10
+	}
+	points := rr.RunScaleSweep(cfg)
+	views := make([]scaleView, 0)
+	for _, c := range rr.CompareScalePoints(points) {
+		v := scaleView{
+			N:                c.N,
+			FingerprintMatch: c.FingerprintMatch,
+			MetricsMatch:     c.MetricsMatch,
+		}
+		if c.Indexed != nil {
+			v.Fingerprint = c.Indexed.Result.Metrics.Fingerprint
+		}
+		views = append(views, v)
+		if !c.FingerprintMatch || !c.MetricsMatch {
+			return nil, fmt.Errorf("serve: scale differential mismatch at N=%d", c.N)
+		}
+	}
+	result, err := marshalResult(struct {
+		Kind   string      `json:"kind"`
+		Points []scaleView `json:"points"`
+	}{req.Kind, views})
+	if err != nil {
+		return nil, err
+	}
+	return &JobOutput{Result: result}, nil
+}
+
+// swarmView is one size's protocol-plane differential outcome, again
+// with wall-clock fields stripped.
+type swarmView struct {
+	N           int    `json:"n"`
+	Fingerprint string `json:"fingerprint"`
+	Matches     bool   `json:"matches"`
+}
+
+func runSwarmJob(req *JobRequest, hooks execHooks) (*JobOutput, error) {
+	cfg := rr.SwarmConfig{
+		Sizes:        req.Sizes,
+		DurationSec:  req.DurationSec,
+		SpacingM:     req.SpacingM,
+		Seed:         req.Seed,
+		Controller:   req.Controller,
+		Profile:      faultinject.Profile(req.Profile),
+		Shards:       req.TickShards,
+		Differential: true,
+		Workers:      jobWorkers(req),
+		Progress:     sweepProgress(hooks),
+	}
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = []int{200} // served default: swarm semantics at smoke scale
+	}
+	points := rr.RunSwarmSweep(cfg)
+	views := make([]swarmView, 0)
+	for _, c := range rr.CompareSwarmPoints(points) {
+		v := swarmView{N: c.N, Matches: c.Matches()}
+		if c.Reference != nil {
+			v.Fingerprint = c.Reference.Result.Metrics.Fingerprint
+		}
+		views = append(views, v)
+		if !v.Matches {
+			return nil, fmt.Errorf("serve: swarm differential mismatch at N=%d", c.N)
+		}
+	}
+	result, err := marshalResult(struct {
+		Kind   string      `json:"kind"`
+		Points []swarmView `json:"points"`
+	}{req.Kind, views})
+	if err != nil {
+		return nil, err
+	}
+	return &JobOutput{Result: result}, nil
+}
+
+func runSnapshotJob(req *JobRequest, hooks execHooks) (*JobOutput, error) {
+	cfg := chaosCell(req)
+	at := req.SnapshotAtTick
+	if at == 0 {
+		// Midpoint of the run; the 60 s fallback mirrors RunChaos's
+		// DurationSec default.
+		dur := req.DurationSec
+		if dur == 0 {
+			dur = 60
+		}
+		at = uint64(dur * chaosTPS / 2)
+	}
+	cfg.SnapshotAtTicks = []wire.Tick{wire.Tick(at)}
+	cfg.Interrupt = hooks.interrupt
+	res := rr.RunChaos(cfg)
+	if res.SnapshotError != nil {
+		return nil, res.SnapshotError
+	}
+	out := &JobOutput{Interrupted: res.Interrupted}
+	if res.Checkpoint != nil {
+		out.Checkpoint = res.Checkpoint.Data
+	}
+	var err error
+	if out.Result, err = marshalResult(viewOfChaos(req.Kind, &res, 0)); err != nil {
+		return nil, err
+	}
+	metrics, err := metricsArtifact(res.MetricsSnapshot)
+	if err != nil {
+		return nil, err
+	}
+	out.Artifacts = append(out.Artifacts, metrics)
+	if !res.Interrupted {
+		if len(res.Snapshots) == 0 {
+			return nil, fmt.Errorf("serve: snapshot job captured nothing (tick %d beyond the run?)", at)
+		}
+		out.Artifacts = append(out.Artifacts,
+			NamedBlob{Name: "snapshot.rbsn", Data: res.Snapshots[0].Data})
+	}
+	return out, nil
+}
+
+// resumeVerifyView reports a resume-verify comparison: the resumed
+// run against an uninterrupted oracle of the same cell.
+type resumeVerifyView struct {
+	Kind               string `json:"kind"`
+	Label              string `json:"label"`
+	ResumedFingerprint string `json:"resumed_fingerprint"`
+	OracleFingerprint  string `json:"oracle_fingerprint,omitempty"`
+	FingerprintMatch   bool   `json:"fingerprint_match"`
+	MetricsMatch       bool   `json:"metrics_match"`
+}
+
+func runResumeJob(req *JobRequest, resolve resolveFunc, hooks execHooks, verify bool) (*JobOutput, error) {
+	if resolve == nil {
+		return nil, fmt.Errorf("serve: kind %q needs an artifact resolver", req.Kind)
+	}
+	data, err := resolve(*req.Resume)
+	if err != nil {
+		return nil, fmt.Errorf("serve: resolve resume handle: %w", err)
+	}
+	res, err := rr.ResumeChaosSnapshot(data, func(cfg *rr.ChaosConfig) {
+		cfg.SpatialIndex = req.SpatialIndex
+		cfg.TickShards = req.TickShards
+		cfg.Interrupt = hooks.interrupt
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.SnapshotError != nil {
+		return nil, res.SnapshotError
+	}
+	out := &JobOutput{Interrupted: res.Interrupted}
+	if res.Checkpoint != nil {
+		out.Checkpoint = res.Checkpoint.Data
+	}
+	metrics, err := metricsArtifact(res.MetricsSnapshot)
+	if err != nil {
+		return nil, err
+	}
+	out.Artifacts = append(out.Artifacts, metrics)
+
+	if !verify || res.Interrupted {
+		if out.Result, err = marshalResult(viewOfChaos(req.Kind, &res, 0)); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+
+	// Oracle: the same cell run uninterrupted from tick zero. The
+	// resumed run must match it byte-for-byte — the serving layer's
+	// restatement of the repo's resume-equivalence contract.
+	oracle := res.Config
+	oracle.ResumeFrom = nil
+	oracle.Interrupt = nil
+	oracle.Trace = nil
+	oracle.Metrics = nil
+	ores := rr.RunChaos(oracle)
+	view := resumeVerifyView{
+		Kind:               req.Kind,
+		Label:              res.Config.Label(),
+		ResumedFingerprint: res.Metrics.Fingerprint,
+		OracleFingerprint:  ores.Metrics.Fingerprint,
+		FingerprintMatch:   res.Metrics.Fingerprint == ores.Metrics.Fingerprint,
+		MetricsMatch:       sampleSetsEqual(res.MetricsSnapshot, ores.MetricsSnapshot),
+	}
+	if !view.FingerprintMatch || !view.MetricsMatch {
+		return nil, fmt.Errorf("serve: resume-verify mismatch for %s (fingerprint match %v, metrics match %v)",
+			view.Label, view.FingerprintMatch, view.MetricsMatch)
+	}
+	if out.Result, err = marshalResult(view); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// sampleSetsEqual compares two metric snapshots exactly (bitwise on
+// values, like the scale differential does).
+func sampleSetsEqual(a, b []obs.Sample) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name ||
+			math.Float64bits(a[i].Value) != math.Float64bits(b[i].Value) {
+			return false
+		}
+	}
+	return true
+}

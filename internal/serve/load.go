@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+
+	rr "roborebound"
+	"roborebound/internal/obs/perf"
+)
+
+// LoadOptions shape one load-harness run: N concurrent sessions, each
+// a real HTTP client submitting one job and waiting for its terminal
+// state over the event stream.
+type LoadOptions struct {
+	// Sessions is the concurrent session count (default 64).
+	Sessions int
+	// TenantCount spreads sessions round-robin over this many load
+	// tenants (default 4), so the fair-share scheduler has real
+	// multi-tenancy to arbitrate.
+	TenantCount int
+	// Workers is the scheduler pool size (default 2).
+	Workers int
+	// Seed perturbs each session's cell (session i runs seed Seed+i),
+	// so the fleet is not a thousand identical cache-warm cells.
+	Seed uint64
+	// Request overrides the per-session job (default: a tiny chaos
+	// cell — 3 robots, 1 simulated second).
+	Request *JobRequest
+	// Metrics receives the published load telemetry (nil: a private
+	// registry, returned in the report).
+	Metrics *Metrics
+}
+
+// TenantLoad is one tenant's aggregated session timings.
+type TenantLoad struct {
+	Tenant string
+	Timing rr.SessionTiming
+}
+
+// LoadReport is the harness outcome. Queue/service splits come from
+// the server's own status telemetry (scheduler-measured), the
+// end-to-end distribution from client-side perf-clock readings.
+type LoadReport struct {
+	Sessions  int
+	Errors    int
+	ElapsedNs int64
+	// ThroughputPerSec is completed sessions per wall-clock second.
+	ThroughputPerSec float64
+	// Overall aggregates every session; Tenants splits by tenant,
+	// sorted by tenant name.
+	Overall  rr.SessionTiming
+	EndToEnd rr.LatencyDist
+	Tenants  []TenantLoad
+	// Metrics is the registry the percentiles were published into.
+	Metrics *Metrics
+}
+
+// loadSession is one session's raw measurements.
+type loadSession struct {
+	queueNs, serviceNs, e2eNs int64
+	ok                        bool
+}
+
+// RunLoad starts an in-process server on a loopback listener, drives
+// Sessions concurrent sessions against it over real HTTP, and
+// aggregates per-tenant queue-wait, service, and end-to-end latency
+// distributions, publishing them through the metrics registry.
+func RunLoad(opts LoadOptions) (*LoadReport, error) {
+	if opts.Sessions <= 0 {
+		opts.Sessions = 64
+	}
+	if opts.TenantCount <= 0 {
+		opts.TenantCount = 4
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = NewMetrics(nil)
+	}
+	req := opts.Request
+	if req == nil {
+		req = &JobRequest{
+			Version:     RequestVersion,
+			Kind:        KindChaos,
+			Profile:     "none",
+			N:           3,
+			DurationSec: 1,
+		}
+	}
+
+	// Every session must be admittable at once: size the queue bound to
+	// the per-tenant session share so the harness measures scheduling,
+	// not synthetic 429 churn (overload behaviour has its own tests).
+	perTenant := (opts.Sessions + opts.TenantCount - 1) / opts.TenantCount
+	srv, err := NewServer(ServerOptions{
+		Workers: opts.Workers,
+		Quota:   Quota{MaxQueued: perTenant + 1},
+		Metrics: metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("serve: load listener: %w", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// One shared transport with enough idle capacity that a thousand
+	// sessions do not churn connections.
+	transport := &http.Transport{MaxIdleConns: 256, MaxIdleConnsPerHost: 256}
+	httpClient := &http.Client{Transport: transport}
+	defer transport.CloseIdleConnections()
+
+	sessions := make([]loadSession, opts.Sessions)
+	tenantOf := func(i int) string { return fmt.Sprintf("load-%d", i%opts.TenantCount) }
+
+	startNs := perf.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := &Client{Base: base, Tenant: tenantOf(i), HTTP: httpClient}
+			sreq := *req
+			sreq.Seed = req.Seed + uint64(i)
+			ctx := context.Background()
+			t0 := perf.Now()
+			st, err := client.Run(ctx, &sreq)
+			e2e := perf.Now() - t0
+			if err != nil || st.State != StateDone {
+				sessions[i] = loadSession{e2eNs: e2e}
+				return
+			}
+			sessions[i] = loadSession{
+				queueNs: st.QueueNs, serviceNs: st.RunNs, e2eNs: e2e, ok: true,
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsedNs := perf.Now() - startNs
+
+	report := &LoadReport{Sessions: opts.Sessions, ElapsedNs: elapsedNs, Metrics: metrics}
+	report.Overall = rr.MeasureSessions(opts.Sessions, func(i int) (int64, int64, bool) {
+		s := sessions[i]
+		return s.queueNs, s.serviceNs, s.ok
+	})
+	report.Errors = report.Overall.Errors
+	if elapsedNs > 0 {
+		report.ThroughputPerSec = float64(report.Overall.Sessions) / (float64(elapsedNs) / 1e9)
+	}
+
+	// End-to-end distribution over the successful sessions, measured
+	// from the client side (includes HTTP and stream overhead the
+	// server cannot see).
+	report.EndToEnd = rr.MeasureSessions(opts.Sessions, func(i int) (int64, int64, bool) {
+		return 0, sessions[i].e2eNs, sessions[i].ok
+	}).Service
+
+	// Per-tenant splits: session i belongs to tenant i % TenantCount,
+	// so each tenant's sessions are the arithmetic subsequence.
+	for t := 0; t < opts.TenantCount; t++ {
+		name := tenantOf(t)
+		count := opts.Sessions / opts.TenantCount
+		if t < opts.Sessions%opts.TenantCount {
+			count++
+		}
+		timing := rr.MeasureSessions(count, func(k int) (int64, int64, bool) {
+			s := sessions[k*opts.TenantCount+t]
+			return s.queueNs, s.serviceNs, s.ok
+		})
+		report.Tenants = append(report.Tenants, TenantLoad{Tenant: name, Timing: timing})
+		publishTiming(metrics, "serve.load."+name, timing)
+	}
+	publishTiming(metrics, "serve.load.all", report.Overall)
+	metrics.Set("serve.load.all.e2e_p50_ns", report.EndToEnd.P50Ns)
+	metrics.Set("serve.load.all.e2e_p95_ns", report.EndToEnd.P95Ns)
+	metrics.Set("serve.load.all.e2e_p99_ns", report.EndToEnd.P99Ns)
+	metrics.Set("serve.load.throughput_per_sec", report.ThroughputPerSec)
+	metrics.Add("serve.load.sessions", uint64(report.Overall.Sessions))
+	metrics.Add("serve.load.errors", uint64(report.Errors))
+	return report, nil
+}
+
+// publishTiming exports one SessionTiming's percentiles as gauges
+// under prefix.
+func publishTiming(m *Metrics, prefix string, t rr.SessionTiming) {
+	m.Set(prefix+".sessions", float64(t.Sessions))
+	m.Set(prefix+".errors", float64(t.Errors))
+	m.Set(prefix+".queue_p50_ns", t.Queue.P50Ns)
+	m.Set(prefix+".queue_p95_ns", t.Queue.P95Ns)
+	m.Set(prefix+".queue_p99_ns", t.Queue.P99Ns)
+	m.Set(prefix+".service_p50_ns", t.Service.P50Ns)
+	m.Set(prefix+".service_p95_ns", t.Service.P95Ns)
+	m.Set(prefix+".service_p99_ns", t.Service.P99Ns)
+	m.Set(prefix+".total_p50_ns", t.Total.P50Ns)
+	m.Set(prefix+".total_p95_ns", t.Total.P95Ns)
+	m.Set(prefix+".total_p99_ns", t.Total.P99Ns)
+}

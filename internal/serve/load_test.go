@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunLoadSmall drives a small fleet through the load harness and
+// checks the report plus the published percentile gauges.
+func TestRunLoadSmall(t *testing.T) {
+	report, err := RunLoad(LoadOptions{
+		Sessions:    32,
+		TenantCount: 4,
+		Workers:     4,
+		Seed:        99,
+	})
+	if err != nil {
+		t.Fatalf("run load: %v", err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("%d/%d sessions errored", report.Errors, report.Sessions)
+	}
+	if report.Overall.Sessions != 32 {
+		t.Fatalf("overall sessions = %d, want 32", report.Overall.Sessions)
+	}
+	if report.ThroughputPerSec <= 0 {
+		t.Errorf("throughput = %v, want > 0", report.ThroughputPerSec)
+	}
+	if report.Overall.Service.P50Ns <= 0 || report.EndToEnd.P50Ns <= 0 {
+		t.Errorf("percentiles not populated: service p50=%v e2e p50=%v",
+			report.Overall.Service.P50Ns, report.EndToEnd.P50Ns)
+	}
+	// End-to-end includes HTTP and stream overhead the server cannot
+	// see, so it dominates the scheduler-measured service time.
+	if report.EndToEnd.P50Ns < report.Overall.Service.P50Ns {
+		t.Errorf("e2e p50 %v below service p50 %v", report.EndToEnd.P50Ns, report.Overall.Service.P50Ns)
+	}
+	if len(report.Tenants) != 4 {
+		t.Fatalf("tenant splits = %d, want 4", len(report.Tenants))
+	}
+	total := 0
+	for _, tl := range report.Tenants {
+		if tl.Timing.Errors != 0 {
+			t.Errorf("tenant %s had %d errors", tl.Tenant, tl.Timing.Errors)
+		}
+		total += tl.Timing.Sessions
+	}
+	if total != 32 {
+		t.Errorf("tenant session counts sum to %d, want 32", total)
+	}
+
+	// The percentile gauges land in the registry under stable names.
+	names := map[string]bool{}
+	for _, s := range report.Metrics.Snapshot() {
+		names[s.Name] = true
+	}
+	for _, want := range []string{
+		"serve.load.load-0.queue_p50_ns",
+		"serve.load.load-3.service_p99_ns",
+		"serve.load.all.total_p95_ns",
+		"serve.load.all.e2e_p99_ns",
+		"serve.load.throughput_per_sec",
+		"serve.load.sessions",
+	} {
+		if !names[want] {
+			var have []string
+			for n := range names {
+				if strings.HasPrefix(n, "serve.load.") {
+					have = append(have, n)
+				}
+			}
+			t.Errorf("registry missing %q (have %v)", want, have)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"sync"
+
+	"roborebound/internal/obs"
+)
+
+// Metrics wraps an obs.Registry with a mutex. The registry's
+// primitives are deliberately unsynchronized — inside a simulation
+// cell there is a single writer — but the serving layer mutates
+// tallies from many goroutines at once (workers, HTTP handlers, load
+// sessions), so every access goes through this guard. Snapshot holds
+// the same lock, so an exported snapshot is always internally
+// consistent.
+type Metrics struct {
+	mu  sync.Mutex
+	reg *obs.Registry
+}
+
+// NewMetrics wraps reg (a fresh registry when nil).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Metrics{reg: reg}
+}
+
+// Inc increments the named counter.
+func (m *Metrics) Inc(name string) { m.Add(name, 1) }
+
+// Add adds delta to the named counter.
+func (m *Metrics) Add(name string, delta uint64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.reg.Counter(name).Add(delta)
+	m.mu.Unlock()
+}
+
+// Set sets the named gauge.
+func (m *Metrics) Set(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.reg.Gauge(name).Set(v)
+	m.mu.Unlock()
+}
+
+// Observe records one sample into the named histogram, creating it
+// with the given bounds on first use.
+func (m *Metrics) Observe(name string, bounds []float64, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.reg.Histogram(name, bounds).Observe(v)
+	m.mu.Unlock()
+}
+
+// Quantile estimates a quantile of the named histogram (0 when the
+// histogram does not exist or is empty).
+func (m *Metrics) Quantile(name string, bounds []float64, q float64) float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reg.Histogram(name, bounds).Quantile(q)
+}
+
+// Snapshot returns the registry's sorted sample set.
+func (m *Metrics) Snapshot() []obs.Sample {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reg.Snapshot()
+}

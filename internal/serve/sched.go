@@ -1,0 +1,508 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"roborebound/internal/obs/perf"
+)
+
+// Quota bounds one tenant's footprint on the scheduler.
+type Quota struct {
+	// Weight is the tenant's fair-share weight (default 1). A tenant
+	// with weight 2 gets twice the dispatch slots of a weight-1 tenant
+	// when both have work queued.
+	Weight int
+	// MaxQueued bounds the tenant's FIFO queue (default 64). A submit
+	// beyond the bound is an OverloadError — backpressure, never
+	// unbounded growth.
+	MaxQueued int
+	// MaxRunning caps the tenant's concurrently running jobs (default:
+	// the pool size), so one tenant cannot hold every worker.
+	MaxRunning int
+}
+
+func (q Quota) withDefaults(workers int) Quota {
+	if q.Weight <= 0 {
+		q.Weight = 1
+	}
+	if q.MaxQueued <= 0 {
+		q.MaxQueued = 64
+	}
+	if q.MaxRunning <= 0 {
+		q.MaxRunning = workers
+	}
+	return q
+}
+
+// SchedOptions configures a Scheduler.
+type SchedOptions struct {
+	// Workers is the dispatch pool size (default 2).
+	Workers int
+	// Quota is the default quota for tenants not listed in Tenants.
+	Quota Quota
+	// Tenants overrides quotas per tenant name.
+	Tenants map[string]Quota
+	// Metrics receives scheduler telemetry; nil disables it.
+	Metrics *Metrics
+	// Clock supplies wall-clock readings for queue-wait/service
+	// telemetry (default perf.Now). Telemetry only — results never see
+	// it.
+	Clock perf.Clock
+	// MaxRetained bounds how many terminal jobs stay queryable
+	// (default 4096). The oldest terminal job is evicted first;
+	// OnEvict, when set, is told so the artifact store can drop its
+	// blobs.
+	MaxRetained int
+	OnEvict     func(jobID string)
+	// Run executes one job and returns its terminal state plus an
+	// error message for StateFailed. Required.
+	Run func(*Job) (State, string)
+}
+
+// ErrDraining rejects submissions while the scheduler drains.
+var ErrDraining = errors.New("serve: scheduler is draining")
+
+// OverloadError is the backpressure signal for a full tenant queue:
+// the HTTP layer maps it to 429 with the Retry-After it carries.
+type OverloadError struct {
+	Tenant        string
+	Queued        int
+	RetryAfterSec int
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: tenant %q queue is full (%d queued); retry after %ds",
+		e.Tenant, e.Queued, e.RetryAfterSec)
+}
+
+// tenantState is one tenant's scheduler-side state. All fields are
+// guarded by Scheduler.mu.
+type tenantState struct {
+	name    string
+	quota   Quota
+	queue   []*Job // FIFO
+	running int
+	// credit implements smooth weighted round-robin: each pick round
+	// adds Weight, the winner pays the total eligible weight.
+	credit int
+}
+
+// Scheduler is the multi-tenant fair-share job scheduler. Admission
+// (Submit) enforces per-tenant queue bounds; a fixed worker pool
+// dispatches by smooth weighted round-robin across tenants with
+// queued work, FIFO within a tenant.
+type Scheduler struct {
+	opts SchedOptions
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tenants map[string]*tenantState
+	// order keeps tenant names sorted so every map-derived iteration
+	// below is deterministic given the same state.
+	order        []string
+	jobs         map[string]*Job
+	terminalFIFO []string // terminal job IDs, oldest first, for eviction
+	seq          uint64
+	runningTotal int
+	draining     bool
+	closed       bool
+	// avgServiceNs is an EWMA of observed service times, feeding the
+	// Retry-After estimate. Telemetry-derived, never in results.
+	avgServiceNs float64
+
+	wg sync.WaitGroup
+}
+
+// NewScheduler builds the scheduler and starts its worker pool.
+func NewScheduler(opts SchedOptions) *Scheduler {
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.Clock == nil {
+		opts.Clock = perf.Now
+	}
+	if opts.MaxRetained <= 0 {
+		opts.MaxRetained = 4096
+	}
+	opts.Quota = opts.Quota.withDefaults(opts.Workers)
+	s := &Scheduler{
+		opts:    opts,
+		tenants: make(map[string]*tenantState),
+		jobs:    make(map[string]*Job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Scheduler) tenantLocked(name string) *tenantState {
+	if t, ok := s.tenants[name]; ok {
+		return t
+	}
+	q := s.opts.Quota
+	if override, ok := s.opts.Tenants[name]; ok {
+		q = override.withDefaults(s.opts.Workers)
+	}
+	t := &tenantState{name: name, quota: q}
+	s.tenants[name] = t
+	i := sort.SearchStrings(s.order, name)
+	s.order = append(s.order, "")
+	copy(s.order[i+1:], s.order[i:])
+	s.order[i] = name
+	return t
+}
+
+func (s *Scheduler) metric(tenant, name string) string {
+	return "serve.tenant." + tenant + "." + name
+}
+
+// Submit admits a job for tenant. It returns the job on success,
+// ErrDraining during a drain, an *OverloadError when the tenant's
+// queue is full, or a validation error for a bad tenant name.
+func (s *Scheduler) Submit(tenant string, req *JobRequest, body []byte) (*Job, error) {
+	if !validTenant(tenant) {
+		return nil, fmt.Errorf("serve: invalid tenant name %q", tenant)
+	}
+	now := s.opts.Clock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed {
+		return nil, ErrDraining
+	}
+	t := s.tenantLocked(tenant)
+	if len(t.queue) >= t.quota.MaxQueued {
+		s.opts.Metrics.Inc(s.metric(tenant, "rejected_overload"))
+		return nil, &OverloadError{
+			Tenant:        tenant,
+			Queued:        len(t.queue),
+			RetryAfterSec: s.retryAfterLocked(t),
+		}
+	}
+	s.seq++
+	id := fmt.Sprintf("%s-%d", tenant, s.seq)
+	j := newJob(id, tenant, req, body, now)
+	t.queue = append(t.queue, j)
+	s.jobs[id] = j
+	s.opts.Metrics.Inc(s.metric(tenant, "submitted"))
+	s.opts.Metrics.Set(s.metric(tenant, "queue_depth"), float64(len(t.queue)))
+	s.cond.Broadcast()
+	return j, nil
+}
+
+// retryAfterLocked estimates how long the caller should back off:
+// queue depth times the EWMA service time, divided across the pool,
+// clamped to [1s, 60s].
+func (s *Scheduler) retryAfterLocked(t *tenantState) int {
+	avg := s.avgServiceNs
+	if avg <= 0 {
+		avg = 1e8 // 100ms prior before any job has finished
+	}
+	est := float64(len(t.queue)+s.runningTotal) * avg / float64(s.opts.Workers) / 1e9
+	sec := int(est) + 1
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+// Job looks up a job by ID.
+func (s *Scheduler) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a job: a queued job is removed from its tenant's
+// queue and marked cancelled; a running job has its context cancelled
+// and transitions when the executor notices. Returns false for an
+// unknown ID.
+func (s *Scheduler) Cancel(id string) bool {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	if t, tok := s.tenants[j.Tenant]; tok {
+		for i, q := range t.queue {
+			if q == j {
+				t.queue = append(t.queue[:i], t.queue[i+1:]...)
+				s.opts.Metrics.Set(s.metric(t.name, "queue_depth"), float64(len(t.queue)))
+				j.setState(StateCancelled, "", s.opts.Clock())
+				s.opts.Metrics.Inc(s.metric(t.name, "cancelled"))
+				s.retainLocked(j)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	// Cancel the context outside the lock in all cases: for a running
+	// job this is the signal the executor polls; for an already-removed
+	// one it is a no-op.
+	j.cancel()
+	return true
+}
+
+// retainLocked enrols a now-terminal job in the retention FIFO and
+// evicts the oldest entries beyond MaxRetained.
+func (s *Scheduler) retainLocked(j *Job) {
+	s.terminalFIFO = append(s.terminalFIFO, j.ID)
+	for len(s.terminalFIFO) > s.opts.MaxRetained {
+		old := s.terminalFIFO[0]
+		s.terminalFIFO = s.terminalFIFO[1:]
+		delete(s.jobs, old)
+		if s.opts.OnEvict != nil {
+			s.opts.OnEvict(old)
+		}
+	}
+}
+
+// worker is one dispatch loop: block until a job is pickable, run it,
+// finish it, repeat until Close.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		j := s.next()
+		if j == nil {
+			return
+		}
+		state, errMsg := s.runGuarded(j)
+		if !state.Terminal() {
+			state, errMsg = StateFailed, fmt.Sprintf("serve: executor returned non-terminal state %q", state)
+		}
+		s.finish(j, state, errMsg)
+	}
+}
+
+// runGuarded runs the executor with a panic barrier: an executor
+// panic fails the one job, never the server.
+func (s *Scheduler) runGuarded(j *Job) (state State, errMsg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			state, errMsg = StateFailed, fmt.Sprintf("serve: executor panicked: %v", r)
+		}
+	}()
+	return s.opts.Run(j)
+}
+
+// next blocks until a job can be dispatched (or the scheduler closes,
+// returning nil). The picked job transitions to running before the
+// lock is released.
+func (s *Scheduler) next() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil
+		}
+		if j := s.pickLocked(); j != nil {
+			t := s.tenants[j.Tenant]
+			t.running++
+			s.runningTotal++
+			now := s.opts.Clock()
+			j.setState(StateRunning, "", now)
+			s.opts.Metrics.Set(s.metric(t.name, "queue_depth"), float64(len(t.queue)))
+			s.opts.Metrics.Set(s.metric(t.name, "running"), float64(t.running))
+			s.opts.Metrics.Observe(s.metric(t.name, "queue_wait_ns"),
+				perf.LogNsBounds(), float64(now-j.submittedNs))
+			return j
+		}
+		s.cond.Wait()
+	}
+}
+
+// pickLocked chooses the next job by smooth weighted round-robin over
+// tenants that have queued work and headroom under MaxRunning. Each
+// round every eligible tenant earns its weight in credit; the tenant
+// with the most credit (ties broken by sorted name order) dispatches
+// its FIFO head and pays back the round's total weight. The ROADMAP's
+// fairness invariants — no starvation, weight-proportional dispatch,
+// FIFO within tenant — are pinned by TestSchedulerFairShare.
+func (s *Scheduler) pickLocked() *Job {
+	totalWeight := 0
+	var best *tenantState
+	for _, name := range s.order {
+		t := s.tenants[name]
+		if len(t.queue) == 0 || t.running >= t.quota.MaxRunning {
+			continue
+		}
+		totalWeight += t.quota.Weight
+		t.credit += t.quota.Weight
+		if best == nil || t.credit > best.credit {
+			best = t
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	best.credit -= totalWeight
+	j := best.queue[0]
+	best.queue = best.queue[1:]
+	return j
+}
+
+// finish records a worker's terminal transition and telemetry.
+func (s *Scheduler) finish(j *Job, state State, errMsg string) {
+	now := s.opts.Clock()
+	j.setState(state, errMsg, now)
+	// The job may have gone terminal earlier (queued-cancel race); read
+	// back what actually stuck.
+	final := j.State()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenants[j.Tenant]
+	t.running--
+	s.runningTotal--
+	s.opts.Metrics.Set(s.metric(t.name, "running"), float64(t.running))
+	switch final {
+	case StateDone:
+		s.opts.Metrics.Inc(s.metric(t.name, "completed"))
+	case StateFailed:
+		s.opts.Metrics.Inc(s.metric(t.name, "failed"))
+	case StateCancelled:
+		s.opts.Metrics.Inc(s.metric(t.name, "cancelled"))
+	case StateCheckpointed:
+		s.opts.Metrics.Inc(s.metric(t.name, "checkpointed"))
+	}
+	if serviceNs := now - j.startedNs; serviceNs > 0 && j.startedNs > 0 {
+		s.opts.Metrics.Observe(s.metric(t.name, "service_ns"),
+			perf.LogNsBounds(), float64(serviceNs))
+		const alpha = 0.1
+		if s.avgServiceNs == 0 {
+			s.avgServiceNs = float64(serviceNs)
+		} else {
+			s.avgServiceNs = (1-alpha)*s.avgServiceNs + alpha*float64(serviceNs)
+		}
+	}
+	s.retainLocked(j)
+	s.cond.Broadcast()
+}
+
+// Draining reports whether a drain has started.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully winds the scheduler down: new submissions are
+// refused, every queued job is rejected carrying its resubmission
+// handle, and every running job is asked to checkpoint at its next
+// tick boundary. Drain returns when all running jobs have reached a
+// terminal state or ctx expires; either way no accepted job is lost —
+// each is done, failed, cancelled, checkpointed, or rejected with its
+// original request.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	now := s.opts.Clock()
+	s.mu.Lock()
+	s.draining = true
+	for _, name := range s.order {
+		t := s.tenants[name]
+		for _, j := range t.queue {
+			j.setState(StateRejected, "", now)
+			s.opts.Metrics.Inc(s.metric(t.name, "drain_rejected"))
+			s.retainLocked(j)
+		}
+		t.queue = nil
+		s.opts.Metrics.Set(s.metric(t.name, "queue_depth"), 0)
+	}
+	// Ask every running job to checkpoint. Job IDs are sorted so the
+	// map iteration cannot leak ordering into behaviour.
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		j := s.jobs[id]
+		if j.State() == StateRunning {
+			j.RequestDrainCheckpoint()
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		for s.runningTotal > 0 {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+		close(done)
+	}()
+	//rebound:nondet drain completion races ctx expiry by design; job state is wall-clock telemetry, not simulation state
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops the worker pool and waits for workers to exit. Running
+// jobs are cancelled. Close does not drain — call Drain first for a
+// graceful shutdown.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var running []*Job
+	for _, id := range ids {
+		if j := s.jobs[id]; j.State() == StateRunning {
+			running = append(running, j)
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, j := range running {
+		j.cancel()
+	}
+	s.wg.Wait()
+}
+
+// Stats is a point-in-time scheduler summary for /v1/tenants.
+type Stats struct {
+	Tenant  string `json:"tenant"`
+	Weight  int    `json:"weight"`
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+	MaxQ    int    `json:"max_queued"`
+	MaxRun  int    `json:"max_running"`
+}
+
+// TenantStats lists per-tenant occupancy, sorted by tenant name.
+func (s *Scheduler) TenantStats() []Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Stats, 0, len(s.order))
+	for _, name := range s.order {
+		t := s.tenants[name]
+		out = append(out, Stats{
+			Tenant:  name,
+			Weight:  t.quota.Weight,
+			Queued:  len(t.queue),
+			Running: t.running,
+			MaxQ:    t.quota.MaxQueued,
+			MaxRun:  t.quota.MaxRunning,
+		})
+	}
+	return out
+}

@@ -1,0 +1,445 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"roborebound/internal/prng"
+)
+
+// stubExec is a controllable executor for scheduler tests: each job
+// optionally blocks until released, cancelled, or asked to
+// drain-checkpoint, and the executor records every dispatch.
+type stubExec struct {
+	mu       sync.Mutex
+	order    []string       // job IDs in dispatch order
+	runs     map[string]int // dispatch count per job ID (double-run detector)
+	running  map[string]int // currently running per tenant
+	maxRun   map[string]int // high-water mark per tenant
+	release  chan struct{}  // closed to let blocked jobs finish
+	blocking bool
+}
+
+func newStubExec(blocking bool) *stubExec {
+	return &stubExec{
+		runs:     make(map[string]int),
+		running:  make(map[string]int),
+		maxRun:   make(map[string]int),
+		release:  make(chan struct{}),
+		blocking: blocking,
+	}
+}
+
+func (e *stubExec) Run(j *Job) (State, string) {
+	e.mu.Lock()
+	e.order = append(e.order, j.ID)
+	e.runs[j.ID]++
+	e.running[j.Tenant]++
+	if e.running[j.Tenant] > e.maxRun[j.Tenant] {
+		e.maxRun[j.Tenant] = e.running[j.Tenant]
+	}
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.running[j.Tenant]--
+		e.mu.Unlock()
+	}()
+	if !e.blocking {
+		return StateDone, ""
+	}
+	for {
+		select {
+		case <-e.release:
+			return StateDone, ""
+		case <-j.Context().Done():
+			return StateCancelled, ""
+		case <-time.After(100 * time.Microsecond):
+			if j.InterruptRequested() {
+				if j.Cancelled() {
+					return StateCancelled, ""
+				}
+				return StateCheckpointed, ""
+			}
+		}
+	}
+}
+
+func (e *stubExec) dispatched() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.order...)
+}
+
+func (e *stubExec) tenantMaxRunning(tenant string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.maxRun[tenant]
+}
+
+func submitN(t *testing.T, s *Scheduler, tenant string, n int) []*Job {
+	t.Helper()
+	req := validChaosRequest()
+	body, _ := req.Encode()
+	jobs := make([]*Job, 0, n)
+	for i := 0; i < n; i++ {
+		j, err := s.Submit(tenant, req, body)
+		if err != nil {
+			t.Fatalf("submit %s #%d: %v", tenant, i, err)
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+func waitTerminal(t *testing.T, jobs []*Job) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for _, j := range jobs {
+		for !j.State().Terminal() {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %q", j.ID, j.State())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func waitRunning(t *testing.T, jobs []*Job, want int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		running := 0
+		for _, j := range jobs {
+			if j.State() == StateRunning {
+				running++
+			}
+		}
+		if running == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("running = %d, want %d", running, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// jobSeq extracts the scheduler sequence number from a job ID of the
+// form "<tenant>-<seq>".
+func jobSeq(t *testing.T, id string) (tenant string, seq int) {
+	t.Helper()
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 {
+		t.Fatalf("malformed job id %q", id)
+	}
+	n, err := strconv.Atoi(id[i+1:])
+	if err != nil {
+		t.Fatalf("malformed job id %q: %v", id, err)
+	}
+	return id[:i], n
+}
+
+// TestSchedulerFairShare pins the weighted round-robin contract: with
+// one worker and both queues saturated, a weight-2 tenant dispatches
+// twice per weight-1 dispatch, and each tenant's jobs go FIFO.
+func TestSchedulerFairShare(t *testing.T) {
+	exec := newStubExec(true)
+	s := NewScheduler(SchedOptions{
+		Workers: 1,
+		Tenants: map[string]Quota{
+			"heavy": {Weight: 2, MaxQueued: 64, MaxRunning: 1},
+			"light": {Weight: 1, MaxQueued: 64, MaxRunning: 1},
+		},
+		Run: exec.Run,
+	})
+	defer s.Close()
+
+	// Stall the single worker with a sacrificial job so both queues
+	// fill before any fair-share picking happens.
+	stall := submitN(t, s, "light", 1)
+	waitRunning(t, stall, 1)
+	heavy := submitN(t, s, "heavy", 12)
+	light := submitN(t, s, "light", 6)
+	close(exec.release)
+	waitTerminal(t, append(append([]*Job{}, heavy...), light...))
+
+	order := exec.dispatched()[1:] // drop the stall job
+	// FIFO within tenant: sequence numbers per tenant strictly
+	// increase along the dispatch order.
+	last := map[string]int{}
+	for _, id := range order {
+		tenant, seq := jobSeq(t, id)
+		if seq <= last[tenant] {
+			t.Fatalf("tenant %s dispatched out of FIFO order: %v", tenant, order)
+		}
+		last[tenant] = seq
+	}
+	// Weighted interleave: over the first 9 dispatches (both tenants
+	// still saturated) heavy gets 6 slots and light gets 3.
+	h, l := 0, 0
+	for _, id := range order[:9] {
+		if strings.HasPrefix(id, "heavy-") {
+			h++
+		} else {
+			l++
+		}
+	}
+	if h != 6 || l != 3 {
+		t.Fatalf("first 9 dispatches: heavy=%d light=%d, want 6/3 (order %v)", h, l, order)
+	}
+}
+
+// TestSchedulerNoStarvation: a tenant flooding its queue cannot
+// starve another tenant's single job.
+func TestSchedulerNoStarvation(t *testing.T) {
+	exec := newStubExec(false)
+	s := NewScheduler(SchedOptions{
+		Workers: 1,
+		Quota:   Quota{MaxQueued: 256},
+		Run:     exec.Run,
+	})
+	defer s.Close()
+	flood := submitN(t, s, "flood", 100)
+	one := submitN(t, s, "patient", 1)
+	waitTerminal(t, append(flood, one...))
+
+	pos := -1
+	for i, id := range exec.dispatched() {
+		if id == one[0].ID {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		t.Fatal("patient tenant's job never dispatched")
+	}
+	// With equal weights the patient job shares dispatch slots from
+	// the moment it queues; it must not wait for the flood to drain.
+	// The flood may have raced up to all 100 dispatches before the
+	// patient job was even submitted, but once queued it wins within
+	// two picks.
+	if pos > 102 {
+		t.Fatalf("patient job starved until position %d of %d", pos, len(exec.dispatched()))
+	}
+}
+
+// TestSchedulerQuotaBounds pins the hard bounds: queue depth rejects
+// with OverloadError carrying a sane Retry-After, and MaxRunning is
+// never exceeded even with idle workers available.
+func TestSchedulerQuotaBounds(t *testing.T) {
+	exec := newStubExec(true)
+	s := NewScheduler(SchedOptions{
+		Workers: 4,
+		Quota:   Quota{MaxQueued: 4, MaxRunning: 2},
+		Run:     exec.Run,
+	})
+	defer s.Close()
+
+	// Fill the running slots first so the remaining submissions queue
+	// deterministically.
+	running := submitN(t, s, "tenant", 2)
+	waitRunning(t, running, 2)
+
+	req := validChaosRequest()
+	body, _ := req.Encode()
+	queued := make([]*Job, 0, 4)
+	overloads := 0
+	for i := 0; i < 10; i++ {
+		j, err := s.Submit("tenant", req, body)
+		if err != nil {
+			o, ok := err.(*OverloadError)
+			if !ok {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			if o.RetryAfterSec < 1 || o.RetryAfterSec > 60 {
+				t.Fatalf("Retry-After %d out of [1, 60]", o.RetryAfterSec)
+			}
+			if o.Queued != 4 {
+				t.Fatalf("OverloadError.Queued = %d, want 4", o.Queued)
+			}
+			overloads++
+			continue
+		}
+		queued = append(queued, j)
+	}
+	// 2 running + 4 queued admitted; the other 6 rejected.
+	if len(queued) != 4 || overloads != 6 {
+		t.Fatalf("admitted %d queued / %d overloads, want 4/6", len(queued), overloads)
+	}
+	close(exec.release)
+	waitTerminal(t, append(running, queued...))
+	if got := exec.tenantMaxRunning("tenant"); got > 2 {
+		t.Fatalf("MaxRunning exceeded: %d concurrent", got)
+	}
+}
+
+// TestSchedulerDrainUnderLoad: with 100 jobs in flight (8 running,
+// 92 queued), Drain must leave every accepted job in a terminal
+// state — running jobs checkpoint, queued jobs are rejected with
+// their resubmission handle — with nothing lost and nothing run
+// twice.
+func TestSchedulerDrainUnderLoad(t *testing.T) {
+	exec := newStubExec(true)
+	s := NewScheduler(SchedOptions{
+		Workers: 8,
+		Quota:   Quota{MaxQueued: 64},
+		Run:     exec.Run,
+	})
+	defer s.Close()
+
+	var jobs []*Job
+	for tnt := 0; tnt < 4; tnt++ {
+		jobs = append(jobs, submitN(t, s, fmt.Sprintf("tenant%d", tnt), 25)...)
+	}
+	waitRunning(t, jobs, 8)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	counts := map[State]int{}
+	for _, j := range jobs {
+		st := j.Status()
+		if !st.State.Terminal() {
+			t.Fatalf("job %s not terminal after drain: %q", j.ID, st.State)
+		}
+		counts[st.State]++
+		if (st.State == StateRejected || st.State == StateCheckpointed) && len(st.Resubmit) == 0 {
+			t.Errorf("%s job %s has no resubmission handle", st.State, j.ID)
+		}
+	}
+	if counts[StateCheckpointed] != 8 {
+		t.Errorf("running jobs checkpointed = %d, want 8 (counts %v)", counts[StateCheckpointed], counts)
+	}
+	if counts[StateRejected] != 92 {
+		t.Errorf("queued jobs rejected = %d, want 92 (counts %v)", counts[StateRejected], counts)
+	}
+	for id, n := range exec.runs {
+		if n > 1 {
+			t.Errorf("job %s ran %d times", id, n)
+		}
+	}
+	// Post-drain submissions are refused.
+	req := validChaosRequest()
+	body, _ := req.Encode()
+	if _, err := s.Submit("tenant0", req, body); err != ErrDraining {
+		t.Errorf("post-drain submit: %v, want ErrDraining", err)
+	}
+}
+
+// TestSchedulerChurnProperty hammers the scheduler with randomized
+// submit/cancel churn and checks the global invariants: every
+// accepted job reaches exactly one terminal state, none runs twice,
+// and the queue bound is never exceeded.
+func TestSchedulerChurnProperty(t *testing.T) {
+	rng := prng.New(0xC0FFEE)
+	exec := newStubExec(false)
+	const maxQueued = 16
+	s := NewScheduler(SchedOptions{
+		Workers: 4,
+		Quota:   Quota{MaxQueued: maxQueued},
+		Run:     exec.Run,
+	})
+	defer s.Close()
+
+	req := validChaosRequest()
+	body, _ := req.Encode()
+	tenants := []string{"a", "b", "c"}
+	var accepted []*Job
+	overloads := 0
+	for op := 0; op < 600; op++ {
+		switch rng.Intn(3) {
+		case 0, 1: // submit
+			tenant := tenants[rng.Intn(len(tenants))]
+			j, err := s.Submit(tenant, req, body)
+			if err != nil {
+				o, ok := err.(*OverloadError)
+				if !ok {
+					t.Fatalf("op %d: %v", op, err)
+				}
+				if o.Queued > maxQueued {
+					t.Fatalf("op %d: queue depth %d over bound %d", op, o.Queued, maxQueued)
+				}
+				overloads++
+				continue
+			}
+			accepted = append(accepted, j)
+		case 2: // cancel a random known job
+			if len(accepted) > 0 {
+				s.Cancel(accepted[rng.Intn(len(accepted))].ID)
+			}
+		}
+	}
+	waitTerminal(t, accepted)
+	for id, n := range exec.runs {
+		if n > 1 {
+			t.Errorf("job %s ran %d times", id, n)
+		}
+	}
+	done, cancelled := 0, 0
+	for _, j := range accepted {
+		switch j.State() {
+		case StateDone:
+			done++
+		case StateCancelled:
+			cancelled++
+		default:
+			t.Errorf("job %s ended %q", j.ID, j.State())
+		}
+	}
+	if done == 0 {
+		t.Error("churn completed no jobs")
+	}
+	t.Logf("churn: %d accepted (%d done, %d cancelled), %d overloads",
+		len(accepted), done, cancelled, overloads)
+}
+
+// TestSchedulerRetention: terminal jobs beyond MaxRetained are
+// evicted oldest-first, with the eviction hook told each ID.
+func TestSchedulerRetention(t *testing.T) {
+	exec := newStubExec(false)
+	var evictMu sync.Mutex
+	var evicted []string
+	s := NewScheduler(SchedOptions{
+		Workers:     1,
+		MaxRetained: 5,
+		OnEvict: func(id string) {
+			evictMu.Lock()
+			evicted = append(evicted, id)
+			evictMu.Unlock()
+		},
+		Run: exec.Run,
+	})
+	defer s.Close()
+	jobs := submitN(t, s, "t", 12)
+	waitTerminal(t, jobs)
+
+	// Retention runs inside finish() just after the terminal
+	// transition; poll briefly for the final evictions to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		evictMu.Lock()
+		n := len(evicted)
+		evictMu.Unlock()
+		if n >= 7 || time.Now().After(deadline) {
+			if n != 7 {
+				t.Fatalf("evicted %d jobs, want 7", n)
+			}
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := s.Job(jobs[0].ID); ok {
+		t.Error("oldest job still queryable after eviction")
+	}
+	if _, ok := s.Job(jobs[11].ID); !ok {
+		t.Error("newest job evicted")
+	}
+}

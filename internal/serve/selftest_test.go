@@ -1,0 +1,22 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSelftest drives the full stack — HTTP server, scheduler,
+// executors, artifact store, chunked delivery — and checks every job
+// kind's output byte-identical against the direct facade path.
+func TestRunSelftest(t *testing.T) {
+	var out bytes.Buffer
+	if err := RunSelftest(&out); err != nil {
+		t.Fatalf("selftest: %v\noutput so far:\n%s", err, out.String())
+	}
+	for _, kind := range Kinds() {
+		if !strings.Contains(out.String(), "selftest "+kind) {
+			t.Errorf("selftest output missing kind %s", kind)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"roborebound/internal/obs"
+	"roborebound/internal/obs/perf"
+)
+
+// TenantHeader names the request header carrying the tenant identity.
+// Absent means DefaultTenant. (A production deployment would bind the
+// tenant to authenticated identity; the serving layer keeps the
+// header seam so the scheduler and tests exercise real multi-tenancy
+// without dragging an auth stack into a simulation repo.)
+const (
+	TenantHeader  = "X-RoboRebound-Tenant"
+	DefaultTenant = "default"
+)
+
+// gzipMinBytes is the artifact size below which gzip is not worth the
+// header overhead.
+const gzipMinBytes = 1024
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// Workers / Quota / Tenants / Clock / MaxRetained feed the
+	// scheduler (see SchedOptions).
+	Workers     int
+	Quota       Quota
+	Tenants     map[string]Quota
+	Clock       perf.Clock
+	MaxRetained int
+	// SpillDir is the artifact spillover directory ("" keeps every
+	// artifact in memory); MemLimit / TotalLimit as in StoreOptions.
+	SpillDir   string
+	MemLimit   int64
+	TotalLimit int64
+	// Metrics receives scheduler and HTTP telemetry (nil: a private
+	// registry is created; read it back via MetricsSnapshot).
+	Metrics *Metrics
+}
+
+// Server is the simulation-as-a-service front-end: an http.Handler
+// wiring the request codec, the fair-share scheduler, the executors,
+// and the artifact store together.
+type Server struct {
+	sched   *Scheduler
+	store   *ArtifactStore
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// NewServer builds a server and starts its scheduler pool. Callers
+// own the listener: mount Handler() on any http.Server (or
+// httptest).
+func NewServer(opts ServerOptions) (*Server, error) {
+	store, err := NewArtifactStore(StoreOptions{
+		Dir: opts.SpillDir, MemLimit: opts.MemLimit, TotalLimit: opts.TotalLimit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = NewMetrics(nil)
+	}
+	exec := &Executor{Store: store}
+	s := &Server{store: store, metrics: metrics}
+	s.sched = NewScheduler(SchedOptions{
+		Workers:     opts.Workers,
+		Quota:       opts.Quota,
+		Tenants:     opts.Tenants,
+		Metrics:     metrics,
+		Clock:       opts.Clock,
+		MaxRetained: opts.MaxRetained,
+		OnEvict:     store.DeleteJob,
+		Run:         exec.Run,
+	})
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/artifacts", s.handleArtifactList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{name}", s.handleArtifact)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/tenants", s.handleTenants)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.serveHTTP) }
+
+func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Inc("serve.http.requests")
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain gracefully winds the server down; see Scheduler.Drain.
+func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+
+// Close stops the scheduler pool.
+func (s *Server) Close() { s.sched.Close() }
+
+// Scheduler exposes the scheduler (tests, the load harness).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Store exposes the artifact store (tests).
+func (s *Server) Store() *ArtifactStore { return s.store }
+
+// MetricsSnapshot snapshots the server's telemetry registry.
+func (s *Server) MetricsSnapshot() []obs.Sample { return s.metrics.Snapshot() }
+
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(data)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.metrics.Inc("serve.http.errors")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, _ := json.Marshal(errorDoc{Error: msg})
+	w.Write(data)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant := r.Header.Get(TenantHeader)
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	if err != nil {
+		s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds limit")
+		return
+	}
+	req, err := DecodeJobRequest(body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	j, err := s.sched.Submit(tenant, req, body)
+	if err != nil {
+		var overload *OverloadError
+		switch {
+		case errors.As(err, &overload):
+			w.Header().Set("Retry-After", strconv.Itoa(overload.RetryAfterSec))
+			s.writeError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, ErrDraining):
+			// A draining server is going away; point the client at a
+			// conservative re-submission delay on whatever replaces it.
+			w.Header().Set("Retry-After", "10")
+			s.writeError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			s.writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.sched.Job(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q", id))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		s.writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.sched.Cancel(id) {
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q", id))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, struct {
+		ID        string `json:"id"`
+		Cancelled bool   `json:"cancelled"`
+	}{id, true})
+}
+
+// handleEvents streams the job's progress events as NDJSON over
+// chunked HTTP, one JSON object per line, until the job reaches a
+// terminal state or the client disconnects. Each event is flushed as
+// it lands, so a client sees sweep progress live.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	after := 0
+	for {
+		events, state, changed := j.EventsSince(after)
+		for _, e := range events {
+			data, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			if _, err := w.Write(append(data, '\n')); err != nil {
+				return // client went away; the job keeps running
+			}
+		}
+		after += len(events)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if state.Terminal() {
+			// The terminal transition appends its event under the same
+			// lock, so once we observe a terminal state with no new
+			// events, the stream is complete.
+			if more, _, _ := j.EventsSince(after); len(more) == 0 {
+				return
+			}
+			continue
+		}
+		//rebound:nondet stream pacing races client disconnect by design; events themselves are deterministic per job
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleArtifactList(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		s.writeJSON(w, http.StatusOK, s.store.List(j.ID))
+	}
+}
+
+// handleArtifact delivers one artifact: raw (gzip-compressed when the
+// client accepts it and the blob is big enough), or as a framed chunk
+// stream with ?format=chunked (see chunk.go).
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	if !ValidArtifactName(name) {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid artifact name %q", name))
+		return
+	}
+	data, err := s.store.Get(j.ID, name)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if r.URL.Query().Get("format") == "chunked" {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		WriteChunks(w, data, 0, true)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if len(data) >= gzipMinBytes && acceptsGzip(r) {
+		w.Header().Set("Content-Encoding", "gzip")
+		w.WriteHeader(http.StatusOK)
+		gz := gzip.NewWriter(w)
+		gz.Write(data)
+		gz.Close()
+		return
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func acceptsGzip(r *http.Request) bool {
+	for _, enc := range r.Header.Values("Accept-Encoding") {
+		for _, tok := range strings.Split(enc, ",") {
+			// Strip any ";q=..." parameter before comparing.
+			if i := strings.IndexByte(tok, ';'); i >= 0 {
+				tok = tok[:i]
+			}
+			if strings.TrimSpace(tok) == "gzip" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := obs.WriteMetricsJSON(&buf, s.metrics.Snapshot()); err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.sched.TenantStats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+	}{"ok", s.sched.Draining()})
+}

@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, opts ServerOptions) (*Server, *httptest.Server, *Client) {
+	t.Helper()
+	s, err := NewServer(opts)
+	if err != nil {
+		t.Fatalf("new server: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts, &Client{Base: ts.URL, Tenant: "test"}
+}
+
+func TestServerSubmitWaitArtifacts(t *testing.T) {
+	_, _, client := newTestServer(t, ServerOptions{Workers: 2})
+	ctx := context.Background()
+
+	req := validChaosRequest()
+	req.Events = true
+	st, err := client.Run(ctx, req)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state = %q (error %q), want done", st.State, st.Error)
+	}
+	if st.Tenant != "test" || st.Kind != KindChaos {
+		t.Errorf("status tenant/kind = %q/%q", st.Tenant, st.Kind)
+	}
+	if len(st.Result) == 0 {
+		t.Error("no result document")
+	}
+	if st.QueueNs < 0 || st.RunNs <= 0 {
+		t.Errorf("timing telemetry queue=%d run=%d", st.QueueNs, st.RunNs)
+	}
+
+	arts, err := client.Artifacts(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("artifacts: %v", err)
+	}
+	names := make([]string, len(arts))
+	for i, a := range arts {
+		names[i] = a.Name
+	}
+	if len(names) != 2 || names[0] != "events.ndjson" || names[1] != "metrics.json" {
+		t.Fatalf("artifact names = %v, want [events.ndjson metrics.json]", names)
+	}
+	for _, a := range arts {
+		raw, err := client.Artifact(ctx, st.ID, a.Name)
+		if err != nil {
+			t.Fatalf("artifact %s: %v", a.Name, err)
+		}
+		chunked, err := client.ArtifactChunked(ctx, st.ID, a.Name, 0)
+		if err != nil {
+			t.Fatalf("chunked artifact %s: %v", a.Name, err)
+		}
+		if !bytes.Equal(raw, chunked) {
+			t.Errorf("artifact %s: raw and chunked delivery disagree", a.Name)
+		}
+		if int64(len(raw)) != a.Size {
+			t.Errorf("artifact %s: size %d, listed %d", a.Name, len(raw), a.Size)
+		}
+	}
+}
+
+// TestServerOverload pins the backpressure contract over real HTTP:
+// a full tenant queue answers 429 with a Retry-After header.
+func TestServerOverload(t *testing.T) {
+	_, ts, client := newTestServer(t, ServerOptions{
+		Workers: 1,
+		Quota:   Quota{MaxQueued: 2, MaxRunning: 1},
+	})
+	ctx := context.Background()
+
+	// Jobs costing ~100ms each: the submission loop below takes a few
+	// milliseconds, so the queue fills long before the worker drains
+	// it.
+	req := validChaosRequest()
+	req.N = 32
+	req.DurationSec = 30
+	body, _ := req.Encode()
+
+	overloads := 0
+	var ids []string
+	for i := 0; i < 10; i++ {
+		httpReq, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader(body))
+		httpReq.Header.Set(TenantHeader, "test")
+		resp, err := http.DefaultClient.Do(httpReq)
+		if err != nil {
+			t.Fatalf("post %d: %v", i, err)
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var st Status
+			json.NewDecoder(resp.Body).Decode(&st)
+			ids = append(ids, st.ID)
+		case http.StatusTooManyRequests:
+			if ra := resp.Header.Get("Retry-After"); ra == "" {
+				t.Error("429 without Retry-After header")
+			}
+			overloads++
+		default:
+			t.Fatalf("post %d: unexpected status %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if overloads == 0 {
+		t.Fatal("queue never overflowed")
+	}
+	// Typed client surfaces the same as a StatusError.
+	if _, err := client.Submit(ctx, req); err != nil {
+		se, ok := err.(*StatusError)
+		if !ok || se.Code != http.StatusTooManyRequests || se.RetryAfterSec < 1 {
+			t.Errorf("typed overload error = %#v", err)
+		}
+	}
+	for _, id := range ids {
+		client.Cancel(ctx, id)
+	}
+}
+
+func TestServerDrainRejectsSubmissions(t *testing.T) {
+	s, ts, client := newTestServer(t, ServerOptions{Workers: 1})
+	ctx := context.Background()
+
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	_, err := client.Submit(ctx, validChaosRequest())
+	se, ok := err.(*StatusError)
+	if !ok || se.Code != http.StatusServiceUnavailable || se.RetryAfterSec != 10 {
+		t.Fatalf("post-drain submit error = %#v, want 503 with Retry-After 10", err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+	}
+	json.NewDecoder(resp.Body).Decode(&health)
+	if health.Status != "ok" || !health.Draining {
+		t.Errorf("healthz = %+v, want ok/draining", health)
+	}
+}
+
+func TestServerNotFound(t *testing.T) {
+	_, ts, _ := newTestServer(t, ServerOptions{Workers: 1})
+	for _, path := range []string{
+		"/v1/jobs/nope",
+		"/v1/jobs/nope/events",
+		"/v1/jobs/nope/artifacts",
+		"/v1/jobs/nope/artifacts/metrics.json",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("get %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/nope", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown job = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	_, ts, _ := newTestServer(t, ServerOptions{Workers: 1})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"garbage", "{{{", http.StatusBadRequest},
+		{"unknown kind", `{"version":1,"kind":"nope"}`, http.StatusBadRequest},
+		{"oversized", `{"pad":"` + strings.Repeat("x", MaxRequestBytes) + `"}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestServerCancelMidRun(t *testing.T) {
+	_, _, client := newTestServer(t, ServerOptions{Workers: 1})
+	ctx := context.Background()
+
+	// A run costing most of a second, so the cancel reliably lands
+	// mid-run; the interrupt seam then stops it at a tick boundary.
+	req := validChaosRequest()
+	req.N = 64
+	req.DurationSec = 60
+	st, err := client.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := client.Cancel(ctx, st.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	final, err := client.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if final.State != StateCancelled {
+		t.Fatalf("state after cancel = %q, want cancelled", final.State)
+	}
+}
+
+// TestServerGzipArtifact checks the conditional compression path: a
+// large artifact ships gzip-encoded to a client that accepts it, raw
+// otherwise, identical bytes either way.
+func TestServerGzipArtifact(t *testing.T) {
+	_, ts, client := newTestServer(t, ServerOptions{Workers: 1})
+	ctx := context.Background()
+
+	req := validChaosRequest()
+	req.Events = true // events.ndjson is comfortably over gzipMinBytes
+	st, err := client.Run(ctx, req)
+	if err != nil || st.State != StateDone {
+		t.Fatalf("run: %v (state %v)", err, st.State)
+	}
+
+	// Manual request with transparent decompression disabled so the
+	// Content-Encoding header is observable.
+	tr := &http.Transport{DisableCompression: true}
+	defer tr.CloseIdleConnections()
+	httpReq, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/artifacts/events.ndjson", nil)
+	httpReq.Header.Set("Accept-Encoding", "gzip")
+	resp, err := (&http.Client{Transport: tr}).Do(httpReq)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Encoding"); got != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", got)
+	}
+	compressed, _ := io.ReadAll(resp.Body)
+
+	raw, err := client.Artifact(ctx, st.ID, "events.ndjson")
+	if err != nil {
+		t.Fatalf("raw artifact: %v", err)
+	}
+	if len(compressed) >= len(raw) {
+		t.Errorf("gzip did not shrink the artifact: %d vs %d raw", len(compressed), len(raw))
+	}
+	if len(raw) < gzipMinBytes {
+		t.Fatalf("test artifact only %d bytes; below the gzip threshold", len(raw))
+	}
+}
+
+// TestServerEventStreamDisconnect: a client abandoning the NDJSON
+// stream mid-job must not disturb the job — it runs to completion and
+// a fresh stream replays every event from the start.
+func TestServerEventStreamDisconnect(t *testing.T) {
+	_, _, client := newTestServer(t, ServerOptions{Workers: 1})
+	ctx := context.Background()
+
+	req := validChaosRequest()
+	req.DurationSec = 20
+	st, err := client.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// Open the stream, take the first event, then hang up.
+	streamCtx, cancelStream := context.WithCancel(ctx)
+	got := make(chan Event, 1)
+	go client.Events(streamCtx, st.ID, func(e Event) {
+		select {
+		case got <- e:
+		default:
+		}
+	})
+	select {
+	case <-got:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no event arrived before disconnect")
+	}
+	cancelStream()
+
+	// The job is unaffected: wait on a fresh stream.
+	final, err := client.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("wait after disconnect: %v", err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("state after disconnect = %q (error %q), want done", final.State, final.Error)
+	}
+
+	// A replayed stream starts from seq 1 and ends terminal.
+	var events []Event
+	if err := client.Events(ctx, st.ID, func(e Event) { events = append(events, e) }); err != nil {
+		t.Fatalf("replay events: %v", err)
+	}
+	if len(events) < 2 || events[0].Seq != 1 || events[0].State != StateQueued {
+		t.Fatalf("replayed stream malformed: %+v", events)
+	}
+	if last := events[len(events)-1]; last.State != StateDone {
+		t.Fatalf("replayed stream ends %q, want done", last.State)
+	}
+}
+
+func TestServerTenantsAndMetrics(t *testing.T) {
+	_, _, client := newTestServer(t, ServerOptions{Workers: 1})
+	ctx := context.Background()
+
+	if _, err := client.Run(ctx, validChaosRequest()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	stats, err := client.Tenants(ctx)
+	if err != nil {
+		t.Fatalf("tenants: %v", err)
+	}
+	if len(stats) != 1 || stats[0].Tenant != "test" || stats[0].Weight != 1 {
+		t.Fatalf("tenant stats = %+v", stats)
+	}
+
+	data, err := client.MetricsJSON(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	body := string(data)
+	for _, want := range []string{
+		"serve.tenant.test.submitted",
+		"serve.tenant.test.completed",
+		"serve.tenant.test.queue_wait_ns",
+		"serve.tenant.test.service_ns",
+		"serve.http.requests",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics export missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func validChaosRequest() *JobRequest {
+	return &JobRequest{Version: RequestVersion, Kind: KindChaos, N: 4, DurationSec: 4, Seed: 1}
+}
+
+func TestDecodeJobRequestRoundTrip(t *testing.T) {
+	req := validChaosRequest()
+	req.Events = true
+	req.Sizes = []int{4, 8}
+	data, err := req.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeJobRequest(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	re, err := got.Encode()
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(data, re) {
+		t.Fatalf("round trip changed bytes:\n%s\n%s", data, re)
+	}
+}
+
+func TestDecodeJobRequestRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"empty", ``, "decode"},
+		{"not json", `{{{{`, "decode"},
+		{"unknown field", `{"version":1,"kind":"chaos","bogus":true}`, "decode"},
+		{"trailing data", `{"version":1,"kind":"chaos"} {"x":1}`, "trailing"},
+		{"wrong version", `{"version":2,"kind":"chaos"}`, "version"},
+		{"no kind", `{"version":1}`, "kind"},
+		{"unknown kind", `{"version":1,"kind":"mine-bitcoin"}`, "kind"},
+		{"unknown controller", `{"version":1,"kind":"chaos","controller":"tank"}`, "controller"},
+		{"unknown profile", `{"version":1,"kind":"chaos","profile":"sharks"}`, "profile"},
+		{"n too big", `{"version":1,"kind":"chaos","n":100000}`, "out of range"},
+		{"n negative", `{"version":1,"kind":"chaos","n":-1}`, "out of range"},
+		{"duration too long", `{"version":1,"kind":"chaos","duration_sec":100000}`, "out of range"},
+		{"duration nan", `{"version":1,"kind":"chaos","duration_sec":1e999}`, "decode"},
+		{"workers over cap", `{"version":1,"kind":"fig6","workers":99}`, "out of range"},
+		{"too many sizes", `{"version":1,"kind":"scale","sizes":[1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1]}`, "sizes"},
+		{"size over cap", `{"version":1,"kind":"scale","sizes":[99999]}`, "out of range"},
+		{"spacing zero", `{"version":1,"kind":"fig7-density","spacings":[0]}`, "out of range"},
+		{"period too short", `{"version":1,"kind":"fig6","periods_sec":[0.01]}`, "out of range"},
+		{"resume without handle", `{"version":1,"kind":"resume"}`, "resume handle"},
+		{"resume bad job id", `{"version":1,"kind":"resume","resume":{"job":"../../etc","artifact":"a"}}`, "job id"},
+		{"resume bad artifact", `{"version":1,"kind":"resume","resume":{"job":"t-1","artifact":"../pw"}}`, "artifact"},
+		{"handle on plain kind", `{"version":1,"kind":"chaos","resume":{"job":"t-1","artifact":"a.rbsn"}}`, "does not take"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeJobRequest([]byte(tc.body))
+			if err == nil {
+				t.Fatalf("decode accepted %q", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeJobRequestSizeBound(t *testing.T) {
+	huge := append([]byte(`{"version":1,"kind":"chaos","controller":"`),
+		bytes.Repeat([]byte("a"), MaxRequestBytes)...)
+	huge = append(huge, []byte(`"}`)...)
+	if _, err := DecodeJobRequest(huge); err == nil {
+		t.Fatal("decode accepted an oversized request")
+	}
+}
+
+func TestValidateEveryKindZeroValue(t *testing.T) {
+	// Every kind except the resume pair must accept a bare request —
+	// zero-valued knobs mean facade defaults.
+	for _, kind := range Kinds() {
+		req := &JobRequest{Version: RequestVersion, Kind: kind}
+		err := req.Validate()
+		needsHandle := kind == KindResume || kind == KindResumeVerif
+		if needsHandle && err == nil {
+			t.Errorf("kind %s accepted without a resume handle", kind)
+		}
+		if !needsHandle && err != nil {
+			t.Errorf("bare %s request rejected: %v", kind, err)
+		}
+	}
+}
+
+func TestNameValidators(t *testing.T) {
+	for _, ok := range []string{"default", "tenant-1", "A_b-9"} {
+		if !validTenant(ok) {
+			t.Errorf("validTenant rejected %q", ok)
+		}
+	}
+	for _, bad := range []string{"", "a b", "a/b", "x.y", strings.Repeat("t", 33)} {
+		if validTenant(bad) {
+			t.Errorf("validTenant accepted %q", bad)
+		}
+	}
+	for _, ok := range []string{"metrics.json", "checkpoint.rbsn", "a-1_b.txt"} {
+		if !ValidArtifactName(ok) {
+			t.Errorf("ValidArtifactName rejected %q", ok)
+		}
+	}
+	for _, bad := range []string{"", ".hidden", "a/b", "a\\b", "..", strings.Repeat("n", 65)} {
+		if ValidArtifactName(bad) {
+			t.Errorf("ValidArtifactName accepted %q", bad)
+		}
+	}
+}

@@ -197,7 +197,7 @@ func (s *Sim) snapshotRun(checker *faultinject.Checker) *snapshot.Run {
 // byte-identity statement.
 func runChaosTicks(s *Sim, cfg ChaosConfig, checker *faultinject.Checker, total wire.Tick, res *ChaosResult) {
 	needSnapshots := len(cfg.SnapshotAtTicks) > 0 || cfg.SnapshotEvery > 0 ||
-		cfg.ViolationRewind > 0 || cfg.ResumeFrom != nil
+		cfg.ViolationRewind > 0 || cfg.ResumeFrom != nil || cfg.Interrupt != nil
 	if !needSnapshots {
 		s.Engine.Run(total)
 		return
@@ -260,6 +260,16 @@ func runChaosTicks(s *Sim, cfg ChaosConfig, checker *faultinject.Checker, total 
 				ring[ringN%2] = ChaosSnapshot{Tick: t, Data: data}
 				ringN++
 			}
+		}
+		if cfg.Interrupt != nil && t < total && cfg.Interrupt() {
+			// Stop at this boundary: the captured state is exactly what
+			// ResumeFrom needs to continue the run byte-identically. A
+			// hook that fires only after the final tick is a no-op.
+			if data, ok := capture(t); ok {
+				res.Checkpoint = &ChaosSnapshot{Tick: t, Data: data}
+			}
+			res.Interrupted = true
+			return
 		}
 		if t == total {
 			break
